@@ -1,0 +1,80 @@
+// Microbenchmarks of the GOSSIP simulation engine itself: raw round
+// throughput with idle, pushing, and pulling agents.  These bound how large
+// an n the experiment sweeps can afford.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "gossip/rumor.hpp"
+#include "sim/agent.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using rfc::sim::Action;
+using rfc::sim::Agent;
+using rfc::sim::Context;
+using rfc::sim::Engine;
+
+/// An agent that does nothing — measures pure engine dispatch overhead.
+class IdleAgent final : public Agent {
+ public:
+  Action on_round(const Context&) override { return Action::idle(); }
+  rfc::sim::PayloadPtr serve_pull(const Context&,
+                                  rfc::sim::AgentId) override {
+    return nullptr;
+  }
+  bool done() const override { return false; }
+};
+
+/// An agent that pulls a random peer every round (peer replies nothing).
+class PullAgent final : public Agent {
+ public:
+  Action on_round(const Context& ctx) override {
+    return Action::pull(ctx.random_peer());
+  }
+  rfc::sim::PayloadPtr serve_pull(const Context&,
+                                  rfc::sim::AgentId) override {
+    return nullptr;
+  }
+  bool done() const override { return false; }
+};
+
+template <typename AgentT>
+void run_rounds(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Engine engine({n, 42});
+  for (std::uint32_t i = 0; i < n; ++i) {
+    engine.set_agent(i, std::make_unique<AgentT>());
+  }
+  for (auto _ : state) {
+    engine.step();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_EngineIdleRound(benchmark::State& state) {
+  run_rounds<IdleAgent>(state);
+}
+BENCHMARK(BM_EngineIdleRound)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_EnginePullRound(benchmark::State& state) {
+  run_rounds<PullAgent>(state);
+}
+BENCHMARK(BM_EnginePullRound)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_EngineRumorRound(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Engine engine({n, 42});
+  for (std::uint32_t i = 0; i < n; ++i) {
+    engine.set_agent(i, std::make_unique<rfc::gossip::RumorAgent>(
+                            rfc::gossip::Mechanism::kPushPull, i == 0, 64));
+  }
+  for (auto _ : state) {
+    engine.step();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineRumorRound)->Arg(256)->Arg(1024)->Arg(4096);
+
+}  // namespace

@@ -1,0 +1,46 @@
+// Microbenchmarks of the gossip primitives: full rumor spreads and
+// min-aggregation runs, end to end.
+#include <benchmark/benchmark.h>
+
+#include "gossip/min_aggregation.hpp"
+#include "gossip/rumor.hpp"
+#include "support/math_util.hpp"
+
+namespace {
+
+void BM_RumorSpread(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto mech = static_cast<rfc::gossip::Mechanism>(state.range(1));
+  std::uint64_t seed = 7;
+  for (auto _ : state) {
+    rfc::gossip::SpreadConfig cfg;
+    cfg.n = n;
+    cfg.mechanism = mech;
+    cfg.seed = seed++;
+    const auto result = rfc::gossip::run_rumor_spreading(cfg);
+    benchmark::DoNotOptimize(result.rounds);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RumorSpread)
+    ->Args({1024, 0})   // push
+    ->Args({1024, 1})   // pull
+    ->Args({1024, 2})   // push-pull
+    ->Args({4096, 2});
+
+void BM_MinAggregation(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t seed = 7;
+  for (auto _ : state) {
+    rfc::gossip::MinAggConfig cfg;
+    cfg.n = n;
+    cfg.rounds = rfc::support::round_count(2.0, n);
+    cfg.seed = seed++;
+    const auto result = rfc::gossip::run_min_aggregation(cfg);
+    benchmark::DoNotOptimize(result.converged);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MinAggregation)->Arg(1024)->Arg(4096);
+
+}  // namespace

@@ -1,0 +1,79 @@
+// Shared plumbing for the experiment binaries (bench/exp_*.cpp).
+//
+// Every experiment regenerates one table of EXPERIMENTS.md.  Defaults are
+// sized to finish in seconds; pass --full for the paper-scale sweep quoted
+// in EXPERIMENTS.md (minutes).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace rfc::exputil {
+
+/// Network sizes for scaling sweeps.
+inline std::vector<std::uint32_t> sweep_sizes(
+    const rfc::support::CliArgs& args) {
+  if (args.get_bool("full")) {
+    return {64, 128, 256, 512, 1024, 2048, 4096, 8192};
+  }
+  return {64, 128, 256, 512, 1024, 2048};
+}
+
+inline std::uint64_t sweep_trials(const rfc::support::CliArgs& args,
+                                  std::uint64_t fast_default,
+                                  std::uint64_t full_default) {
+  if (args.has("trials")) return args.get_uint("trials", fast_default);
+  return args.get_bool("full") ? full_default : fast_default;
+}
+
+inline void print_header(const std::string& id, const std::string& claim) {
+  std::printf("=== %s ===\n%s\n\n", id.c_str(), claim.c_str());
+}
+
+inline void print_table(const rfc::support::Table& table,
+                        const std::string& note) {
+  std::printf("%s", table.render().c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  std::printf("\n");
+}
+
+inline void maybe_write_csv(const rfc::support::CliArgs& args,
+                            const rfc::support::Table& table);
+
+/// Prints the table and honours --csv=PATH.
+inline void print_table(const rfc::support::CliArgs& args,
+                        const rfc::support::Table& table,
+                        const std::string& note) {
+  print_table(table, note);
+  maybe_write_csv(args, table);
+}
+
+/// With --csv=PATH, additionally writes the table as CSV (appending a
+/// numeric suffix for an experiment's second and later tables).
+inline void maybe_write_csv(const rfc::support::CliArgs& args,
+                            const rfc::support::Table& table) {
+  static int table_index = 0;
+  ++table_index;
+  if (!args.has("csv")) return;
+  std::string path = args.get("csv", "");
+  if (path.empty()) return;
+  if (table_index > 1) {
+    const auto dot = path.rfind('.');
+    const std::string suffix = "." + std::to_string(table_index);
+    if (dot == std::string::npos) {
+      path += suffix;
+    } else {
+      path.insert(dot, suffix);
+    }
+  }
+  if (!table.write_csv(path)) {
+    std::fprintf(stderr, "failed to write CSV to %s\n", path.c_str());
+  }
+}
+
+}  // namespace rfc::exputil

@@ -1,0 +1,68 @@
+#include "analysis/equilibrium.hpp"
+
+#include "analysis/montecarlo.hpp"
+#include "core/runner.hpp"
+
+namespace rfc::analysis {
+
+namespace {
+constexpr core::Color kHonestColor = 0;
+constexpr core::Color kCoalitionColor = 1;
+}  // namespace
+
+DeviationReport measure_deviation(const DeviationConfig& cfg,
+                                  std::uint64_t trials,
+                                  std::size_t threads) {
+  // Coalition = first t labels, beneficiary = label 0; faults at the suffix
+  // keep the coalition and the fair share exact.
+  const rational::CoalitionPtr coalition =
+      rational::make_prefix_coalition(cfg.coalition_size);
+
+  core::RunConfig base;
+  base.n = cfg.n;
+  base.gamma = cfg.gamma;
+  base.strict_verification = cfg.strict_verification;
+  base.num_faulty = cfg.num_faulty;
+  base.placement = cfg.num_faulty == 0 ? sim::FaultPlacement::kNone
+                                       : cfg.placement;
+  base.colors.assign(cfg.n, kHonestColor);
+  for (std::uint32_t i = 0; i < cfg.coalition_size; ++i) {
+    base.colors[i] = kCoalitionColor;
+  }
+  base.coalition = coalition->members();
+  base.factory = rational::make_deviating_factory(cfg.strategy, coalition);
+
+  DeviationReport report;
+  report.strategy = cfg.strategy;
+  report.coalition_size = cfg.coalition_size;
+  report.trials = trials;
+
+  const std::uint32_t active = cfg.n - cfg.num_faulty;
+  report.fair_share = static_cast<double>(cfg.coalition_size) /
+                      static_cast<double>(active);
+
+  const auto results = run_trials<core::RunResult>(
+      trials, cfg.seed,
+      [&base, &cfg](std::uint64_t seed, std::size_t) {
+        core::RunConfig run = base;
+        run.seed = seed;
+        // Every trial needs its own blackboard: coalition state is mutable
+        // per-execution.
+        const rational::CoalitionPtr fresh =
+            rational::make_prefix_coalition(cfg.coalition_size);
+        run.factory = rational::make_deviating_factory(cfg.strategy, fresh);
+        return core::run_protocol(run);
+      },
+      threads);
+
+  for (const core::RunResult& r : results) {
+    if (r.failed()) {
+      ++report.failures;
+    } else if (r.winner == kCoalitionColor) {
+      ++report.coalition_wins;
+    }
+  }
+  return report;
+}
+
+}  // namespace rfc::analysis

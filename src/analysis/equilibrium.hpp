@@ -1,0 +1,72 @@
+// Equilibrium measurement (Theorem 7): for every implemented coalition
+// deviation, compare the coalition's win probability and the beneficiary's
+// expected utility against honest play.
+//
+// Setup: a coalition of the first t labels supports color 1; every honest
+// agent supports color 0.  Fair play gives color 1 a winning probability of
+// exactly t/|A| (the coalition's fair share).  A deviation "profits" only if
+// it pushes the beneficiary's expected utility
+//     u = Pr[color 1 wins] - χ · Pr[⊥]
+// above the honest baseline t/|A| — Theorem 7 says no deviation can, w.h.p.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rational/strategies.hpp"
+#include "sim/fault_model.hpp"
+#include "support/stats.hpp"
+
+namespace rfc::analysis {
+
+struct DeviationConfig {
+  std::uint32_t n = 0;
+  double gamma = 4.0;
+  std::uint64_t seed = 1;
+  std::uint32_t coalition_size = 1;
+  rational::DeviationStrategy strategy = rational::DeviationStrategy::kHonest;
+  bool strict_verification = true;
+  std::uint32_t num_faulty = 0;
+  /// Faults are placed at the suffix so they never overlap the (prefix)
+  /// coalition and |C|, |A| stay exact.
+  sim::FaultPlacement placement = sim::FaultPlacement::kSuffix;
+};
+
+struct DeviationReport {
+  rational::DeviationStrategy strategy =
+      rational::DeviationStrategy::kHonest;
+  std::uint32_t coalition_size = 0;
+  std::uint64_t trials = 0;
+  std::uint64_t coalition_wins = 0;  ///< Winner color == coalition color.
+  std::uint64_t failures = 0;        ///< Outcome ⊥.
+  double fair_share = 0.0;           ///< |C| / |A|.
+
+  double win_rate() const noexcept {
+    return trials ? static_cast<double>(coalition_wins) /
+                        static_cast<double>(trials)
+                  : 0.0;
+  }
+  double fail_rate() const noexcept {
+    return trials ? static_cast<double>(failures) /
+                        static_cast<double>(trials)
+                  : 0.0;
+  }
+  rfc::support::Interval win_ci() const noexcept {
+    return rfc::support::wilson_interval(coalition_wins, trials);
+  }
+  /// Beneficiary expected utility under the paper's payoff scheme
+  /// (util = 1 on own color, 0 on any other color, -χ on ⊥).
+  double utility(double chi) const noexcept {
+    return win_rate() - chi * fail_rate();
+  }
+  /// True when the deviation did NOT significantly beat the fair share.
+  bool equilibrium_holds(double slack = 0.0) const noexcept {
+    return win_ci().lo <= fair_share + slack;
+  }
+};
+
+DeviationReport measure_deviation(const DeviationConfig& cfg,
+                                  std::uint64_t trials,
+                                  std::size_t threads = 0);
+
+}  // namespace rfc::analysis

@@ -1,0 +1,63 @@
+#include "analysis/fairness.hpp"
+
+#include <map>
+
+#include "analysis/montecarlo.hpp"
+
+namespace rfc::analysis {
+
+FairnessReport measure_fairness(const core::RunConfig& base,
+                                std::uint64_t trials, std::size_t threads) {
+  const auto results = run_trials<core::RunResult>(
+      trials, base.seed,
+      [&base](std::uint64_t seed, std::size_t) {
+        core::RunConfig cfg = base;
+        cfg.seed = seed;
+        return core::run_protocol(cfg);
+      },
+      threads);
+
+  FairnessReport report;
+  report.trials = trials;
+
+  std::map<core::Color, std::uint64_t> wins;
+  std::map<core::Color, double> expected_sum;
+  for (const core::RunResult& r : results) {
+    report.rounds.add(static_cast<double>(r.rounds));
+    report.total_bits.add(static_cast<double>(r.metrics.total_bits));
+    report.max_message_bits.add(
+        static_cast<double>(r.metrics.max_message_bits));
+    if (r.failed()) {
+      ++report.failures;
+    } else {
+      ++wins[r.winner];
+    }
+    const double active = static_cast<double>(r.num_active);
+    for (const auto& [color, count] : r.active_colors) {
+      expected_sum[color] += static_cast<double>(count) / active;
+    }
+  }
+
+  const std::uint64_t successes = trials - report.failures;
+  std::vector<std::uint64_t> observed;
+  std::vector<double> expected_probs;
+  for (const auto& [color, exp_sum] : expected_sum) {
+    ColorShare share;
+    share.color = color;
+    share.expected = exp_sum / static_cast<double>(trials);
+    share.wins = wins.count(color) ? wins.at(color) : 0;
+    share.observed = successes
+                         ? static_cast<double>(share.wins) /
+                               static_cast<double>(successes)
+                         : 0.0;
+    share.ci = rfc::support::wilson_interval(share.wins, successes);
+    share.within_ci = share.ci.contains(share.expected);
+    observed.push_back(share.wins);
+    expected_probs.push_back(share.expected);
+    report.shares.push_back(share);
+  }
+  report.chi = rfc::support::chi_square_gof(observed, expected_probs);
+  return report;
+}
+
+}  // namespace rfc::analysis

@@ -1,0 +1,44 @@
+// Fairness measurement (Theorem 4): over many independent executions, the
+// empirical winning-color distribution must match the initial color
+// histogram of the *active* agents.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "support/chi_square.hpp"
+#include "support/stats.hpp"
+
+namespace rfc::analysis {
+
+struct ColorShare {
+  core::Color color = core::kNoColor;
+  double expected = 0.0;        ///< Mean N(A,c)/|A| across trials.
+  std::uint64_t wins = 0;
+  double observed = 0.0;        ///< wins / successful trials.
+  rfc::support::Interval ci;    ///< Wilson 95% interval on `observed`.
+  bool within_ci = false;       ///< expected ∈ ci.
+};
+
+struct FairnessReport {
+  std::uint64_t trials = 0;
+  std::uint64_t failures = 0;   ///< Executions that ended in ⊥.
+  std::vector<ColorShare> shares;
+  rfc::support::ChiSquareResult chi;  ///< GOF of wins vs expected shares.
+  rfc::support::OnlineStats rounds;
+  rfc::support::OnlineStats total_bits;
+  rfc::support::OnlineStats max_message_bits;
+  double failure_rate() const noexcept {
+    return trials ? static_cast<double>(failures) /
+                        static_cast<double>(trials)
+                  : 0.0;
+  }
+};
+
+/// Runs `trials` executions of Protocol P from `base` (varying only the
+/// seed) and aggregates the fairness evidence.
+FairnessReport measure_fairness(const core::RunConfig& base,
+                                std::uint64_t trials, std::size_t threads = 0);
+
+}  // namespace rfc::analysis

@@ -1,0 +1,74 @@
+#include "analysis/scaling.hpp"
+
+#include <cmath>
+
+#include "analysis/montecarlo.hpp"
+
+namespace rfc::analysis {
+
+double ScalingPoint::rounds_per_log_n() const {
+  return rounds.mean() / std::log(static_cast<double>(n));
+}
+
+double ScalingPoint::max_msg_per_log2_n() const {
+  const double l = std::log2(static_cast<double>(n));
+  return max_message_bits.mean() / (l * l);
+}
+
+double ScalingPoint::bits_per_n_log3_n() const {
+  const double l = std::log2(static_cast<double>(n));
+  return total_bits.mean() / (static_cast<double>(n) * l * l * l);
+}
+
+rfc::support::PowerFit ScalingSweep::total_bits_fit() const {
+  std::vector<double> x, y;
+  x.reserve(points.size());
+  y.reserve(points.size());
+  for (const ScalingPoint& p : points) {
+    x.push_back(static_cast<double>(p.n));
+    y.push_back(p.total_bits.mean());
+  }
+  return rfc::support::fit_power(x, y);
+}
+
+ScalingSweep measure_scaling(const core::RunConfig& base,
+                             const std::vector<std::uint32_t>& sizes,
+                             std::uint64_t trials, std::size_t threads) {
+  ScalingSweep sweep;
+  for (const std::uint32_t n : sizes) {
+    core::RunConfig cfg = base;
+    cfg.n = n;
+    cfg.colors.clear();  // Leader election: the heaviest color space.
+    // base.num_faulty is absolute; clamp so small sweep points stay valid.
+    cfg.num_faulty = std::min(base.num_faulty, n - 1);
+
+    ScalingPoint point;
+    point.n = n;
+    point.trials = trials;
+
+    const auto results = run_trials<core::RunResult>(
+        trials, cfg.seed,
+        [&cfg](std::uint64_t seed, std::size_t) {
+          core::RunConfig run = cfg;
+          run.seed = seed;
+          return core::run_protocol(run);
+        },
+        threads);
+    for (const core::RunResult& r : results) {
+      point.rounds.add(static_cast<double>(r.rounds));
+      point.max_message_bits.add(
+          static_cast<double>(r.metrics.max_message_bits));
+      point.total_bits.add(static_cast<double>(r.metrics.total_bits));
+      point.messages.add(static_cast<double>(r.metrics.messages()));
+      point.min_votes.add(static_cast<double>(r.events.min_votes));
+      point.max_votes.add(static_cast<double>(r.events.max_votes));
+      point.local_memory_bits.add(
+          static_cast<double>(r.max_local_memory_bits));
+      if (r.failed()) ++point.failures;
+    }
+    sweep.points.push_back(std::move(point));
+  }
+  return sweep;
+}
+
+}  // namespace rfc::analysis

@@ -1,0 +1,47 @@
+// Scaling measurement: sweeps n, aggregates the cost metrics of Protocol P,
+// and fits them against the paper's asymptotic claims (Theorem 4):
+// rounds = O(log n), max message = O(log^2 n), total bits = O(n log^3 n).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "support/regression.hpp"
+#include "support/stats.hpp"
+
+namespace rfc::analysis {
+
+struct ScalingPoint {
+  std::uint32_t n = 0;
+  rfc::support::OnlineStats rounds;
+  rfc::support::OnlineStats max_message_bits;
+  rfc::support::OnlineStats total_bits;
+  rfc::support::OnlineStats messages;
+  rfc::support::OnlineStats min_votes;  ///< Per-trial fewest votes received.
+  rfc::support::OnlineStats max_votes;  ///< Per-trial most votes received.
+  rfc::support::OnlineStats local_memory_bits;  ///< Per-trial max footprint.
+  std::uint64_t failures = 0;
+  std::uint64_t trials = 0;
+
+  // Normalized forms: flat across n confirms the claimed asymptotics.
+  double rounds_per_log_n() const;
+  double max_msg_per_log2_n() const;
+  double bits_per_n_log3_n() const;
+};
+
+struct ScalingSweep {
+  std::vector<ScalingPoint> points;
+  /// Power-law fit of mean total bits vs n (exponent ≈ 1 + o(1) for P,
+  /// exactly 2 for the LOCAL baseline).
+  rfc::support::PowerFit total_bits_fit() const;
+};
+
+/// Runs `trials` executions of Protocol P per network size, varying only
+/// the seed; `base` supplies γ, faults, verification mode (its n and colors
+/// are replaced per point; leader-election colors are used).
+ScalingSweep measure_scaling(const core::RunConfig& base,
+                             const std::vector<std::uint32_t>& sizes,
+                             std::uint64_t trials, std::size_t threads = 0);
+
+}  // namespace rfc::analysis

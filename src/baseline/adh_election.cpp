@@ -1,0 +1,123 @@
+#include "baseline/adh_election.hpp"
+
+#include <algorithm>
+
+#include "core/runner.hpp"
+#include "support/math_util.hpp"
+#include "support/rng.hpp"
+
+namespace rfc::baseline {
+
+std::string to_string(AdhDeviation d) {
+  switch (d) {
+    case AdhDeviation::kNone: return "honest";
+    case AdhDeviation::kCrashAfterCommit: return "crash-after-commit";
+    case AdhDeviation::kFalseReveal: return "false-reveal";
+    case AdhDeviation::kAbortIfLosing: return "abort-if-losing";
+  }
+  return "unknown";
+}
+
+AdhResult run_adh_election(const AdhConfig& cfg) {
+  AdhResult result;
+  if (cfg.n == 0) return result;
+
+  rfc::support::Xoshiro256 fault_rng(
+      rfc::support::derive_seed(cfg.seed, 0x0fau));
+  const std::vector<bool> faulty = sim::make_fault_plan(
+      cfg.placement, cfg.n, cfg.num_faulty, fault_rng);
+  const std::vector<core::Color> colors =
+      cfg.colors.empty() ? core::leader_election_colors(cfg.n) : cfg.colors;
+
+  const auto is_deviator = [&cfg](sim::AgentId u) {
+    return u < cfg.deviators && cfg.deviation != AdhDeviation::kNone;
+  };
+
+  // Participants and their private draws.
+  std::vector<sim::AgentId> participants;
+  std::vector<std::uint64_t> committed(cfg.n, 0);
+  for (std::uint32_t u = 0; u < cfg.n; ++u) {
+    if (faulty[u]) continue;
+    participants.push_back(u);
+    rfc::support::Xoshiro256 rng(rfc::support::derive_seed(cfg.seed, u));
+    committed[u] = rng.below(cfg.n);
+  }
+  result.num_active = static_cast<std::uint32_t>(participants.size());
+  if (participants.empty()) return result;
+
+  const std::uint64_t value_bits =
+      rfc::support::bit_width_for_domain(cfg.n);
+  const auto charge_broadcast_round = [&](std::size_t senders) {
+    ++result.rounds;
+    result.messages += senders * (cfg.n - 1);
+    result.total_bits += senders * (cfg.n - 1) * value_bits;
+  };
+
+  // The election may restart after detected cheaters are excluded; each
+  // attempt costs two all-to-all rounds.  At most `deviators + 1` attempts.
+  std::vector<sim::AgentId> excluded;
+  for (;;) {
+    std::vector<sim::AgentId> round_participants;
+    for (const sim::AgentId u : participants) {
+      if (std::find(excluded.begin(), excluded.end(), u) == excluded.end()) {
+        round_participants.push_back(u);
+      }
+    }
+    if (round_participants.empty()) return result;  // ⊥.
+
+    // Commit round: everyone broadcasts a binding commitment.
+    charge_broadcast_round(round_participants.size());
+
+    // Reveal round.
+    charge_broadcast_round(round_participants.size());
+    bool stuck = false;
+    std::vector<sim::AgentId> detected;
+    std::uint64_t sum = 0;
+    for (const sim::AgentId u : round_participants) {
+      if (is_deviator(u)) {
+        switch (cfg.deviation) {
+          case AdhDeviation::kCrashAfterCommit:
+            // Committed, never reveals.  Honest agents cannot attribute
+            // blame (crash vs abort) — the sum is undefined.
+            stuck = true;
+            continue;
+          case AdhDeviation::kFalseReveal: {
+            // Opens a value different from the commitment: every honest
+            // agent detects the mismatch and excludes u.
+            detected.push_back(u);
+            continue;
+          }
+          case AdhDeviation::kAbortIfLosing:
+          case AdhDeviation::kNone:
+            break;  // Reveals honestly (abort handled after the draw).
+        }
+      }
+      sum += committed[u];
+    }
+
+    if (stuck) {
+      // ADH offers no recovery from a silent participant: ⊥.
+      return result;
+    }
+    if (!detected.empty()) {
+      result.detected_cheaters +=
+          static_cast<std::uint32_t>(detected.size());
+      excluded.insert(excluded.end(), detected.begin(), detected.end());
+      continue;  // Re-run among the remaining participants.
+    }
+
+    const sim::AgentId leader =
+        round_participants[sum % round_participants.size()];
+    if (cfg.deviation == AdhDeviation::kAbortIfLosing &&
+        cfg.deviators > 0 && !is_deviator(leader)) {
+      // The deviators dislike the outcome and go silent before the final
+      // confirmation: indistinguishable from a crash, the election dies.
+      return result;  // ⊥.
+    }
+    result.leader = leader;
+    result.winner = colors.at(leader);
+    return result;
+  }
+}
+
+}  // namespace rfc::baseline

@@ -1,0 +1,79 @@
+// Abraham–Dolev–Halpern-style fair leader election in the LOCAL model
+// (reference [2] of the paper) — the prior-work comparator, implemented as
+// an executable protocol rather than a cost formula.
+//
+// Mechanism (two all-to-all rounds):
+//   commit round : every participant broadcasts a binding commitment to a
+//                  random value r_u ∈ [n];
+//   reveal round : every participant broadcasts the opening; everyone
+//                  checks every opening against its commitment;
+//   decision     : leader = the (Σ r_u mod |participants|)-th participant
+//                  in label order.  Fair: any single honest r_u already
+//                  makes the sum uniform.
+//
+// Properties the paper cites, all reproducible here (experiment E13):
+//   * fairness and (n-1)-resilience against *rational* deviations: a
+//     cheater cannot steer the sum (commitments bind before any reveal is
+//     seen), and a detectably bad opening marks the cheater faulty;
+//   * Θ(n^2) messages and Θ(n) local memory — the costs Protocol P removes;
+//   * NO crash-fault tolerance: a participant that commits but never
+//     reveals leaves the sum undefined — honest agents cannot distinguish
+//     "crashed" from "aborting because it lost", so the run ends ⊥.  (The
+//     paper: "their protocol is not robust against crash faults".)
+//
+// Deviations modeled:
+//   kCrashAfterCommit  : stop after the commit round (a fault, or the
+//                        "abort rather than lose" rational strategy —
+//                        indistinguishable, which is exactly the problem);
+//   kFalseReveal       : open a different value than committed — detected
+//                        by every honest agent, cheater excluded, election
+//                        re-run among the rest;
+//   kAbortIfLosing     : reveal honestly, but crash the *next* election
+//                        attempt if the outcome is unfavourable — modeled
+//                        by aborting whenever the (already determined)
+//                        leader is not in the deviator set.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sim/fault_model.hpp"
+
+namespace rfc::baseline {
+
+enum class AdhDeviation : std::uint8_t {
+  kNone,
+  kCrashAfterCommit,
+  kFalseReveal,
+  kAbortIfLosing,
+};
+
+std::string to_string(AdhDeviation d);
+
+struct AdhConfig {
+  std::uint32_t n = 0;
+  std::uint64_t seed = 1;
+  std::vector<core::Color> colors;  ///< Empty = leader election.
+  std::uint32_t num_faulty = 0;     ///< Crashed before the protocol starts.
+  sim::FaultPlacement placement = sim::FaultPlacement::kNone;
+  /// First `deviators` labels play `deviation` (0 = all honest).
+  std::uint32_t deviators = 0;
+  AdhDeviation deviation = AdhDeviation::kNone;
+};
+
+struct AdhResult {
+  core::Color winner = core::kNoColor;  ///< kNoColor = ⊥ (stuck election).
+  bool failed() const noexcept { return winner == core::kNoColor; }
+  sim::AgentId leader = sim::kNoAgent;
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t total_bits = 0;
+  std::uint32_t detected_cheaters = 0;  ///< Excluded after bad openings.
+  std::uint32_t num_active = 0;
+};
+
+AdhResult run_adh_election(const AdhConfig& cfg);
+
+}  // namespace rfc::baseline

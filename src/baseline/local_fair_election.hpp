@@ -1,0 +1,44 @@
+// LOCAL-model fair leader election baseline (Abraham-Dolev-Halpern style).
+//
+// All prior rational fair consensus / leader election protocols [2, 3, 14]
+// run in the LOCAL model and rely on all-to-all broadcast: every agent sends
+// a commitment of a random value to every other agent, then reveals it; the
+// leader is indexed by the sum of all reveals modulo the number of
+// participants.  This is fair and (per [2]) resilient, but costs Θ(n^2)
+// messages and Θ(n) local memory — the cost the paper's protocol removes.
+//
+// We implement it as a direct closed-form simulation (the LOCAL model has no
+// scheduling subtlety worth simulating message-by-message) with exact
+// message/bit accounting, as the Ω(n^2) comparator for experiment E3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sim/fault_model.hpp"
+
+namespace rfc::baseline {
+
+struct LocalElectionConfig {
+  std::uint32_t n = 0;
+  std::uint64_t seed = 1;
+  std::uint32_t num_faulty = 0;
+  sim::FaultPlacement placement = sim::FaultPlacement::kNone;
+  /// Initial colors; empty means leader election (c_u = u).
+  std::vector<core::Color> colors;
+};
+
+struct LocalElectionResult {
+  core::Color winner = core::kNoColor;
+  sim::AgentId leader = sim::kNoAgent;
+  std::uint64_t rounds = 0;        ///< 2: commit + reveal.
+  std::uint64_t messages = 0;      ///< 2 |A| (n-1).
+  std::uint64_t total_bits = 0;
+  std::uint64_t max_message_bits = 0;
+  std::uint32_t num_active = 0;
+};
+
+LocalElectionResult run_local_fair_election(const LocalElectionConfig& cfg);
+
+}  // namespace rfc::baseline

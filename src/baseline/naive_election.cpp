@@ -1,0 +1,165 @@
+#include "baseline/naive_election.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "core/runner.hpp"
+#include "sim/async_engine.hpp"
+#include "sim/engine.hpp"
+#include "support/math_util.hpp"
+
+namespace rfc::baseline {
+namespace {
+
+/// (key, owner, color) on the wire.
+class TuplePayload final : public sim::Payload {
+ public:
+  TuplePayload(NaiveElectionAgent::Tuple tuple, std::uint64_t m,
+               std::uint32_t n) noexcept
+      : tuple_(tuple),
+        bits_(rfc::support::bit_width_for_domain(m) +
+              2ull * rfc::support::bit_width_for_domain(n)) {}
+  const NaiveElectionAgent::Tuple& tuple() const noexcept { return tuple_; }
+  std::uint64_t bit_size() const noexcept override { return bits_; }
+
+ private:
+  NaiveElectionAgent::Tuple tuple_;
+  std::uint64_t bits_;
+};
+
+}  // namespace
+
+std::string to_string(NaiveKeyMode mode) {
+  switch (mode) {
+    case NaiveKeyMode::kRandom: return "random-key";
+    case NaiveKeyMode::kMinId: return "min-id";
+  }
+  return "unknown";
+}
+
+void NaiveElectionAgent::on_start(const sim::Context& ctx) {
+  best_.owner = ctx.self;
+  best_.color = color_;
+  if (cheat_) {
+    best_.key = 0;  // Nothing in this protocol can catch the lie.
+  } else if (mode_ == NaiveKeyMode::kRandom) {
+    best_.key = ctx.rng->below(m_);
+  } else {
+    best_.key = ctx.self;
+  }
+}
+
+sim::Action NaiveElectionAgent::on_round(const sim::Context& ctx) {
+  if (rounds_left_ == 0) return sim::Action::idle();
+  --rounds_left_;
+  return sim::Action::pull(ctx.random_peer());
+}
+
+sim::PayloadPtr NaiveElectionAgent::serve_pull(const sim::Context& ctx,
+                                               sim::AgentId) {
+  return std::make_shared<TuplePayload>(best_, m_, ctx.n);
+}
+
+void NaiveElectionAgent::on_pull_reply(const sim::Context&, sim::AgentId,
+                                       sim::PayloadPtr reply) {
+  if (reply == nullptr) return;
+  const auto& payload = static_cast<const TuplePayload&>(*reply);
+  if (payload.tuple().less_than(best_)) best_ = payload.tuple();
+}
+
+NaiveElectionResult run_naive_election(const NaiveElectionConfig& cfg) {
+  sim::Engine engine({cfg.n, cfg.seed});
+  rfc::support::Xoshiro256 fault_rng(
+      rfc::support::derive_seed(cfg.seed, 0x0fau));
+  engine.apply_fault_plan(
+      sim::make_fault_plan(cfg.placement, cfg.n, cfg.num_faulty, fault_rng));
+
+  const std::vector<core::Color> colors =
+      cfg.colors.empty() ? core::leader_election_colors(cfg.n) : cfg.colors;
+  const std::uint64_t m =
+      rfc::support::cube(static_cast<std::uint64_t>(cfg.n));
+  const std::uint32_t q = rfc::support::round_count(cfg.gamma, cfg.n);
+
+  for (std::uint32_t i = 0; i < cfg.n; ++i) {
+    engine.set_agent(i, std::make_unique<NaiveElectionAgent>(
+                            cfg.mode, m, q, colors.at(i), i < cfg.cheaters));
+  }
+  engine.run(q);
+
+  NaiveElectionResult result;
+  result.rounds = engine.round();
+  result.metrics = engine.metrics();
+  result.agreement = true;
+  bool first = true;
+  NaiveElectionAgent::Tuple best;
+  for (std::uint32_t i = 0; i < cfg.n; ++i) {
+    if (engine.is_faulty(i)) continue;
+    const auto& agent =
+        static_cast<const NaiveElectionAgent&>(engine.agent(i));
+    if (first) {
+      best = agent.best();
+      first = false;
+    } else if (!(agent.best().key == best.key &&
+                 agent.best().owner == best.owner)) {
+      result.agreement = false;
+    }
+  }
+  if (result.agreement && !first) {
+    result.winner = best.color;
+    result.leader = best.owner;
+  }
+  return result;
+}
+
+NaiveElectionResult run_naive_election_async(const NaiveElectionConfig& cfg,
+                                             double budget_multiplier) {
+  sim::AsyncEngine engine({cfg.n, cfg.seed, nullptr});
+  rfc::support::Xoshiro256 fault_rng(
+      rfc::support::derive_seed(cfg.seed, 0x0fau));
+  const auto plan =
+      sim::make_fault_plan(cfg.placement, cfg.n, cfg.num_faulty, fault_rng);
+  for (std::uint32_t i = 0; i < cfg.n; ++i) {
+    if (plan[i]) engine.set_faulty(i);
+  }
+
+  const std::vector<core::Color> colors =
+      cfg.colors.empty() ? core::leader_election_colors(cfg.n) : cfg.colors;
+  const std::uint64_t m =
+      rfc::support::cube(static_cast<std::uint64_t>(cfg.n));
+  const auto q = static_cast<std::uint32_t>(std::ceil(
+      budget_multiplier * rfc::support::round_count(cfg.gamma, cfg.n)));
+
+  for (std::uint32_t i = 0; i < cfg.n; ++i) {
+    engine.set_agent(i, std::make_unique<NaiveElectionAgent>(
+                            cfg.mode, m, q, colors.at(i), i < cfg.cheaters));
+  }
+  // Generous step cap: every agent needs ~q activations; coupon-collector
+  // slack covers the wake-up schedule's tail.
+  engine.run(8ull * q * cfg.n);
+
+  NaiveElectionResult result;
+  result.rounds = engine.steps();
+  result.metrics = engine.metrics();
+  result.agreement = true;
+  bool first = true;
+  NaiveElectionAgent::Tuple best;
+  for (std::uint32_t i = 0; i < cfg.n; ++i) {
+    if (engine.is_faulty(i)) continue;
+    const auto& agent =
+        static_cast<const NaiveElectionAgent&>(engine.agent(i));
+    if (first) {
+      best = agent.best();
+      first = false;
+    } else if (!(agent.best().key == best.key &&
+                 agent.best().owner == best.owner)) {
+      result.agreement = false;
+    }
+  }
+  if (result.agreement && !first) {
+    result.winner = best.color;
+    result.leader = best.owner;
+  }
+  return result;
+}
+
+}  // namespace rfc::baseline

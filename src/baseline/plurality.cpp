@@ -1,0 +1,90 @@
+#include "baseline/plurality.hpp"
+
+#include <stdexcept>
+
+#include "core/runner.hpp"
+#include "support/math_util.hpp"
+#include "support/rng.hpp"
+
+namespace rfc::baseline {
+
+PluralityResult run_plurality_consensus(const PluralityConfig& cfg) {
+  if (cfg.n == 0) throw std::invalid_argument("plurality: n must be > 0");
+
+  rfc::support::Xoshiro256 fault_rng(
+      rfc::support::derive_seed(cfg.seed, 0x0fau));
+  const std::vector<bool> faulty = sim::make_fault_plan(
+      cfg.placement, cfg.n, cfg.num_faulty, fault_rng);
+
+  std::vector<core::Color> state =
+      cfg.colors.empty() ? core::leader_election_colors(cfg.n) : cfg.colors;
+  std::vector<core::Color> next(state.size());
+
+  std::vector<rfc::support::Xoshiro256> rngs;
+  rngs.reserve(cfg.n);
+  for (std::uint32_t i = 0; i < cfg.n; ++i) {
+    rngs.emplace_back(rfc::support::derive_seed(cfg.seed, i));
+  }
+
+  PluralityResult result;
+  const std::uint64_t color_bits =
+      rfc::support::bit_width_for_domain(cfg.n);
+
+  const auto monochromatic = [&] {
+    core::Color c = core::kNoColor;
+    for (std::uint32_t i = 0; i < cfg.n; ++i) {
+      if (faulty[i]) continue;
+      if (c == core::kNoColor) {
+        c = state[i];
+      } else if (state[i] != c) {
+        return core::kNoColor;
+      }
+    }
+    return c;
+  };
+
+  for (std::uint64_t round = 0; round < cfg.max_rounds; ++round) {
+    const core::Color c = monochromatic();
+    if (c != core::kNoColor) {
+      result.converged = true;
+      result.winner = c;
+      result.rounds = round;
+      result.metrics.rounds = round;
+      return result;
+    }
+    for (std::uint32_t u = 0; u < cfg.n; ++u) {
+      if (faulty[u]) {
+        next[u] = state[u];
+        continue;
+      }
+      // Sample three uniform peers; a faulty peer yields no reply and the
+      // sample falls back to u's own color (a conservative tie-preserving
+      // choice).
+      core::Color sample[3];
+      for (int s = 0; s < 3; ++s) {
+        const auto v = static_cast<std::uint32_t>(rngs[u].below(cfg.n));
+        sample[s] = faulty[v] ? state[u] : state[v];
+        ++result.metrics.pull_requests;
+        if (!faulty[v]) ++result.metrics.pull_replies;
+        result.metrics.note_message(color_bits);
+      }
+      result.metrics.active_links += 3;
+      // Majority of three; all-distinct ties go to the first sample.
+      if (sample[1] == sample[2]) {
+        next[u] = sample[1];
+      } else {
+        next[u] = sample[0];
+      }
+    }
+    state.swap(next);
+    result.metrics.rounds = round + 1;
+  }
+
+  result.rounds = cfg.max_rounds;
+  const core::Color c = monochromatic();
+  result.converged = c != core::kNoColor;
+  result.winner = c;
+  return result;
+}
+
+}  // namespace rfc::baseline

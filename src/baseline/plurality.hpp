@@ -1,0 +1,46 @@
+// 3-majority plurality dynamics (Becchetti et al., SODA'15 — reference [6]
+// of the paper): in each round every agent pulls the colors of three random
+// neighbors and adopts the majority color among them (ties broken toward
+// the first sampled).
+//
+// This is the classic *plurality consensus* protocol the paper cites as
+// motivation for studying consensus in the GOSSIP model: it is fast and
+// self-stabilizing, but it solves a different problem — the initially most
+// common color wins almost surely, so the winning distribution is a step
+// function of the initial shares rather than proportional to them.
+// Experiment E8b contrasts this with Protocol P's proportional fairness.
+//
+// Note on the model: sampling three neighbors in one round technically uses
+// three pull operations; following [6] we count it as one round of the
+// (slightly relaxed) uniform-gossip model and charge all three pulls to the
+// metrics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sim/fault_model.hpp"
+#include "sim/metrics.hpp"
+
+namespace rfc::baseline {
+
+struct PluralityConfig {
+  std::uint32_t n = 0;
+  std::uint64_t seed = 1;
+  std::vector<core::Color> colors;   ///< Initial opinions (required).
+  std::uint64_t max_rounds = 10'000;
+  std::uint32_t num_faulty = 0;
+  sim::FaultPlacement placement = sim::FaultPlacement::kNone;
+};
+
+struct PluralityResult {
+  bool converged = false;            ///< Monochromatic within max_rounds.
+  core::Color winner = core::kNoColor;
+  std::uint64_t rounds = 0;
+  sim::Metrics metrics;
+};
+
+PluralityResult run_plurality_consensus(const PluralityConfig& cfg);
+
+}  // namespace rfc::baseline

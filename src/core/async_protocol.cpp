@@ -1,0 +1,271 @@
+#include "core/async_protocol.hpp"
+
+#include <memory>
+
+#include "core/payloads.hpp"
+#include "core/runner.hpp"
+#include "sim/async_engine.hpp"
+#include "support/math_util.hpp"
+
+namespace rfc::core {
+namespace {
+
+/// A vote in the sequential model carries its own voting-round index: the
+/// receiver has no global clock to infer it from.
+class AsyncVotePayload final : public sim::Payload {
+ public:
+  AsyncVotePayload(std::uint64_t value, std::uint32_t round_index,
+                   const ProtocolParams& params) noexcept
+      : value_(value), round_index_(round_index),
+        bits_(params.value_bits() + params.round_bits()) {}
+  std::uint64_t value() const noexcept { return value_; }
+  std::uint32_t round_index() const noexcept { return round_index_; }
+  std::uint64_t bit_size() const noexcept override { return bits_; }
+
+ private:
+  std::uint64_t value_;
+  std::uint32_t round_index_;
+  std::uint64_t bits_;
+};
+
+/// Composite pull reply: the servee cannot know whether the puller is
+/// auditing (wants H) or broadcasting (wants CE_min), so it sends both.
+/// This costs a constant-factor message inflation over the synchronous
+/// protocol — part of the price of the sequential model.
+class AsyncReplyPayload final : public sim::Payload {
+ public:
+  AsyncReplyPayload(const VoteIntention& intention,
+                    const Certificate* min_cert,
+                    const ProtocolParams& params)
+      : intention_(intention),
+        has_cert_(min_cert != nullptr),
+        cert_(min_cert != nullptr ? *min_cert : Certificate{}),
+        bits_(intention.size() * (static_cast<std::uint64_t>(
+                                      params.value_bits()) +
+                                  params.label_bits()) +
+              1 + (has_cert_ ? cert_.bit_size(params) : 0)) {}
+
+  const VoteIntention& intention() const noexcept { return intention_; }
+  bool has_cert() const noexcept { return has_cert_; }
+  const Certificate& cert() const noexcept { return cert_; }
+  std::uint64_t bit_size() const noexcept override { return bits_; }
+
+ private:
+  VoteIntention intention_;
+  bool has_cert_;
+  Certificate cert_;
+  std::uint64_t bits_;
+};
+
+}  // namespace
+
+AsyncSchedule::LocalPhase AsyncSchedule::phase_of(
+    std::uint64_t a) const noexcept {
+  const std::uint64_t block = q + slack;
+  if (a < q) return LocalPhase::kCommitment;
+  if (a < block) return LocalPhase::kGuard;
+  if (a < block + q) return LocalPhase::kVoting;
+  if (a < 2 * block) return LocalPhase::kGuard;
+  if (a < 3 * block) return LocalPhase::kFindMin;  // Length q + slack.
+  if (a < 3 * block + q) return LocalPhase::kCoherence;
+  return LocalPhase::kFinished;
+}
+
+std::uint32_t AsyncSchedule::index_of(std::uint64_t a) const noexcept {
+  return static_cast<std::uint32_t>(a % (q + slack) % q);
+}
+
+AsyncProtocolAgent::AsyncProtocolAgent(const ProtocolParams& params,
+                                       AsyncSchedule schedule, Color color)
+    : params_(params), schedule_(schedule), color_(color) {}
+
+void AsyncProtocolAgent::on_start(const sim::Context& ctx) {
+  intention_.resize(params_.q);
+  for (VoteEntry& e : intention_) {
+    e.value = ctx.rng->below(params_.m);
+    e.target = ctx.random_peer();
+  }
+}
+
+sim::Action AsyncProtocolAgent::on_round(const sim::Context& ctx) {
+  if (done()) return sim::Action::idle();
+  const std::uint64_t a = activations_++;
+  const auto phase = schedule_.phase_of(a);
+  switch (phase) {
+    case AsyncSchedule::LocalPhase::kCommitment:
+      return sim::Action::pull(ctx.random_peer());
+    case AsyncSchedule::LocalPhase::kVoting: {
+      const std::uint32_t i = schedule_.index_of(a);
+      const VoteEntry& vote = intention_.at(i);
+      return sim::Action::push(
+          vote.target,
+          std::make_shared<AsyncVotePayload>(vote.value, i, params_));
+    }
+    case AsyncSchedule::LocalPhase::kFindMin:
+      if (!own_cert_built_) {
+        own_cert_ = make_certificate(params_, ctx.self, color_,
+                                     received_votes_);
+        own_cert_built_ = true;
+        if (!has_min_cert_ || own_cert_.less_than(min_cert_)) {
+          min_cert_ = own_cert_;
+        }
+        has_min_cert_ = true;
+      }
+      return sim::Action::pull(ctx.random_peer());
+    case AsyncSchedule::LocalPhase::kCoherence:
+      in_coherence_ = true;
+      return sim::Action::push(
+          ctx.random_peer(),
+          std::make_shared<CertificatePayload>(min_cert_, params_));
+    case AsyncSchedule::LocalPhase::kFinished:
+      finalize();
+      return sim::Action::idle();
+    case AsyncSchedule::LocalPhase::kGuard:
+      return sim::Action::idle();
+  }
+  return sim::Action::idle();
+}
+
+sim::PayloadPtr AsyncProtocolAgent::serve_pull(const sim::Context&,
+                                               sim::AgentId) {
+  if (failed_) return nullptr;  // Invalid state: quiescent.
+  // Decided agents keep serving: in the sequential model fast agents finish
+  // while slow auditors are still working, and refusing them would make
+  // honest agents look faulty.
+  return std::make_shared<AsyncReplyPayload>(
+      intention_, has_min_cert_ ? &min_cert_ : nullptr, params_);
+}
+
+void AsyncProtocolAgent::on_pull_reply(const sim::Context&,
+                                       sim::AgentId target,
+                                       sim::PayloadPtr reply) {
+  if (done()) return;
+  const auto* payload = dynamic_cast<const AsyncReplyPayload*>(reply.get());
+  const auto phase = schedule_.phase_of(activations_ - 1);
+  if (phase == AsyncSchedule::LocalPhase::kCommitment) {
+    if (collected_.contains(target)) return;  // First declaration wins.
+    CommitmentRecord record;
+    record.marked_faulty = true;
+    if (payload != nullptr && payload->intention().size() == params_.q) {
+      bool well_formed = true;
+      for (const VoteEntry& e : payload->intention()) {
+        if (e.value >= params_.m || e.target >= params_.n) {
+          well_formed = false;
+          break;
+        }
+      }
+      if (well_formed) {
+        record.marked_faulty = false;
+        record.intention = payload->intention();
+      }
+    }
+    collected_.emplace(target, std::move(record));
+  } else if (phase == AsyncSchedule::LocalPhase::kFindMin) {
+    if (payload != nullptr && payload->has_cert() &&
+        payload->cert().less_than(min_cert_)) {
+      min_cert_ = payload->cert();
+    }
+  }
+}
+
+void AsyncProtocolAgent::on_push(const sim::Context&, sim::AgentId sender,
+                                 sim::PayloadPtr payload) {
+  if (done() || payload == nullptr) return;
+  if (const auto* vote =
+          dynamic_cast<const AsyncVotePayload*>(payload.get())) {
+    // Votes landing after the certificate is sealed are lost — the
+    // misalignment the guard bands exist to make unlikely.
+    if (!own_cert_built_) {
+      received_votes_.push_back(
+          ReceivedVote{sender, vote->round_index(), vote->value()});
+    }
+    return;
+  }
+  if (const auto* cert =
+          dynamic_cast<const CertificatePayload*>(payload.get())) {
+    if (in_coherence_) {
+      // Algorithm 1's Coherence rule: any disagreement is fatal.
+      if (!(cert->certificate() == min_cert_)) {
+        failed_ = true;
+        failed_in_coherence_ = true;
+      }
+    } else if (!has_min_cert_ ||
+               cert->certificate().less_than(min_cert_)) {
+      // An early coherence push from a fast peer doubles as Find-Min
+      // information.
+      min_cert_ = cert->certificate();
+      has_min_cert_ = true;
+    }
+  }
+}
+
+void AsyncProtocolAgent::finalize() {
+  if (decided_ || failed_) return;
+  const VerificationResult result =
+      verify_certificate(params_, min_cert_, collected_);
+  verification_failure_ = result.failure;
+  if (result.accepted()) {
+    final_color_ = min_cert_.color;
+    decided_ = true;
+  } else {
+    failed_ = true;
+    decided_ = true;
+  }
+}
+
+AsyncRunResult run_async_protocol(const AsyncRunConfig& cfg) {
+  const ProtocolParams params = ProtocolParams::make(cfg.n, cfg.gamma);
+  AsyncSchedule schedule;
+  schedule.q = params.q;
+  schedule.slack = cfg.slack;
+
+  sim::AsyncEngine engine({cfg.n, cfg.seed, nullptr});
+  rfc::support::Xoshiro256 fault_rng(
+      rfc::support::derive_seed(cfg.seed, 0x0fau));
+  const auto plan =
+      sim::make_fault_plan(cfg.placement, cfg.n, cfg.num_faulty, fault_rng);
+  for (std::uint32_t i = 0; i < cfg.n; ++i) {
+    if (plan[i]) engine.set_faulty(i);
+  }
+
+  const std::vector<Color> colors =
+      cfg.colors.empty() ? leader_election_colors(cfg.n) : cfg.colors;
+  for (std::uint32_t i = 0; i < cfg.n; ++i) {
+    engine.set_agent(i, std::make_unique<AsyncProtocolAgent>(
+                            params, schedule, colors.at(i)));
+  }
+
+  // Each active agent needs ~total_activations wake-ups; coupon-collector
+  // slack covers the schedule's tail.
+  const std::uint64_t budget =
+      8ull * schedule.total_activations() * cfg.n + 64ull * cfg.n;
+  engine.run(budget);
+
+  AsyncRunResult result;
+  result.steps = engine.steps();
+  result.metrics = engine.metrics();
+
+  bool have = false;
+  Color winner = kNoColor;
+  bool bottom = false;
+  for (std::uint32_t i = 0; i < cfg.n; ++i) {
+    if (engine.is_faulty(i)) continue;
+    ++result.active_colors[colors.at(i)];
+    const auto& agent =
+        static_cast<const AsyncProtocolAgent&>(engine.agent(i));
+    if (agent.failed() || !agent.decided()) {
+      bottom = true;
+      continue;
+    }
+    if (!have) {
+      have = true;
+      winner = agent.decision();
+    } else if (winner != agent.decision()) {
+      bottom = true;
+    }
+  }
+  if (!bottom && have) result.winner = winner;
+  return result;
+}
+
+}  // namespace rfc::core

@@ -1,0 +1,65 @@
+// Protocol parameters and the global phase schedule.
+//
+// Protocol P is parametrized by the fault-tolerance constant γ (the paper's
+// γ(α)): every communication phase runs for q = ceil(γ ln n) rounds.  The
+// vote space is [m] with m = n^3, which makes all k_u distinct w.h.p.
+// (birthday bound: collision probability <= |A|^2 / (2 n^3) <= 1/(2n)).
+#pragma once
+
+#include <cstdint>
+
+namespace rfc::core {
+
+/// Phases of Protocol P, in execution order.  Voting-Intention is a local
+/// computation folded into agent start-up; Verification is a local
+/// computation performed right after the last Coherence round.
+enum class Phase : std::uint8_t {
+  kCommitment,
+  kVoting,
+  kFindMin,
+  kCoherence,
+  kFinished,
+};
+
+struct ProtocolParams {
+  std::uint32_t n = 0;       ///< Network size (known to every agent).
+  double gamma = 4.0;        ///< Round multiplier γ(α).
+  std::uint32_t q = 0;       ///< Rounds per phase: ceil(γ ln n).
+  std::uint64_t m = 0;       ///< Vote space size, n^3.
+  bool strict_verification = true;  ///< See verification.hpp (ablation flag).
+  /// Optimization (ours, not in the paper): push a 64-bit fingerprint of
+  /// CE_min during Coherence instead of the full certificate.  Equality of
+  /// fingerprints stands in for equality of certificates (in deployment
+  /// this would be a collision-resistant hash), cutting the Coherence
+  /// phase's Θ(log^2 n)-bit pushes to Θ(1) words.  Find-Min and
+  /// Verification are untouched, so the audit chain is unchanged.
+  bool coherence_digest = false;
+
+  /// Builds parameters for a network of `n <= 2^21` agents (so that
+  /// m = n^3 fits in 63 bits).  Throws std::invalid_argument otherwise.
+  static ProtocolParams make(std::uint32_t n, double gamma = 4.0,
+                             bool strict_verification = true);
+
+  /// The phase a given engine round belongs to.
+  Phase phase_of_round(std::uint64_t round) const noexcept;
+
+  /// Index of `round` within its phase, in [0, q).
+  std::uint32_t round_in_phase(std::uint64_t round) const noexcept;
+
+  std::uint64_t commitment_begin() const noexcept { return 0; }
+  std::uint64_t voting_begin() const noexcept { return q; }
+  std::uint64_t find_min_begin() const noexcept { return 2ull * q; }
+  std::uint64_t coherence_begin() const noexcept { return 3ull * q; }
+  /// Rounds of active communication; one extra engine round is consumed by
+  /// the local Verification step.
+  std::uint64_t communication_rounds() const noexcept { return 4ull * q; }
+  std::uint64_t total_rounds() const noexcept { return 4ull * q + 1; }
+
+  // --- wire-encoding widths (bits), shared by all payloads -------------
+  std::uint32_t label_bits() const noexcept;  ///< A label in [n].
+  std::uint32_t value_bits() const noexcept;  ///< A vote value in [m].
+  std::uint32_t round_bits() const noexcept;  ///< A voting-round index in [q].
+  std::uint32_t color_bits() const noexcept;  ///< A color (|Σ| <= n).
+};
+
+}  // namespace rfc::core

@@ -1,0 +1,20 @@
+#include "core/payloads.hpp"
+
+namespace rfc::core {
+
+IntentionPayload::IntentionPayload(VoteIntention intention,
+                                   const ProtocolParams& params)
+    : intention_(std::move(intention)),
+      bits_(intention_.size() *
+            (static_cast<std::uint64_t>(params.value_bits()) +
+             params.label_bits())) {}
+
+VotePayload::VotePayload(std::uint64_t value, const ProtocolParams& params)
+    : value_(value), bits_(params.value_bits()) {}
+
+CertificatePayload::CertificatePayload(Certificate certificate,
+                                       const ProtocolParams& params)
+    : certificate_(std::move(certificate)),
+      bits_(certificate_.bit_size(params)) {}
+
+}  // namespace rfc::core

@@ -1,0 +1,62 @@
+// Concrete message payloads of Protocol P, with exact bit accounting.
+#pragma once
+
+#include <memory>
+
+#include "core/certificate.hpp"
+#include "core/params.hpp"
+#include "core/types.hpp"
+#include "sim/payload.hpp"
+
+namespace rfc::core {
+
+/// Commitment-phase reply: a full copy of the sender's vote intention H.
+class IntentionPayload final : public sim::Payload {
+ public:
+  IntentionPayload(VoteIntention intention, const ProtocolParams& params);
+  const VoteIntention& intention() const noexcept { return intention_; }
+  std::uint64_t bit_size() const noexcept override { return bits_; }
+
+ private:
+  VoteIntention intention_;
+  std::uint64_t bits_;
+};
+
+/// Voting-phase push: a single vote value h (the voting round is implied by
+/// synchrony; the voter label travels in the authenticated channel header).
+class VotePayload final : public sim::Payload {
+ public:
+  VotePayload(std::uint64_t value, const ProtocolParams& params);
+  std::uint64_t value() const noexcept { return value_; }
+  std::uint64_t bit_size() const noexcept override { return bits_; }
+
+ private:
+  std::uint64_t value_;
+  std::uint64_t bits_;
+};
+
+/// Find-Min reply / Coherence push: a full certificate.
+class CertificatePayload final : public sim::Payload {
+ public:
+  CertificatePayload(Certificate certificate, const ProtocolParams& params);
+  const Certificate& certificate() const noexcept { return certificate_; }
+  std::uint64_t bit_size() const noexcept override { return bits_; }
+
+ private:
+  Certificate certificate_;
+  std::uint64_t bits_;
+};
+
+/// Coherence push under the digest optimization: a 64-bit certificate
+/// fingerprint instead of the full certificate.
+class DigestPayload final : public sim::Payload {
+ public:
+  explicit DigestPayload(std::uint64_t digest) noexcept : digest_(digest) {}
+  std::uint64_t digest() const noexcept { return digest_; }
+  std::uint64_t bit_size() const noexcept override { return 64; }
+
+ private:
+  std::uint64_t digest_;
+};
+
+}  // namespace rfc::core

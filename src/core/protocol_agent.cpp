@@ -1,0 +1,238 @@
+#include "core/protocol_agent.hpp"
+
+#include <memory>
+
+#include "core/payloads.hpp"
+
+namespace rfc::core {
+
+ProtocolAgent::ProtocolAgent(const ProtocolParams& params, Color color)
+    : params_(params), color_(color) {}
+
+void ProtocolAgent::on_start(const sim::Context& ctx) {
+  intention_ = choose_intention(ctx);
+}
+
+VoteIntention ProtocolAgent::choose_intention(const sim::Context& ctx) {
+  VoteIntention h(params_.q);
+  for (VoteEntry& e : h) {
+    e.value = ctx.rng->below(params_.m);
+    // On the complete graph this is a label u.a.r. in [n], per Algorithm 1;
+    // on other topologies a vote can only be pushed to a neighbor.
+    e.target = ctx.random_peer();
+  }
+  return h;
+}
+
+sim::Action ProtocolAgent::commitment_action(const sim::Context& ctx) {
+  return sim::Action::pull(ctx.random_peer());
+}
+
+sim::PayloadPtr ProtocolAgent::commitment_reply(const sim::Context&,
+                                                sim::AgentId) {
+  if (cached_intention_payload_ == nullptr) {
+    cached_intention_payload_ =
+        std::make_shared<IntentionPayload>(intention_, params_);
+  }
+  return cached_intention_payload_;
+}
+
+VoteEntry ProtocolAgent::vote_for_round(const sim::Context&,
+                                        std::uint32_t i) {
+  return intention_.at(i);
+}
+
+Certificate ProtocolAgent::build_own_certificate(const sim::Context& ctx) {
+  return make_certificate(params_, ctx.self, color_, received_votes_);
+}
+
+void ProtocolAgent::consider_certificate(const Certificate& certificate) {
+  if (certificate.less_than(min_cert_)) {
+    min_cert_ = certificate;
+    cached_min_cert_payload_ = nullptr;
+  }
+}
+
+sim::PayloadPtr ProtocolAgent::min_cert_payload() {
+  if (!has_min_certificate_) return nullptr;
+  if (cached_min_cert_payload_ == nullptr) {
+    cached_min_cert_payload_ =
+        std::make_shared<CertificatePayload>(min_cert_, params_);
+  }
+  return cached_min_cert_payload_;
+}
+
+sim::PayloadPtr ProtocolAgent::find_min_reply(const sim::Context&,
+                                              sim::AgentId) {
+  return min_cert_payload();
+}
+
+sim::Action ProtocolAgent::coherence_action(const sim::Context& ctx) {
+  if (params_.coherence_digest) {
+    return sim::Action::push(
+        ctx.random_peer(),
+        std::make_shared<DigestPayload>(min_cert_.digest()));
+  }
+  return sim::Action::push(ctx.random_peer(), min_cert_payload());
+}
+
+void ProtocolAgent::on_coherence_certificate(const Certificate& certificate) {
+  if (!(certificate == min_cert_)) fail_protocol();
+}
+
+void ProtocolAgent::on_coherence_digest(std::uint64_t digest) {
+  if (digest != min_cert_.digest()) fail_protocol();
+}
+
+void ProtocolAgent::finalize(const sim::Context&) {
+  const VerificationResult result =
+      verify_certificate(params_, min_cert_, collected_);
+  verification_failure_ = result.failure;
+  if (result.accepted()) {
+    decide(min_cert_.color);
+  } else {
+    fail_protocol();
+  }
+}
+
+std::uint64_t ProtocolAgent::local_memory_bits() const noexcept {
+  const std::uint64_t entry_bits =
+      params_.value_bits() + params_.label_bits();
+  std::uint64_t bits =
+      intention_.size() * entry_bits;  // H_u.
+  for (const auto& [peer, record] : collected_) {  // L_u.
+    bits += params_.label_bits() + 1;  // Peer label + faulty flag.
+    bits += record.intention.size() * entry_bits;
+  }
+  const std::uint64_t vote_bits =
+      params_.label_bits() + params_.round_bits() + params_.value_bits();
+  bits += received_votes_.size() * vote_bits;  // W_u.
+  if (has_own_certificate_) bits += own_cert_.bit_size(params_);
+  if (has_min_certificate_) bits += min_cert_.bit_size(params_);
+  return bits;
+}
+
+sim::Action ProtocolAgent::on_round(const sim::Context& ctx) {
+  if (done()) return sim::Action::idle();
+  switch (params_.phase_of_round(ctx.round)) {
+    case Phase::kCommitment:
+      return commitment_action(ctx);
+    case Phase::kVoting: {
+      const std::uint32_t i = params_.round_in_phase(ctx.round);
+      const VoteEntry vote = vote_for_round(ctx, i);
+      return sim::Action::push(
+          vote.target,
+          std::make_shared<VotePayload>(vote.value % params_.m, params_));
+    }
+    case Phase::kFindMin:
+      if (ctx.round == params_.find_min_begin()) {
+        own_cert_ = build_own_certificate(ctx);
+        has_own_certificate_ = true;
+        min_cert_ = own_cert_;
+        has_min_certificate_ = true;
+        cached_min_cert_payload_ = nullptr;
+      }
+      return sim::Action::pull(ctx.random_peer());
+    case Phase::kCoherence:
+      return coherence_action(ctx);
+    case Phase::kFinished:
+      finalize(ctx);
+      return sim::Action::idle();
+  }
+  return sim::Action::idle();
+}
+
+sim::PayloadPtr ProtocolAgent::serve_pull(const sim::Context& ctx,
+                                          sim::AgentId requester) {
+  if (done()) return nullptr;  // Failed/terminated agents are quiescent.
+  switch (params_.phase_of_round(ctx.round)) {
+    case Phase::kCommitment:
+      commitment_pullers_.push_back(requester);
+      return commitment_reply(ctx, requester);
+    case Phase::kFindMin:
+      return find_min_reply(ctx, requester);
+    default:
+      // The protocol defines no pulls in other phases; an honest agent
+      // answers unexpected (necessarily deviant) requests with silence.
+      return nullptr;
+  }
+}
+
+void ProtocolAgent::record_commitment_reply(sim::AgentId target,
+                                            const sim::PayloadPtr& reply) {
+  // First declaration wins: if we already hold a record for `target`
+  // (pulled it twice), the original stands.
+  if (collected_.contains(target)) return;
+  CommitmentRecord record;
+  record.marked_faulty = true;
+  if (reply != nullptr) {
+    if (const auto* payload =
+            dynamic_cast<const IntentionPayload*>(reply.get())) {
+      const VoteIntention& h = payload->intention();
+      // "Replies in an unexpected way" (footnote 4): wrong length or
+      // out-of-domain entries also mark the peer faulty.
+      if (h.size() == params_.q) {
+        bool well_formed = true;
+        for (const VoteEntry& e : h) {
+          if (e.value >= params_.m || e.target >= params_.n) {
+            well_formed = false;
+            break;
+          }
+        }
+        if (well_formed) {
+          record.marked_faulty = false;
+          record.intention = h;
+        }
+      }
+    }
+  }
+  collected_.emplace(target, std::move(record));
+}
+
+void ProtocolAgent::on_pull_reply(const sim::Context& ctx, sim::AgentId target,
+                                  sim::PayloadPtr reply) {
+  if (done()) return;
+  switch (params_.phase_of_round(ctx.round)) {
+    case Phase::kCommitment:
+      record_commitment_reply(target, reply);
+      break;
+    case Phase::kFindMin:
+      if (reply != nullptr) {
+        if (const auto* payload =
+                dynamic_cast<const CertificatePayload*>(reply.get())) {
+          consider_certificate(payload->certificate());
+        }
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void ProtocolAgent::on_push(const sim::Context& ctx, sim::AgentId sender,
+                            sim::PayloadPtr payload) {
+  if (done() || payload == nullptr) return;
+  switch (params_.phase_of_round(ctx.round)) {
+    case Phase::kVoting:
+      if (const auto* vote = dynamic_cast<const VotePayload*>(payload.get())) {
+        received_votes_.push_back(ReceivedVote{
+            sender, params_.round_in_phase(ctx.round), vote->value()});
+      }
+      break;
+    case Phase::kCoherence:
+      if (const auto* cert =
+              dynamic_cast<const CertificatePayload*>(payload.get())) {
+        on_coherence_certificate(cert->certificate());
+      } else if (const auto* digest =
+                     dynamic_cast<const DigestPayload*>(payload.get())) {
+        on_coherence_digest(digest->digest());
+      }
+      break;
+    default:
+      // Pushes outside Voting/Coherence are not part of the protocol;
+      // honest agents ignore them.
+      break;
+  }
+}
+
+}  // namespace rfc::core

@@ -1,0 +1,160 @@
+// The honest agent of Protocol P (Algorithm 1), with every decision point
+// exposed as a protected virtual hook so rational deviations (src/rational)
+// can override exactly one behaviour at a time while inheriting the rest.
+//
+// Phase schedule (all agents share it — the model is synchronous and every
+// agent knows n and γ):
+//   rounds [0, q)    Commitment  — pull random peers' vote intentions
+//   rounds [q, 2q)   Voting      — push vote i of H_u to its target
+//   rounds [2q, 3q)  Find-Min    — pull-broadcast the minimal certificate
+//   rounds [3q, 4q)  Coherence   — push CE_min, fail on any mismatch
+//   round 4q         Verification (local) — audit CE_min against L_u
+// The Voting-Intention phase is local and runs in on_start.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/certificate.hpp"
+#include "core/params.hpp"
+#include "core/types.hpp"
+#include "core/verification.hpp"
+#include "sim/agent.hpp"
+
+namespace rfc::core {
+
+class ProtocolAgent : public sim::Agent {
+ public:
+  ProtocolAgent(const ProtocolParams& params, Color color);
+
+  // ---- Final state ----------------------------------------------------
+  bool failed() const noexcept { return failed_; }
+  bool decided() const noexcept { return decided_; }
+  /// The supported color after termination; kNoColor if the agent failed or
+  /// has not decided yet.
+  Color decision() const noexcept {
+    return decided_ && !failed_ ? final_color_ : kNoColor;
+  }
+  Color initial_color() const noexcept { return color_; }
+  VerificationFailure verification_failure() const noexcept {
+    return verification_failure_;
+  }
+
+  // ---- Diagnostics read by the runner after execution ------------------
+  const VoteIntention& intention() const noexcept { return intention_; }
+  const ReceivedVotes& received_votes() const noexcept {
+    return received_votes_;
+  }
+  const CollectedIntentions& collected_intentions() const noexcept {
+    return collected_;
+  }
+  bool has_own_certificate() const noexcept { return has_own_certificate_; }
+  const Certificate& own_certificate() const noexcept { return own_cert_; }
+  bool has_min_certificate() const noexcept { return has_min_certificate_; }
+  const Certificate& min_certificate() const noexcept { return min_cert_; }
+  /// Labels that pulled us during the Commitment phase (first pull only is
+  /// binding, but we record all for the Def. 5 diagnostics).
+  const std::vector<sim::AgentId>& commitment_pullers() const noexcept {
+    return commitment_pullers_;
+  }
+
+  /// Local memory footprint under the paper's encoding model, in bits:
+  /// H_u + L_u + W_u + the two certificates.  The paper claims
+  /// polylogarithmic local memory; experiment E2 reports this measured
+  /// (L_u dominates with Θ(log n) records of Θ(log^2 n) bits each).
+  std::uint64_t local_memory_bits() const noexcept;
+
+  // ---- sim::Agent ------------------------------------------------------
+  void on_start(const sim::Context& ctx) override;
+  sim::Action on_round(const sim::Context& ctx) override;
+  sim::PayloadPtr serve_pull(const sim::Context& ctx,
+                             sim::AgentId requester) override;
+  void on_pull_reply(const sim::Context& ctx, sim::AgentId target,
+                     sim::PayloadPtr reply) override;
+  void on_push(const sim::Context& ctx, sim::AgentId sender,
+               sim::PayloadPtr payload) override;
+  bool done() const override { return decided_ || failed_; }
+
+ protected:
+  // ---- Deviation hooks: defaults implement the honest protocol ---------
+
+  /// Voting-Intention: q pairs, each value u.a.r. in [m], target u.a.r. [n].
+  virtual VoteIntention choose_intention(const sim::Context& ctx);
+
+  /// Commitment-phase active operation (default: pull a u.a.r. peer).
+  virtual sim::Action commitment_action(const sim::Context& ctx);
+
+  /// Reply served to a Commitment pull (default: our full intention; a
+  /// deviator may equivocate or stay silent by returning null).
+  virtual sim::PayloadPtr commitment_reply(const sim::Context& ctx,
+                                           sim::AgentId requester);
+
+  /// The vote pushed in voting round i (default: H_u[i], as declared).
+  virtual VoteEntry vote_for_round(const sim::Context& ctx, std::uint32_t i);
+
+  /// The certificate entered into Find-Min (default: honest
+  /// (k_u, W_u, c_u, u)).
+  virtual Certificate build_own_certificate(const sim::Context& ctx);
+
+  /// Find-Min adoption rule (default: keep the smaller of ours/theirs).
+  virtual void consider_certificate(const Certificate& certificate);
+
+  /// Reply served to a Find-Min pull (default: current minimal certificate).
+  virtual sim::PayloadPtr find_min_reply(const sim::Context& ctx,
+                                         sim::AgentId requester);
+
+  /// Coherence-phase active operation (default: push CE_min to u.a.r peer).
+  virtual sim::Action coherence_action(const sim::Context& ctx);
+
+  /// Handles a certificate pushed at us during Coherence (default: make the
+  /// protocol fail on any mismatch, per Algorithm 1).
+  virtual void on_coherence_certificate(const Certificate& certificate);
+
+  /// Handles a fingerprint pushed at us during Coherence when the digest
+  /// optimization is on (default: fail on mismatch with our CE_min digest).
+  virtual void on_coherence_digest(std::uint64_t digest);
+
+  /// Verification + decision (default: audit CE_min, adopt its color or
+  /// fail).  Runs once, in the round right after Coherence ends.
+  virtual void finalize(const sim::Context& ctx);
+
+  /// Enters the invalid/failed state (supporting no color in Σ).
+  void fail_protocol() noexcept {
+    failed_ = true;
+    decided_ = true;
+  }
+
+  /// Shared payload wrapping min_cert_, rebuilt only when it changes.
+  /// Serving Θ(log n) pulls per Find-Min round from one allocation keeps
+  /// the simulator's constant factors down.
+  sim::PayloadPtr min_cert_payload();
+
+  void decide(Color c) noexcept {
+    final_color_ = c;
+    decided_ = true;
+  }
+
+  // ---- Protocol state (visible to deviation subclasses) ----------------
+  ProtocolParams params_;
+  Color color_;                      ///< c_u, the initially supported color.
+  VoteIntention intention_;          ///< H_u.
+  CollectedIntentions collected_;    ///< L_u.
+  ReceivedVotes received_votes_;     ///< W_u.
+  Certificate own_cert_;             ///< CE_u (after Voting).
+  Certificate min_cert_;             ///< CE_min_u (during/after Find-Min).
+  bool has_own_certificate_ = false;
+  bool has_min_certificate_ = false;
+  bool failed_ = false;
+  bool decided_ = false;
+  Color final_color_ = kNoColor;
+  VerificationFailure verification_failure_ = VerificationFailure::kNone;
+  std::vector<sim::AgentId> commitment_pullers_;
+
+ private:
+  void record_commitment_reply(sim::AgentId target, const sim::PayloadPtr& reply);
+
+  sim::PayloadPtr cached_intention_payload_;
+  sim::PayloadPtr cached_min_cert_payload_;
+};
+
+}  // namespace rfc::core

@@ -1,0 +1,104 @@
+// End-to-end execution of Protocol P on the simulated GOSSIP network:
+// builds the engine, installs (honest or deviating) agents, applies the
+// fault plan, runs to termination, and extracts the outcome plus the
+// good-execution diagnostics of Definitions 2 and 5.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/protocol_agent.hpp"
+#include "core/types.hpp"
+#include "sim/engine.hpp"
+#include "sim/fault_model.hpp"
+
+namespace rfc::core {
+
+/// Factory used to install deviating agents; return null to get an honest
+/// agent for that label.
+using AgentFactory = std::function<std::unique_ptr<ProtocolAgent>(
+    sim::AgentId id, const ProtocolParams& params, Color color)>;
+
+struct RunConfig {
+  std::uint32_t n = 0;
+  double gamma = 4.0;
+  std::uint64_t seed = 1;
+  /// Initial color of every label; entries for faulty labels are ignored.
+  /// If empty, fair leader election is simulated (c_u = u).
+  std::vector<Color> colors;
+  std::uint32_t num_faulty = 0;
+  sim::FaultPlacement placement = sim::FaultPlacement::kNone;
+  bool strict_verification = true;
+  /// Coherence-digest optimization (see ProtocolParams::coherence_digest).
+  bool coherence_digest = false;
+  /// Interconnect; null = the complete graph (the paper's model).  On other
+  /// topologies all protocol contacts (audits, votes, broadcast) go to
+  /// random *neighbors*; experiment E11 explores open problem #1.
+  sim::TopologyPtr topology;
+  /// Labels that deviate (the coalition C).  Their agents come from
+  /// `factory`; outcome and fairness are judged over honest agents.
+  std::vector<sim::AgentId> coalition;
+  AgentFactory factory;
+  /// Safety cap on engine rounds (the protocol self-terminates at 4q+1).
+  std::uint64_t max_rounds_slack = 16;
+  /// When true, the runner watches every Find-Min round and records when
+  /// global agreement on CE_min is actually reached (an O(n)-per-round
+  /// measurement used by E1; off by default).
+  bool measure_convergence = false;
+};
+
+/// Empirical counterparts of the good-execution events (Def. 2 / Def. 5),
+/// measured over honest active agents.
+struct GoodExecutionEvents {
+  std::uint32_t min_votes = 0;  ///< Fewest votes any honest agent received.
+  std::uint32_t max_votes = 0;  ///< Most votes any honest agent received.
+  bool k_values_distinct = false;       ///< Def. 2(2) over honest agents.
+  bool find_min_agreement = false;      ///< Def. 2(3) / Def. 5(2).
+  bool every_agent_audited = false;     ///< Def. 5(1): every active agent was
+                                        ///< commitment-pulled by an honest one.
+  bool every_agent_cleanly_voted = false;  ///< Def. 5(3): every active agent
+                                        ///< receives a vote from an honest
+                                        ///< agent not pulled by the coalition.
+};
+
+struct RunResult {
+  /// The winning color, or kNoColor for the ⊥ outcome (some honest agent
+  /// failed, or honest agents disagree).
+  Color winner = kNoColor;
+  bool failed() const noexcept { return winner == kNoColor; }
+  /// Owner label of the accepted minimal certificate (kNoAgent on ⊥).
+  sim::AgentId winner_agent = sim::kNoAgent;
+  std::uint64_t rounds = 0;
+  std::uint32_t num_active = 0;
+  std::uint32_t honest_failures = 0;  ///< Honest agents that raised fail.
+  /// Largest per-agent state footprint observed (bits) — the paper's
+  /// polylog local-memory claim, measured.
+  std::uint64_t max_local_memory_bits = 0;
+  /// With measure_convergence: the Find-Min round index (0-based within
+  /// the phase) after which every honest agent already held the same
+  /// certificate; the schedule grants q such rounds.  ~0 if never reached
+  /// or not measured.
+  std::uint64_t find_min_agreement_round = kNotMeasured;
+  static constexpr std::uint64_t kNotMeasured = ~0ull;
+  sim::Metrics metrics;
+  GoodExecutionEvents events;
+  /// Initial color histogram over *active* agents — the denominator of the
+  /// fairness property (Pr[c wins] = N(A,c)/|A|).
+  std::map<Color, std::uint32_t> active_colors;
+};
+
+RunResult run_protocol(const RunConfig& cfg);
+
+/// Convenience: the color vector for fair leader election (c_u = u).
+std::vector<Color> leader_election_colors(std::uint32_t n);
+
+/// Convenience: colors split by fractions, e.g. {0.5, 0.3, 0.2} assigns the
+/// first half of labels color 0, next 30% color 1, etc.  Fractions are
+/// normalized; rounding gives the last color the remainder.
+std::vector<Color> split_colors(std::uint32_t n,
+                                const std::vector<double>& fractions);
+
+}  // namespace rfc::core

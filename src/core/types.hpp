@@ -1,0 +1,63 @@
+// Shared vocabulary types of Protocol P (Algorithm 1 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/agent.hpp"
+
+namespace rfc::core {
+
+/// A color from the finite color space Σ.  Colors are small non-negative
+/// integers; in the fair-leader-election special case each agent's initial
+/// color is his own label.
+using Color = std::int64_t;
+
+/// The "protocol failed / no consensus" outcome ⊥.
+inline constexpr Color kNoColor = -1;
+
+/// One entry (h_{u,i}, z_{u,i}) of a vote-intention list H_u: in round i of
+/// the Voting phase, push the value `value` (u.a.r. in [m]) to agent
+/// `target` (u.a.r. in [n]).
+struct VoteEntry {
+  std::uint64_t value = 0;
+  sim::AgentId target = sim::kNoAgent;
+
+  friend bool operator==(const VoteEntry&, const VoteEntry&) = default;
+};
+
+/// H_u: exactly q entries, one per Voting-phase round.
+using VoteIntention = std::vector<VoteEntry>;
+
+/// A vote as received in the Voting phase: agent `voter` pushed `value`
+/// during voting round `round_index`.  The triple identifies the vote
+/// uniquely (each agent pushes exactly one vote per round), which is what
+/// lets the Verification phase cross-check W_min against collected
+/// intentions.
+struct ReceivedVote {
+  sim::AgentId voter = sim::kNoAgent;
+  std::uint32_t round_index = 0;
+  std::uint64_t value = 0;
+
+  friend bool operator==(const ReceivedVote&, const ReceivedVote&) = default;
+};
+
+/// W_u: all votes received by u during the Voting phase.
+using ReceivedVotes = std::vector<ReceivedVote>;
+
+/// One record of L_u: the vote intention an agent declared to us in the
+/// Commitment phase, or the "marked faulty" state if it did not reply
+/// (footnote 4 of the paper: a silent peer's votes all count as zero).
+struct CommitmentRecord {
+  bool marked_faulty = false;
+  VoteIntention intention;  ///< Valid iff !marked_faulty.
+};
+
+/// L_u: first-declaration-wins map from peer label to its declared
+/// intention.  "First declaration" implements the h* values of Theorem 7's
+/// proof: an equivocating peer is pinned to whatever it told us first.
+using CollectedIntentions = std::unordered_map<sim::AgentId, CommitmentRecord>;
+
+}  // namespace rfc::core

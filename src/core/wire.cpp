@@ -1,0 +1,111 @@
+#include "core/wire.hpp"
+
+#include "support/math_util.hpp"
+
+namespace rfc::core {
+
+void BitWriter::write(std::uint64_t value, std::uint32_t bits) {
+  for (std::uint32_t i = bits; i-- > 0;) {
+    const std::uint64_t bit = (value >> i) & 1u;
+    const std::size_t byte_index = static_cast<std::size_t>(bit_count_ / 8);
+    if (byte_index == bytes_.size()) bytes_.push_back(0);
+    if (bit) {
+      bytes_[byte_index] |=
+          static_cast<std::uint8_t>(1u << (7 - bit_count_ % 8));
+    }
+    ++bit_count_;
+  }
+}
+
+std::optional<std::uint64_t> BitReader::read(std::uint32_t bits) {
+  if (cursor_ + bits > bit_count_ || bits > 64) return std::nullopt;
+  std::uint64_t value = 0;
+  for (std::uint32_t i = 0; i < bits; ++i) {
+    const std::size_t byte_index = static_cast<std::size_t>(cursor_ / 8);
+    const std::uint8_t byte = (*bytes_)[byte_index];
+    const std::uint64_t bit = (byte >> (7 - cursor_ % 8)) & 1u;
+    value = (value << 1) | bit;
+    ++cursor_;
+  }
+  return value;
+}
+
+void encode_intention(BitWriter& w, const ProtocolParams& params,
+                      const VoteIntention& intention) {
+  for (const VoteEntry& e : intention) {
+    w.write(e.value, params.value_bits());
+    w.write(e.target, params.label_bits());
+  }
+}
+
+std::optional<VoteIntention> decode_intention(BitReader& r,
+                                              const ProtocolParams& params) {
+  VoteIntention intention(params.q);
+  for (VoteEntry& e : intention) {
+    const auto value = r.read(params.value_bits());
+    const auto target = r.read(params.label_bits());
+    if (!value || !target) return std::nullopt;
+    e.value = *value;
+    e.target = static_cast<sim::AgentId>(*target);
+  }
+  return intention;
+}
+
+void encode_vote(BitWriter& w, const ProtocolParams& params,
+                 std::uint64_t value) {
+  w.write(value, params.value_bits());
+}
+
+std::optional<std::uint64_t> decode_vote(BitReader& r,
+                                         const ProtocolParams& params) {
+  return r.read(params.value_bits());
+}
+
+std::uint32_t certificate_count_bits(const ProtocolParams& params) noexcept {
+  return rfc::support::bit_width_for_domain(
+      static_cast<std::uint64_t>(params.n) * params.q + 1);
+}
+
+void encode_certificate(BitWriter& w, const ProtocolParams& params,
+                        const Certificate& certificate) {
+  w.write(certificate.k, params.value_bits());
+  w.write(certificate.votes.size(), certificate_count_bits(params));
+  for (const ReceivedVote& v : certificate.votes) {
+    w.write(v.voter, params.label_bits());
+    w.write(v.round_index, params.round_bits());
+    w.write(v.value, params.value_bits());
+  }
+  w.write(static_cast<std::uint64_t>(certificate.color), params.color_bits());
+  w.write(certificate.owner, params.label_bits());
+}
+
+std::optional<Certificate> decode_certificate(BitReader& r,
+                                              const ProtocolParams& params) {
+  Certificate c;
+  const auto k = r.read(params.value_bits());
+  const auto count = r.read(certificate_count_bits(params));
+  if (!k || !count) return std::nullopt;
+  c.k = *k;
+  c.votes.reserve(static_cast<std::size_t>(*count));
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto voter = r.read(params.label_bits());
+    const auto round = r.read(params.round_bits());
+    const auto value = r.read(params.value_bits());
+    if (!voter || !round || !value) return std::nullopt;
+    c.votes.push_back({static_cast<sim::AgentId>(*voter),
+                       static_cast<std::uint32_t>(*round), *value});
+  }
+  const auto color = r.read(params.color_bits());
+  const auto owner = r.read(params.label_bits());
+  if (!color || !owner) return std::nullopt;
+  c.color = static_cast<Color>(*color);
+  c.owner = static_cast<sim::AgentId>(*owner);
+  return c;
+}
+
+std::uint64_t encoded_certificate_bits(const ProtocolParams& params,
+                                       const Certificate& c) noexcept {
+  return c.bit_size(params) + certificate_count_bits(params);
+}
+
+}  // namespace rfc::core

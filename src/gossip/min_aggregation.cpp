@@ -1,0 +1,65 @@
+#include "gossip/min_aggregation.hpp"
+
+#include <limits>
+#include <memory>
+
+#include "gossip/rumor.hpp"
+#include "sim/engine.hpp"
+#include "support/rng.hpp"
+
+namespace rfc::gossip {
+
+sim::Action MinAggregationAgent::on_round(const sim::Context& ctx) {
+  if (rounds_left_ == 0) return sim::Action::idle();
+  --rounds_left_;
+  return sim::Action::pull(ctx.random_peer());
+}
+
+sim::PayloadPtr MinAggregationAgent::serve_pull(const sim::Context&,
+                                                sim::AgentId) {
+  return std::make_shared<RumorPayload>(value_, value_bits_);
+}
+
+void MinAggregationAgent::on_pull_reply(const sim::Context&, sim::AgentId,
+                                        sim::PayloadPtr reply) {
+  if (reply == nullptr) return;
+  const auto& payload = static_cast<const RumorPayload&>(*reply);
+  if (payload.value() < value_) value_ = payload.value();
+}
+
+MinAggResult run_min_aggregation(const MinAggConfig& cfg) {
+  sim::Engine engine({cfg.n, cfg.seed});
+  rfc::support::Xoshiro256 fault_rng(
+      rfc::support::derive_seed(cfg.seed, 0x0fau));
+  engine.apply_fault_plan(
+      sim::make_fault_plan(cfg.placement, cfg.n, cfg.num_faulty, fault_rng));
+
+  rfc::support::Xoshiro256 value_rng(
+      rfc::support::derive_seed(cfg.seed, 0x7a1u));
+  std::uint64_t global_min = std::numeric_limits<std::uint64_t>::max();
+  for (std::uint32_t i = 0; i < cfg.n; ++i) {
+    const std::uint64_t v = value_rng.below(1ULL << 63);
+    if (!engine.is_faulty(i)) global_min = std::min(global_min, v);
+    engine.set_agent(i, std::make_unique<MinAggregationAgent>(
+                            v, cfg.value_bits, cfg.rounds));
+  }
+
+  engine.run(cfg.rounds);
+
+  MinAggResult result;
+  result.global_min = global_min;
+  result.converged = true;
+  for (std::uint32_t i = 0; i < cfg.n; ++i) {
+    if (engine.is_faulty(i)) continue;
+    const auto& agent =
+        static_cast<const MinAggregationAgent&>(engine.agent(i));
+    if (agent.value() != global_min) {
+      result.converged = false;
+      break;
+    }
+  }
+  result.metrics = engine.metrics();
+  return result;
+}
+
+}  // namespace rfc::gossip

@@ -1,0 +1,96 @@
+// Classic epidemic rumor spreading on the complete graph (Demers et al. '87,
+// Karp et al. FOCS'00), built on the sim engine.
+//
+// These primitives serve two purposes: they are the substrate the protocol's
+// Find-Min phase is built from (a pull-based broadcast, [19] in the paper),
+// and experiment E9 uses them to calibrate the Θ(log n) broadcast time that
+// Lemma 3 (point 3) relies on — including the fault-resilience slack that
+// motivates the γ(α) constant.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/agent.hpp"
+#include "sim/engine.hpp"
+#include "sim/fault_model.hpp"
+
+namespace rfc::gossip {
+
+enum class Mechanism : std::uint8_t {
+  kPush,      ///< Informed nodes push the rumor to a random neighbor.
+  kPull,      ///< Uninformed nodes pull a random neighbor.
+  kPushPull,  ///< Informed push, uninformed pull.
+};
+
+const std::vector<Mechanism>& all_mechanisms();
+std::string to_string(Mechanism m);
+
+/// A rumor value travelling the network; bit size is configurable so
+/// experiments can model payloads of any width.
+class RumorPayload final : public sim::Payload {
+ public:
+  RumorPayload(std::uint64_t value, std::uint64_t bits) noexcept
+      : value_(value), bits_(bits) {}
+  std::uint64_t value() const noexcept { return value_; }
+  std::uint64_t bit_size() const noexcept override { return bits_; }
+
+ private:
+  std::uint64_t value_;
+  std::uint64_t bits_;
+};
+
+/// One node of the rumor-spreading process.
+class RumorAgent final : public sim::Agent {
+ public:
+  RumorAgent(Mechanism mech, bool informed, std::uint64_t rumor_bits) noexcept
+      : mech_(mech), informed_(informed), rumor_bits_(rumor_bits) {}
+
+  bool informed() const noexcept { return informed_; }
+
+  sim::Action on_round(const sim::Context& ctx) override;
+  sim::PayloadPtr serve_pull(const sim::Context& ctx,
+                             sim::AgentId requester) override;
+  void on_pull_reply(const sim::Context& ctx, sim::AgentId target,
+                     sim::PayloadPtr reply) override;
+  void on_push(const sim::Context& ctx, sim::AgentId sender,
+               sim::PayloadPtr payload) override;
+  /// Rumor agents never self-terminate: completion ("everyone informed") is
+  /// a global property the driver below observes from outside.
+  bool done() const override { return false; }
+
+ private:
+  Mechanism mech_;
+  bool informed_;
+  std::uint64_t rumor_bits_;
+};
+
+struct SpreadConfig {
+  std::uint32_t n = 0;
+  Mechanism mechanism = Mechanism::kPull;
+  std::uint64_t seed = 1;
+  std::uint32_t num_faulty = 0;
+  sim::FaultPlacement placement = sim::FaultPlacement::kNone;
+  std::uint64_t rumor_bits = 64;
+  std::uint64_t max_rounds = 10'000;  ///< Steps, in the asynchronous model.
+  std::uint32_t initial_informed = 1;  ///< Sources, placed on active labels.
+  sim::TopologyPtr topology;           ///< Null = complete graph.
+};
+
+struct SpreadResult {
+  bool complete = false;        ///< Every active agent informed.
+  std::uint64_t rounds = 0;     ///< Rounds (sync) / steps (async) elapsed.
+  sim::Metrics metrics;
+};
+
+/// Runs a full rumor-spreading execution and reports its convergence time.
+SpreadResult run_rumor_spreading(const SpreadConfig& cfg);
+
+/// The same process in the asynchronous (sequential) GOSSIP model: one
+/// random agent wakes per step.  `rounds` in the result counts steps;
+/// expect Θ(n log n) on the complete graph (vs Θ(log n) synchronous
+/// rounds) — the cost gap experiment E12 quantifies.
+SpreadResult run_rumor_spreading_async(const SpreadConfig& cfg);
+
+}  // namespace rfc::gossip

@@ -1,0 +1,27 @@
+#include "rational/coalition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rfc::rational {
+
+Coalition::Coalition(std::vector<sim::AgentId> members,
+                     sim::AgentId beneficiary)
+    : members_(std::move(members)), beneficiary_(beneficiary) {
+  if (members_.empty()) {
+    throw std::invalid_argument("Coalition: must have at least one member");
+  }
+  member_set_.insert(members_.begin(), members_.end());
+  if (!member_set_.contains(beneficiary_)) {
+    throw std::invalid_argument("Coalition: beneficiary must be a member");
+  }
+  fixer_ = *std::min_element(members_.begin(), members_.end());
+}
+
+CoalitionPtr make_prefix_coalition(std::uint32_t size) {
+  std::vector<sim::AgentId> members(size);
+  for (std::uint32_t i = 0; i < size; ++i) members[i] = i;
+  return std::make_shared<Coalition>(std::move(members), 0);
+}
+
+}  // namespace rfc::rational

@@ -1,0 +1,97 @@
+// The agent interface of the synchronous GOSSIP model.
+//
+// Model recap (Section 2 of the paper): the network is the complete graph on
+// [n].  In every synchronous round each node performs at most one *active*
+// operation — a push (send one message to one chosen neighbor) or a pull
+// (request one message from one chosen neighbor, answered within the round).
+// A node may passively *receive* any number of pushes and serve any number of
+// pull requests per round.  Channels are secure: the receiver always learns
+// the authentic label of the peer (agents cannot forge their identity, an
+// assumption shared with all prior work on rational consensus).
+//
+// Synchrony contract enforced by the engine:
+//   1. `on_round` is called once per round per active agent to collect its
+//      active operation.
+//   2. All `serve_pull` calls of the round happen next; implementations must
+//      answer from state as of the *start* of the round (the provided
+//      protocol agents do this naturally because they mutate state only in
+//      the delivery hooks).
+//   3. All pull replies are then delivered via `on_pull_reply`, and all
+//      pushed payloads via `on_push`, in sender-label order.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/payload.hpp"
+#include "sim/topology.hpp"
+#include "support/rng.hpp"
+
+namespace rfc::sim {
+
+inline constexpr AgentId kNoAgent = static_cast<AgentId>(-1);
+
+/// Per-callback view of the world handed to an agent by the engine.
+struct Context {
+  AgentId self = kNoAgent;          ///< This agent's authentic label.
+  std::uint32_t n = 0;              ///< Network size (known to all agents).
+  std::uint64_t round = 0;          ///< Current round, starting at 0.
+  rfc::support::Xoshiro256* rng = nullptr;  ///< This agent's private stream.
+  const Topology* topology = nullptr;  ///< Null means the complete graph.
+
+  /// A neighbor chosen uniformly at random — the "choose a neighbor u.a.r."
+  /// primitive of the GOSSIP model.  On the complete graph this is a label
+  /// u.a.r. in [0, n) (self-loops permitted, as in the standard analyses; a
+  /// self-contact is a wasted round).
+  AgentId random_peer() const noexcept {
+    if (topology != nullptr) return topology->sample_neighbor(self, *rng);
+    return static_cast<AgentId>(rng->below(n));
+  }
+};
+
+enum class ActionKind : std::uint8_t { kIdle, kPush, kPull };
+
+/// The single active operation an agent performs in a round.
+struct Action {
+  ActionKind kind = ActionKind::kIdle;
+  AgentId target = kNoAgent;  ///< Peer contacted (push destination / pullee).
+  PayloadPtr payload;         ///< Pushed payload (null for pull/idle).
+
+  static Action idle() noexcept { return {}; }
+  static Action push(AgentId to, PayloadPtr p) noexcept {
+    return {ActionKind::kPush, to, std::move(p)};
+  }
+  static Action pull(AgentId from) noexcept {
+    return {ActionKind::kPull, from, nullptr};
+  }
+};
+
+class Agent {
+ public:
+  virtual ~Agent() = default;
+
+  /// Called once before round 0.
+  virtual void on_start(const Context& /*ctx*/) {}
+
+  /// Returns this agent's active operation for the round.
+  virtual Action on_round(const Context& ctx) = 0;
+
+  /// Serves a pull request from `requester`.  Returning null models
+  /// "no reply" — the requester will observe silence exactly as it would
+  /// from a faulty node.  Must answer from round-start state.
+  virtual PayloadPtr serve_pull(const Context& ctx, AgentId requester) = 0;
+
+  /// Delivers the reply to this agent's own pull.  `reply` is null when the
+  /// pulled peer was faulty, quiescent, or chose not to answer.
+  virtual void on_pull_reply(const Context& /*ctx*/, AgentId /*target*/,
+                             PayloadPtr /*reply*/) {}
+
+  /// Delivers a payload pushed by `sender` this round.
+  virtual void on_push(const Context& /*ctx*/, AgentId /*sender*/,
+                       PayloadPtr /*payload*/) {}
+
+  /// True once the agent has reached a final state.  The engine stops when
+  /// every non-faulty agent is done.
+  virtual bool done() const = 0;
+};
+
+}  // namespace rfc::sim

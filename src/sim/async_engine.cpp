@@ -1,0 +1,117 @@
+#include "sim/async_engine.hpp"
+
+#include <stdexcept>
+
+#include "support/math_util.hpp"
+
+namespace rfc::sim {
+
+AsyncEngine::AsyncEngine(AsyncEngineConfig cfg)
+    : cfg_(cfg),
+      scheduler_rng_(rfc::support::derive_seed(cfg.seed, 0xA57Cu)) {
+  if (cfg_.n == 0) {
+    throw std::invalid_argument("AsyncEngine: n must be positive");
+  }
+  agents_.resize(cfg_.n);
+  faulty_.assign(cfg_.n, false);
+  rngs_.reserve(cfg_.n);
+  for (std::uint32_t i = 0; i < cfg_.n; ++i) {
+    rngs_.emplace_back(rfc::support::derive_seed(cfg_.seed, i));
+  }
+}
+
+void AsyncEngine::set_agent(AgentId id, std::unique_ptr<Agent> agent) {
+  agents_.at(id) = std::move(agent);
+}
+
+void AsyncEngine::set_faulty(AgentId id, bool faulty) {
+  if (started_) {
+    throw std::logic_error("AsyncEngine: fault plan is permanent");
+  }
+  faulty_.at(id) = faulty;
+}
+
+Context AsyncEngine::make_context(AgentId id) noexcept {
+  Context ctx;
+  ctx.self = id;
+  ctx.n = cfg_.n;
+  ctx.round = steps_;
+  ctx.rng = &rngs_[id];
+  ctx.topology = cfg_.topology.get();
+  return ctx;
+}
+
+void AsyncEngine::step() {
+  if (!started_) {
+    active_.clear();
+    for (std::uint32_t i = 0; i < cfg_.n; ++i) {
+      if (agents_[i] == nullptr) {
+        throw std::logic_error("AsyncEngine: agent " + std::to_string(i) +
+                               " not installed");
+      }
+      if (!faulty_[i]) {
+        agents_[i]->on_start(make_context(i));
+        active_.push_back(i);
+      }
+    }
+    started_ = true;
+    if (active_.empty()) return;
+  }
+
+  const AgentId u = active_[scheduler_rng_.below(active_.size())];
+  ++steps_;
+  metrics_.rounds = steps_;
+  if (agents_[u]->done()) return;  // A wasted activation.
+
+  const Action action = agents_[u]->on_round(make_context(u));
+  switch (action.kind) {
+    case ActionKind::kIdle:
+      return;
+    case ActionKind::kPull: {
+      ++metrics_.active_links;
+      ++metrics_.pull_requests;
+      metrics_.note_message(rfc::support::bit_width_for_domain(cfg_.n));
+      const AgentId v = action.target;
+      PayloadPtr reply;
+      // Done agents are still asked: in the sequential model a fast agent
+      // finishes while slow ones are mid-audit, and whether a terminated
+      // agent keeps serving is the agent's own policy (as in the
+      // synchronous engine).
+      if (!faulty_[v]) {
+        reply = agents_[v]->serve_pull(make_context(v), u);
+      }
+      if (reply != nullptr) {
+        ++metrics_.pull_replies;
+        metrics_.note_message(reply->bit_size());
+      }
+      agents_[u]->on_pull_reply(make_context(u), action.target,
+                                std::move(reply));
+      return;
+    }
+    case ActionKind::kPush: {
+      ++metrics_.active_links;
+      ++metrics_.pushes;
+      metrics_.note_message(
+          action.payload != nullptr ? action.payload->bit_size() : 0);
+      const AgentId v = action.target;
+      if (!faulty_[v]) {
+        agents_[v]->on_push(make_context(v), u, action.payload);
+      }
+      return;
+    }
+  }
+}
+
+bool AsyncEngine::all_done() const {
+  for (std::uint32_t i = 0; i < cfg_.n; ++i) {
+    if (!faulty_[i] && !agents_[i]->done()) return false;
+  }
+  return true;
+}
+
+std::uint64_t AsyncEngine::run(std::uint64_t max_steps) {
+  while (steps_ < max_steps && !all_done()) step();
+  return steps_;
+}
+
+}  // namespace rfc::sim

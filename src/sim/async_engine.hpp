@@ -1,0 +1,79 @@
+// The asynchronous (sequential) GOSSIP model — the paper's second open
+// problem: "at every round, only one (possibly random) agent is awake".
+//
+// Each *step* wakes one uniformly random active agent, which performs one
+// active operation (push or pull, answered immediately).  Time is measured
+// in steps; n steps correspond to one synchronous round's worth of
+// activations in expectation, so Θ(log n)-round synchronous primitives
+// become Θ(n log n)-step asynchronous ones.
+//
+// Protocol P itself relies on globally aligned phases and is NOT directly
+// runnable here — that is exactly why the paper leaves the model open.  The
+// engine reuses the same Agent interface so the epidemic substrate
+// (gossip::RumorAgent etc. — any agent whose behaviour does not depend on
+// the global round number) runs unchanged, and experiment E12 quantifies
+// the synchronous-vs-sequential cost gap.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/agent.hpp"
+#include "sim/metrics.hpp"
+#include "sim/topology.hpp"
+
+namespace rfc::sim {
+
+struct AsyncEngineConfig {
+  AsyncEngineConfig() = default;
+  AsyncEngineConfig(std::uint32_t n_, std::uint64_t seed_ = 1,
+                    TopologyPtr topology_ = nullptr)
+      : n(n_), seed(seed_), topology(std::move(topology_)) {}
+
+  std::uint32_t n = 0;
+  std::uint64_t seed = 1;
+  TopologyPtr topology;  ///< Null = complete graph.
+};
+
+class AsyncEngine {
+ public:
+  explicit AsyncEngine(AsyncEngineConfig cfg);
+
+  void set_agent(AgentId id, std::unique_ptr<Agent> agent);
+  void set_faulty(AgentId id, bool faulty = true);
+
+  bool is_faulty(AgentId id) const { return faulty_.at(id); }
+  std::uint32_t n() const noexcept { return cfg_.n; }
+  std::uint64_t steps() const noexcept { return steps_; }
+  const Metrics& metrics() const noexcept { return metrics_; }
+
+  Agent& agent(AgentId id) { return *agents_.at(id); }
+  const Agent& agent(AgentId id) const { return *agents_.at(id); }
+
+  /// Wakes one u.a.r. active agent and executes its operation.  The woken
+  /// agent's Context carries the step count in `round` (agents that key
+  /// behaviour off a synchronized round counter are not meaningful here).
+  void step();
+
+  /// Runs until all active agents are done() or `max_steps` elapse; returns
+  /// steps executed.
+  std::uint64_t run(std::uint64_t max_steps);
+
+  bool all_done() const;
+
+ private:
+  Context make_context(AgentId id) noexcept;
+
+  AsyncEngineConfig cfg_;
+  std::vector<std::unique_ptr<Agent>> agents_;
+  std::vector<bool> faulty_;
+  std::vector<rfc::support::Xoshiro256> rngs_;
+  std::vector<AgentId> active_;  ///< Labels eligible to wake.
+  rfc::support::Xoshiro256 scheduler_rng_;
+  std::uint64_t steps_ = 0;
+  bool started_ = false;
+  Metrics metrics_;
+};
+
+}  // namespace rfc::sim

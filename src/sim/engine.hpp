@@ -1,0 +1,97 @@
+// The synchronous GOSSIP round engine.
+//
+// Executes the model of Section 2: per round, every non-faulty agent performs
+// at most one active push or pull; pulls are answered within the round from
+// round-start state; any number of passive receptions is allowed.  The engine
+// is single-threaded and fully deterministic given (config, agents, fault
+// plan): agent callbacks are invoked in label order and each agent draws from
+// its own SplitMix-derived RNG stream, so a master seed pins down the entire
+// execution trace.  Monte-Carlo parallelism lives one level up
+// (analysis::MonteCarlo) and runs independent engines on independent seeds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/agent.hpp"
+#include "sim/metrics.hpp"
+#include "support/rng.hpp"
+
+namespace rfc::sim {
+
+struct EngineConfig {
+  EngineConfig() = default;
+  EngineConfig(std::uint32_t n_, std::uint64_t seed_ = 1,
+               TopologyPtr topology_ = nullptr)
+      : n(n_), seed(seed_), topology(std::move(topology_)) {}
+
+  std::uint32_t n = 0;      ///< Number of nodes.
+  std::uint64_t seed = 1;   ///< Master seed; derives every agent stream.
+  /// Interconnect; null means the complete graph on [n] (the paper's model).
+  TopologyPtr topology;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig cfg);
+
+  /// Installs the agent for label `id`.  All labels must be populated before
+  /// `run` / `step`.
+  void set_agent(AgentId id, std::unique_ptr<Agent> agent);
+
+  /// Marks `id` permanently faulty (must be called before the first round).
+  void set_faulty(AgentId id, bool faulty = true);
+
+  /// Applies a full fault plan (see sim/fault_model.hpp).
+  void apply_fault_plan(const std::vector<bool>& plan);
+
+  bool is_faulty(AgentId id) const { return faulty_.at(id); }
+  std::uint32_t num_faulty() const noexcept { return num_faulty_; }
+  std::uint32_t num_active() const noexcept { return cfg_.n - num_faulty_; }
+
+  /// Executes one synchronous round.
+  void step();
+
+  /// Runs until every non-faulty agent reports done() or `max_rounds`
+  /// rounds have executed; returns the number of rounds executed in total.
+  std::uint64_t run(std::uint64_t max_rounds);
+
+  /// True when every non-faulty agent reports done().
+  bool all_done() const;
+
+  Agent& agent(AgentId id) { return *agents_.at(id); }
+  const Agent& agent(AgentId id) const { return *agents_.at(id); }
+
+  std::uint32_t n() const noexcept { return cfg_.n; }
+  std::uint64_t round() const noexcept { return round_; }
+  const Metrics& metrics() const noexcept { return metrics_; }
+
+  /// Observer invoked after every round (for traces and tests).
+  using RoundObserver = std::function<void(const Engine&)>;
+  void set_round_observer(RoundObserver obs) { observer_ = std::move(obs); }
+
+  /// Bits charged for a pull *request* (the "send me your X" control
+  /// message): one peer label, per the paper's accounting.
+  std::uint64_t pull_request_bits() const noexcept;
+
+ private:
+  Context make_context(AgentId id) noexcept;
+
+  EngineConfig cfg_;
+  std::vector<std::unique_ptr<Agent>> agents_;
+  std::vector<bool> faulty_;
+  std::vector<rfc::support::Xoshiro256> rngs_;
+  std::uint32_t num_faulty_ = 0;
+  std::uint64_t round_ = 0;
+  bool started_ = false;
+  Metrics metrics_;
+  RoundObserver observer_;
+
+  // Scratch buffers reused across rounds to avoid per-round allocation.
+  std::vector<Action> actions_;
+  std::vector<PayloadPtr> pull_replies_;
+};
+
+}  // namespace rfc::sim

@@ -1,0 +1,76 @@
+#include "sim/fault_model.hpp"
+
+#include <algorithm>
+
+namespace rfc::sim {
+
+const std::vector<FaultPlacement>& all_fault_placements() {
+  static const std::vector<FaultPlacement> kAll = {
+      FaultPlacement::kNone,   FaultPlacement::kRandom,
+      FaultPlacement::kPrefix, FaultPlacement::kSuffix,
+      FaultPlacement::kStride, FaultPlacement::kClustered,
+  };
+  return kAll;
+}
+
+std::string to_string(FaultPlacement p) {
+  switch (p) {
+    case FaultPlacement::kNone: return "none";
+    case FaultPlacement::kRandom: return "random";
+    case FaultPlacement::kPrefix: return "prefix";
+    case FaultPlacement::kSuffix: return "suffix";
+    case FaultPlacement::kStride: return "stride";
+    case FaultPlacement::kClustered: return "clustered";
+  }
+  return "unknown";
+}
+
+std::vector<bool> make_fault_plan(FaultPlacement placement, std::uint32_t n,
+                                  std::uint32_t num_faulty,
+                                  rfc::support::Xoshiro256& rng) {
+  std::vector<bool> plan(n, false);
+  if (n == 0) return plan;
+  const std::uint32_t f = std::min(num_faulty, n - 1);
+  if (f == 0 || placement == FaultPlacement::kNone) return plan;
+
+  switch (placement) {
+    case FaultPlacement::kNone:
+      break;
+    case FaultPlacement::kRandom: {
+      // Partial Fisher-Yates over the label set: first f entries die.
+      std::vector<std::uint32_t> labels(n);
+      for (std::uint32_t i = 0; i < n; ++i) labels[i] = i;
+      for (std::uint32_t i = 0; i < f; ++i) {
+        const auto j =
+            i + static_cast<std::uint32_t>(rng.below(n - i));
+        std::swap(labels[i], labels[j]);
+        plan[labels[i]] = true;
+      }
+      break;
+    }
+    case FaultPlacement::kPrefix:
+      for (std::uint32_t i = 0; i < f; ++i) plan[i] = true;
+      break;
+    case FaultPlacement::kSuffix:
+      for (std::uint32_t i = 0; i < f; ++i) plan[n - 1 - i] = true;
+      break;
+    case FaultPlacement::kStride: {
+      // f labels spaced as evenly as possible.
+      for (std::uint32_t i = 0; i < f; ++i) {
+        const auto idx = static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(i) * n) / f);
+        plan[idx] = true;
+      }
+      // Exact count: striding can collide only if f > n, which is excluded.
+      break;
+    }
+    case FaultPlacement::kClustered: {
+      const auto start = static_cast<std::uint32_t>(rng.below(n));
+      for (std::uint32_t i = 0; i < f; ++i) plan[(start + i) % n] = true;
+      break;
+    }
+  }
+  return plan;
+}
+
+}  // namespace rfc::sim

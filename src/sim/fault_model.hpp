@@ -1,0 +1,44 @@
+// Worst-case *permanent* fault model (Section 2 of the paper).
+//
+// At round 0 an adversary that knows the protocol marks up to alpha*n agents
+// as faulty; faulty agents stay quiescent forever (they never push, pull, or
+// reply).  After round 0 the adversary takes no further action — this is the
+// static adversary the paper adopts after Halpern–Vilaça's impossibility
+// result for dynamic faults.
+//
+// Because protocol P is label-symmetric, the adversary's power reduces to
+// choosing *which* labels die.  We provide the canonical placement families
+// so experiments can sweep them and confirm placement-independence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace rfc::sim {
+
+enum class FaultPlacement : std::uint8_t {
+  kNone,      ///< No faults.
+  kRandom,    ///< Uniformly random subset.
+  kPrefix,    ///< Labels 0..f-1 (adversary kills the smallest labels; these
+              ///< are also the likeliest low-ID tie-break winners).
+  kSuffix,    ///< Labels n-f..n-1.
+  kStride,    ///< Every ceil(n/f)-th label — maximally spread.
+  kClustered, ///< A contiguous block starting at a random offset.
+};
+
+/// All placements, for sweeps.
+const std::vector<FaultPlacement>& all_fault_placements();
+
+std::string to_string(FaultPlacement p);
+
+/// Builds the round-0 fault plan: plan[i] == true iff label i is faulty.
+/// `num_faulty` is clamped to n - 1 (the model requires |A| >= 1; the
+/// experiments keep |A| = Θ(n) as the paper assumes).
+std::vector<bool> make_fault_plan(FaultPlacement placement, std::uint32_t n,
+                                  std::uint32_t num_faulty,
+                                  rfc::support::Xoshiro256& rng);
+
+}  // namespace rfc::sim

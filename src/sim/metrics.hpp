@@ -1,0 +1,29 @@
+// Exact communication accounting for a simulated execution.
+#pragma once
+
+#include <cstdint>
+
+namespace rfc::sim {
+
+struct Metrics {
+  std::uint64_t rounds = 0;
+  std::uint64_t pushes = 0;          ///< Push messages delivered or dropped.
+  std::uint64_t pull_requests = 0;   ///< Pull requests issued.
+  std::uint64_t pull_replies = 0;    ///< Non-silent pull replies.
+  std::uint64_t total_bits = 0;      ///< Sum of all message payload bits
+                                     ///< (requests count their header bits).
+  std::uint64_t max_message_bits = 0;///< Largest single message observed.
+  std::uint64_t active_links = 0;    ///< Non-idle active operations summed
+                                     ///< over rounds (≤ n per round).
+
+  std::uint64_t messages() const noexcept {
+    return pushes + pull_requests + pull_replies;
+  }
+
+  void note_message(std::uint64_t bits) noexcept {
+    total_bits += bits;
+    if (bits > max_message_bits) max_message_bits = bits;
+  }
+};
+
+}  // namespace rfc::sim

@@ -1,0 +1,26 @@
+// Message payloads exchanged over the simulated GOSSIP network.
+//
+// Payloads are immutable and shared: a push to k recipients or a reply served
+// to many pullers shares one allocation.  Every payload reports its size in
+// bits so the engine can account communication complexity exactly — this is
+// how the O(log^2 n) message-size and O(n log^3 n) total-communication claims
+// of the paper are measured rather than asserted.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace rfc::sim {
+
+class Payload {
+ public:
+  virtual ~Payload() = default;
+
+  /// Size of this payload on the wire, in bits, under the paper's encoding
+  /// model (values in [m] cost ceil(log2 m) bits, labels cost ceil(log2 n)).
+  virtual std::uint64_t bit_size() const noexcept = 0;
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+}  // namespace rfc::sim

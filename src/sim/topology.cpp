@@ -1,0 +1,140 @@
+#include "sim/topology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace rfc::sim {
+namespace {
+
+class CompleteTopology final : public Topology {
+ public:
+  explicit CompleteTopology(std::uint32_t n) : n_(n) {}
+
+  std::uint32_t n() const noexcept override { return n_; }
+  std::string name() const override { return "complete"; }
+
+  AgentId sample_neighbor(AgentId,
+                          rfc::support::Xoshiro256& rng) const override {
+    return static_cast<AgentId>(rng.below(n_));
+  }
+
+  std::uint32_t degree(AgentId) const override { return n_; }
+  bool are_adjacent(AgentId, AgentId) const override { return true; }
+
+ private:
+  std::uint32_t n_;
+};
+
+/// Shared implementation for explicit adjacency-list graphs.
+class AdjacencyTopology : public Topology {
+ public:
+  AdjacencyTopology(std::uint32_t n, std::string name)
+      : n_(n), name_(std::move(name)), adjacency_(n) {}
+
+  std::uint32_t n() const noexcept override { return n_; }
+  std::string name() const override { return name_; }
+
+  AgentId sample_neighbor(AgentId u,
+                          rfc::support::Xoshiro256& rng) const override {
+    const auto& neighbors = adjacency_[u];
+    if (neighbors.empty()) return u;  // Isolated: a wasted operation.
+    return neighbors[rng.below(neighbors.size())];
+  }
+
+  std::uint32_t degree(AgentId u) const override {
+    return static_cast<std::uint32_t>(adjacency_.at(u).size());
+  }
+
+  bool are_adjacent(AgentId u, AgentId v) const override {
+    const auto& neighbors = adjacency_.at(u);
+    return std::find(neighbors.begin(), neighbors.end(), v) !=
+           neighbors.end();
+  }
+
+ protected:
+  void add_edge(AgentId u, AgentId v) {
+    if (u == v || are_adjacent(u, v)) return;
+    adjacency_[u].push_back(v);
+    adjacency_[v].push_back(u);
+  }
+
+ private:
+  std::uint32_t n_;
+  std::string name_;
+  std::vector<std::vector<AgentId>> adjacency_;
+};
+
+class RingTopology final : public AdjacencyTopology {
+ public:
+  RingTopology(std::uint32_t n, std::uint32_t k)
+      : AdjacencyTopology(n, "ring-k" + std::to_string(k)) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (std::uint32_t j = 1; j <= k; ++j) {
+        add_edge(i, (i + j) % n);
+      }
+    }
+  }
+};
+
+class RandomRegularTopology final : public AdjacencyTopology {
+ public:
+  RandomRegularTopology(std::uint32_t n, std::uint32_t d, std::uint64_t seed)
+      : AdjacencyTopology(n, "random-" + std::to_string(d) + "-regular") {
+    // Union of d/2 uniformly random Hamiltonian cycles: every node gets
+    // degree <= d (slightly less where cycles overlap), and the result is
+    // an expander w.h.p. — the standard "permutation model".
+    rfc::support::Xoshiro256 rng(seed);
+    std::vector<AgentId> order(n);
+    for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+    for (std::uint32_t c = 0; c < d / 2; ++c) {
+      for (std::uint32_t i = n; i-- > 1;) {
+        std::swap(order[i], order[rng.below(i + 1)]);
+      }
+      for (std::uint32_t i = 0; i < n; ++i) {
+        add_edge(order[i], order[(i + 1) % n]);
+      }
+    }
+  }
+};
+
+class ErdosRenyiTopology final : public AdjacencyTopology {
+ public:
+  ErdosRenyiTopology(std::uint32_t n, double p, std::uint64_t seed)
+      : AdjacencyTopology(n, "erdos-renyi") {
+    rfc::support::Xoshiro256 rng(seed);
+    for (std::uint32_t u = 0; u < n; ++u) {
+      for (std::uint32_t v = u + 1; v < n; ++v) {
+        if (rng.bernoulli(p)) add_edge(u, v);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+TopologyPtr make_complete(std::uint32_t n) {
+  return std::make_shared<CompleteTopology>(n);
+}
+
+TopologyPtr make_ring(std::uint32_t n, std::uint32_t k) {
+  if (k == 0) throw std::invalid_argument("ring: k must be >= 1");
+  return std::make_shared<RingTopology>(n, k);
+}
+
+TopologyPtr make_random_regular(std::uint32_t n, std::uint32_t d,
+                                std::uint64_t seed) {
+  if (d < 2 || d % 2 != 0) {
+    throw std::invalid_argument("random regular: d must be even and >= 2");
+  }
+  return std::make_shared<RandomRegularTopology>(n, d, seed);
+}
+
+TopologyPtr make_erdos_renyi(std::uint32_t n, double p, std::uint64_t seed) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("erdos-renyi: p must be in [0, 1]");
+  }
+  return std::make_shared<ErdosRenyiTopology>(n, p, seed);
+}
+
+}  // namespace rfc::sim

@@ -1,0 +1,57 @@
+// Network topologies for the GOSSIP engine.
+//
+// The paper analyzes the complete graph; its first open problem asks for
+// GOSSIP rational fair consensus "in other relevant classes of graphs".
+// This module supplies the substrate for that exploration: a topology
+// abstraction the engine samples neighbors from, with the canonical graph
+// families (complete, ring lattice, random d-regular via cycle unions,
+// Erdős–Rényi).  Experiment E11 measures where the protocol's Θ(log n)
+// behaviour survives (expanders) and where it breaks (rings).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace rfc::sim {
+
+using AgentId = std::uint32_t;
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  virtual std::uint32_t n() const noexcept = 0;
+  virtual std::string name() const = 0;
+
+  /// A neighbor of `u` chosen u.a.r. (the GOSSIP "contact a random
+  /// neighbor" primitive).  For an isolated node, returns `u` itself.
+  virtual AgentId sample_neighbor(AgentId u,
+                                  rfc::support::Xoshiro256& rng) const = 0;
+
+  virtual std::uint32_t degree(AgentId u) const = 0;
+  virtual bool are_adjacent(AgentId u, AgentId v) const = 0;
+};
+
+using TopologyPtr = std::shared_ptr<const Topology>;
+
+/// The complete graph K_n (with self-contacts allowed, matching the paper's
+/// "choose u.a.r. in [n]" — a self-contact is a wasted operation).
+TopologyPtr make_complete(std::uint32_t n);
+
+/// Ring lattice: each node adjacent to the k nearest nodes on each side
+/// (degree 2k).  Diameter Θ(n/k): the worst case for gossip.
+TopologyPtr make_ring(std::uint32_t n, std::uint32_t k = 1);
+
+/// Random (approximately) d-regular graph built as the union of d/2
+/// independent random cycles (d even, d >= 2).  An expander w.h.p.
+TopologyPtr make_random_regular(std::uint32_t n, std::uint32_t d,
+                                std::uint64_t seed);
+
+/// Erdős–Rényi G(n, p).  Connected w.h.p. for p >= (1+ε) ln n / n.
+TopologyPtr make_erdos_renyi(std::uint32_t n, double p, std::uint64_t seed);
+
+}  // namespace rfc::sim

@@ -1,0 +1,91 @@
+#include "support/chi_square.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace rfc::support {
+namespace {
+
+/// Lower incomplete gamma by series expansion: P(s, x), valid for x < s + 1.
+double gamma_p_series(double s, double x) noexcept {
+  double sum = 1.0 / s;
+  double term = sum;
+  for (int k = 1; k < 1000; ++k) {
+    term *= x / (s + k);
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + s * std::log(x) - std::lgamma(s));
+}
+
+/// Upper incomplete gamma by continued fraction: Q(s, x), valid for x >= s+1.
+double gamma_q_cf(double s, double x) noexcept {
+  const double tiny = 1e-300;
+  double b = x + 1.0 - s;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 1000; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - s);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::abs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) break;
+  }
+  return std::exp(-x + s * std::log(x) - std::lgamma(s)) * h;
+}
+
+}  // namespace
+
+double regularized_gamma_q(double s, double x) noexcept {
+  if (x <= 0.0) return 1.0;
+  if (s <= 0.0) return 0.0;
+  if (x < s + 1.0) return 1.0 - gamma_p_series(s, x);
+  return gamma_q_cf(s, x);
+}
+
+double chi_square_sf(double statistic, std::uint32_t dof) noexcept {
+  if (dof == 0) return 1.0;
+  return regularized_gamma_q(static_cast<double>(dof) / 2.0, statistic / 2.0);
+}
+
+ChiSquareResult chi_square_gof(const std::vector<std::uint64_t>& observed,
+                               const std::vector<double>& expected_probs) {
+  ChiSquareResult r;
+  const std::uint64_t total =
+      std::accumulate(observed.begin(), observed.end(), std::uint64_t{0});
+  const double prob_sum =
+      std::accumulate(expected_probs.begin(), expected_probs.end(), 0.0);
+  if (total == 0 || prob_sum <= 0.0 ||
+      observed.size() != expected_probs.size()) {
+    return r;
+  }
+  std::uint32_t cells = 0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double e =
+        static_cast<double>(total) * expected_probs[i] / prob_sum;
+    if (e == 0.0) {
+      if (observed[i] != 0) {
+        r.statistic = std::numeric_limits<double>::infinity();
+        r.p_value = 0.0;
+      }
+      continue;
+    }
+    ++cells;
+    const double d = static_cast<double>(observed[i]) - e;
+    r.statistic += d * d / e;
+  }
+  r.dof = cells > 0 ? cells - 1 : 0;
+  if (!std::isinf(r.statistic)) {
+    r.p_value = chi_square_sf(r.statistic, r.dof);
+  }
+  return r;
+}
+
+}  // namespace rfc::support

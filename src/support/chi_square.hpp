@@ -1,0 +1,33 @@
+// Chi-square goodness-of-fit testing, used to verify the protocol's
+// fairness guarantee (empirical winning-color distribution vs the initial
+// color histogram).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rfc::support {
+
+/// Result of a goodness-of-fit test.
+struct ChiSquareResult {
+  double statistic = 0.0;   ///< Sum over cells of (obs - exp)^2 / exp.
+  std::uint32_t dof = 0;    ///< Degrees of freedom (cells - 1).
+  double p_value = 1.0;     ///< P(X >= statistic) under H0.
+  bool rejected(double alpha) const noexcept { return p_value < alpha; }
+};
+
+/// Regularized upper incomplete gamma function Q(s, x) = Γ(s,x)/Γ(s).
+/// Used for the chi-square survival function; accurate to ~1e-12 over the
+/// ranges exercised by the experiments.
+double regularized_gamma_q(double s, double x) noexcept;
+
+/// Chi-square survival function with `dof` degrees of freedom.
+double chi_square_sf(double statistic, std::uint32_t dof) noexcept;
+
+/// Goodness-of-fit of observed counts against expected *probabilities*
+/// (which are normalized internally).  Cells with zero expectation must have
+/// zero observations, otherwise the statistic is +infinity.
+ChiSquareResult chi_square_gof(const std::vector<std::uint64_t>& observed,
+                               const std::vector<double>& expected_probs);
+
+}  // namespace rfc::support

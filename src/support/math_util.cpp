@@ -1,0 +1,15 @@
+#include "support/math_util.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rfc::support {
+
+double ln(double x) noexcept { return std::log(x); }
+
+std::uint32_t round_count(double gamma, std::uint64_t n) noexcept {
+  const double q = std::ceil(gamma * std::log(static_cast<double>(std::max<std::uint64_t>(n, 2))));
+  return static_cast<std::uint32_t>(std::max(1.0, q));
+}
+
+}  // namespace rfc::support

@@ -1,0 +1,59 @@
+#include "support/regression.hpp"
+
+#include <cmath>
+
+namespace rfc::support {
+
+LinearFit fit_linear(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  LinearFit f;
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return f;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const auto dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom == 0.0) return f;
+  f.slope = (dn * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / dn;
+  const double ss_tot = syy - sy * sy / dn;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = y[i] - f.predict(x[i]);
+    ss_res += r * r;
+  }
+  f.r_squared = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+double PowerFit::predict(double x) const noexcept {
+  return coefficient * std::pow(x, exponent);
+}
+
+PowerFit fit_power(const std::vector<double>& x,
+                   const std::vector<double>& y) {
+  std::vector<double> lx, ly;
+  const std::size_t n = std::min(x.size(), y.size());
+  lx.reserve(n);
+  ly.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (x[i] > 0 && y[i] > 0) {
+      lx.push_back(std::log(x[i]));
+      ly.push_back(std::log(y[i]));
+    }
+  }
+  const LinearFit lin = fit_linear(lx, ly);
+  PowerFit p;
+  p.coefficient = std::exp(lin.intercept);
+  p.exponent = lin.slope;
+  p.r_squared = lin.r_squared;
+  return p;
+}
+
+}  // namespace rfc::support

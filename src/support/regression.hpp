@@ -1,0 +1,32 @@
+// Least-squares fitting used by the scaling experiments: fitting measured
+// round counts / message bits against log n, log^2 n, log^3 n models.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rfc::support {
+
+/// Simple linear least squares y = a + b x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+  double predict(double x) const noexcept { return intercept + slope * x; }
+};
+
+LinearFit fit_linear(const std::vector<double>& x,
+                     const std::vector<double>& y);
+
+/// Fits y = C * x^e in log-log space, returning the estimated exponent and
+/// coefficient.  Used to confirm e.g. that total bits grow sub-quadratically.
+struct PowerFit {
+  double coefficient = 0.0;
+  double exponent = 0.0;
+  double r_squared = 0.0;
+  double predict(double x) const noexcept;
+};
+
+PowerFit fit_power(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace rfc::support

@@ -1,0 +1,30 @@
+#include "support/rng.hpp"
+
+namespace rfc::support {
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless method: multiply-shift with a rejection
+  // step that removes modulo bias entirely.
+  std::uint64_t x = next();
+  unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = next();
+      m = static_cast<unsigned __int128>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t stream) noexcept {
+  // Feed the pair through two rounds of SplitMix64's finalizer so that
+  // adjacent stream ids map to unrelated seeds.
+  SplitMix64 sm(master ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+  sm.next();
+  return sm.next();
+}
+
+}  // namespace rfc::support

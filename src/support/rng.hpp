@@ -1,0 +1,103 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// All randomness in the library flows through these generators so that every
+// simulation is exactly reproducible from a single master seed.  Independent
+// streams (one per agent, one per Monte-Carlo trial) are derived with
+// SplitMix64, the recommended seeding procedure for the xoshiro family.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace rfc::support {
+
+/// SplitMix64: a tiny, statistically solid 64-bit generator.  Used both as a
+/// stand-alone generator and as the seed-expansion function for Xoshiro256.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64 uniformly distributed bits.
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** — fast, high-quality 64-bit PRNG (Blackman & Vigna).
+/// This is the workhorse generator of the simulator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words by expanding `seed` through SplitMix64.
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& w : state_) w = sm.next();
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Unbiased uniform draw in [0, bound).  `bound` must be positive.
+  /// Uses Lemire's multiply-shift rejection method.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform draw in the closed interval [lo, hi].
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability `p`.
+  bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// Derives a statistically independent child seed from a (seed, stream-id)
+/// pair.  Used to give every agent and every Monte-Carlo trial its own
+/// generator without any cross-stream correlation.
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t stream) noexcept;
+
+}  // namespace rfc::support

@@ -1,0 +1,87 @@
+// Streaming statistics, histograms, and confidence intervals.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rfc::support {
+
+/// Numerically stable streaming mean / variance (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const OnlineStats& other) noexcept;
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  /// Standard error of the mean.
+  double sem() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A fixed-width histogram over [lo, hi) with overflow/underflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+  std::uint64_t bucket_count(std::size_t i) const { return counts_.at(i); }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::uint64_t total() const noexcept { return total_; }
+  std::size_t buckets() const noexcept { return counts_.size(); }
+  double bucket_lo(std::size_t i) const noexcept;
+  double bucket_hi(std::size_t i) const noexcept;
+
+  /// Quantile estimate from bucket midpoints; q in [0, 1].
+  double quantile(double q) const noexcept;
+
+  /// Multi-line ASCII rendering, useful in example programs.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+/// Counts of discrete outcomes keyed by integer label (e.g. winning colors).
+class OutcomeCounter {
+ public:
+  void add(std::int64_t outcome) noexcept { ++counts_[outcome]; ++total_; }
+  std::uint64_t count(std::int64_t outcome) const noexcept;
+  double fraction(std::int64_t outcome) const noexcept;
+  std::uint64_t total() const noexcept { return total_; }
+  const std::map<std::int64_t, std::uint64_t>& counts() const noexcept {
+    return counts_;
+  }
+
+ private:
+  std::map<std::int64_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Wilson score interval for a binomial proportion at confidence `z` sigmas
+/// (z = 1.96 for 95%).  Robust for small counts and extreme proportions.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool contains(double p) const noexcept { return lo <= p && p <= hi; }
+};
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                         double z = 1.96) noexcept;
+
+}  // namespace rfc::support

@@ -1,0 +1,41 @@
+// ASCII table rendering for benchmark / experiment output.  Every bench
+// binary prints its table through this so the regenerated "paper tables"
+// share one format.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rfc::support {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formatting helpers for numeric cells.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(std::uint64_t v);
+  static std::string fmt_pct(double fraction, int precision = 1);
+
+  std::string render() const;
+  /// Renders with a caption line above the table.
+  std::string render(const std::string& caption) const;
+
+  /// RFC-4180-style CSV rendering (quotes cells containing , " or newline).
+  std::string to_csv() const;
+  /// Writes to_csv() to `path`; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t columns() const noexcept { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rfc::support

@@ -1,0 +1,85 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace rfc::support {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (tasks_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body) {
+  // Chunked dispatch through an atomic cursor: cheap for large counts,
+  // and per-index work remains a pure function of the index.
+  const std::size_t workers = pool.thread_count();
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t jobs = std::min(workers, count);
+  for (std::size_t j = 0; j < jobs; ++j) {
+    pool.submit([cursor, count, &body] {
+      for (;;) {
+        const std::size_t i = cursor->fetch_add(1);
+        if (i >= count) return;
+        body(i);
+      }
+    });
+  }
+  pool.wait_idle();
+}
+
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t threads) {
+  ThreadPool pool(threads);
+  parallel_for(pool, count, body);
+}
+
+}  // namespace rfc::support

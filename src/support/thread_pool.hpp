@@ -1,0 +1,62 @@
+// A minimal work-stealing-free thread pool plus a deterministic
+// `parallel_for` used to run Monte-Carlo trials across cores.
+//
+// Determinism contract: the *work* given to index i must derive all its
+// randomness from i (e.g. via derive_seed(master, i)); the pool only controls
+// scheduling, never the per-index results, so runs are reproducible
+// regardless of thread count.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rfc::support {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; tasks may not themselves block on the pool.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs body(i) for i in [0, count) across the pool, blocking until done.
+/// Exceptions inside `body` terminate (they indicate a bug in experiment
+/// code, not a recoverable condition).
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body);
+
+/// Convenience: one-shot parallel_for on a transient pool sized `threads`
+/// (0 = hardware concurrency).
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace rfc::support

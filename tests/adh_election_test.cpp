@@ -1,0 +1,145 @@
+#include "baseline/adh_election.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace rfc::baseline {
+namespace {
+
+TEST(AdhElection, HonestRunElectsAParticipant) {
+  AdhConfig cfg;
+  cfg.n = 50;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    cfg.seed = seed;
+    const auto r = run_adh_election(cfg);
+    ASSERT_FALSE(r.failed());
+    EXPECT_LT(r.leader, 50u);
+    EXPECT_EQ(r.winner, static_cast<core::Color>(r.leader));
+    EXPECT_EQ(r.rounds, 2u);
+    EXPECT_EQ(r.messages, 2ull * 50 * 49);
+  }
+}
+
+TEST(AdhElection, HonestRunIsRoughlyUniform) {
+  AdhConfig cfg;
+  cfg.n = 8;
+  std::map<sim::AgentId, int> wins;
+  constexpr int kTrials = 4000;
+  for (int i = 0; i < kTrials; ++i) {
+    cfg.seed = 100 + i;
+    ++wins[run_adh_election(cfg).leader];
+  }
+  EXPECT_EQ(wins.size(), 8u);
+  for (const auto& [leader, count] : wins) {
+    EXPECT_NEAR(count, kTrials / 8.0, 5 * std::sqrt(kTrials / 8.0))
+        << "leader " << leader;
+  }
+}
+
+TEST(AdhElection, PreProtocolFaultsAreFine) {
+  // Agents that were *already* dead never commit, so the election runs
+  // among the live ones (this is not the problematic case).
+  AdhConfig cfg;
+  cfg.n = 40;
+  cfg.num_faulty = 10;
+  cfg.placement = sim::FaultPlacement::kPrefix;
+  cfg.seed = 5;
+  const auto r = run_adh_election(cfg);
+  ASSERT_FALSE(r.failed());
+  EXPECT_GE(r.leader, 10u);
+  EXPECT_EQ(r.num_active, 30u);
+}
+
+TEST(AdhElection, CrashAfterCommitKillsTheElection) {
+  // The paper's critique: ONE participant crashing between commit and
+  // reveal leaves the protocol stuck, every time.
+  AdhConfig cfg;
+  cfg.n = 64;
+  cfg.deviators = 1;
+  cfg.deviation = AdhDeviation::kCrashAfterCommit;
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    cfg.seed = seed;
+    EXPECT_TRUE(run_adh_election(cfg).failed());
+  }
+}
+
+TEST(AdhElection, FalseRevealIsDetectedAndExcluded) {
+  AdhConfig cfg;
+  cfg.n = 32;
+  cfg.deviators = 3;
+  cfg.deviation = AdhDeviation::kFalseReveal;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    cfg.seed = seed;
+    const auto r = run_adh_election(cfg);
+    ASSERT_FALSE(r.failed());
+    EXPECT_EQ(r.detected_cheaters, 3u);
+    EXPECT_GE(r.leader, 3u);  // Cheaters are out of the re-run.
+    EXPECT_EQ(r.rounds, 4u);  // One restart.
+  }
+}
+
+TEST(AdhElection, FalseRevealGainsNothing) {
+  // Being excluded can only lower the deviators' winning chances.
+  AdhConfig cfg;
+  cfg.n = 32;
+  cfg.colors.assign(32, 0);
+  for (int i = 0; i < 4; ++i) cfg.colors[i] = 1;
+  cfg.deviators = 4;
+  cfg.deviation = AdhDeviation::kFalseReveal;
+  int wins = 0;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    cfg.seed = seed;
+    const auto r = run_adh_election(cfg);
+    if (!r.failed() && r.winner == 1) ++wins;
+  }
+  EXPECT_EQ(wins, 0);  // Excluded cheaters cannot be elected.
+}
+
+TEST(AdhElection, AbortIfLosingBurnsTheElection) {
+  AdhConfig cfg;
+  cfg.n = 32;
+  cfg.colors.assign(32, 0);
+  for (int i = 0; i < 4; ++i) cfg.colors[i] = 1;
+  cfg.deviators = 4;
+  cfg.deviation = AdhDeviation::kAbortIfLosing;
+  int wins = 0, aborts = 0;
+  constexpr int kTrials = 300;
+  for (std::uint64_t seed = 1; seed <= kTrials; ++seed) {
+    cfg.seed = seed;
+    const auto r = run_adh_election(cfg);
+    if (r.failed()) {
+      ++aborts;
+    } else if (r.winner == 1) {
+      ++wins;
+    }
+  }
+  // Wins only at the fair share (the coalition cannot bias the draw)...
+  EXPECT_NEAR(static_cast<double>(wins) / kTrials, 4.0 / 32, 0.06);
+  // ...and every unfavourable draw is converted to ⊥ (like StubbornCert
+  // against Protocol P, this is utility-destroying for chi > 0).
+  EXPECT_NEAR(static_cast<double>(aborts) / kTrials, 28.0 / 32, 0.08);
+}
+
+TEST(AdhElection, QuadraticMessageCost) {
+  for (const std::uint32_t n : {16u, 64u, 256u}) {
+    AdhConfig cfg;
+    cfg.n = n;
+    cfg.seed = 2;
+    const auto r = run_adh_election(cfg);
+    EXPECT_EQ(r.messages, 2ull * n * (n - 1));
+    EXPECT_GT(r.total_bits, 0u);
+  }
+}
+
+TEST(AdhElection, DeviationNamesDefined) {
+  EXPECT_EQ(to_string(AdhDeviation::kNone), "honest");
+  EXPECT_EQ(to_string(AdhDeviation::kCrashAfterCommit),
+            "crash-after-commit");
+  EXPECT_EQ(to_string(AdhDeviation::kFalseReveal), "false-reveal");
+  EXPECT_EQ(to_string(AdhDeviation::kAbortIfLosing), "abort-if-losing");
+}
+
+}  // namespace
+}  // namespace rfc::baseline

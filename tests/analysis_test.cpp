@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "analysis/montecarlo.hpp"
+#include "analysis/scaling.hpp"
+
+namespace rfc::analysis {
+namespace {
+
+TEST(MonteCarlo, ResultsInIndexOrderAndSeedDerived) {
+  const auto results = run_trials<std::uint64_t>(
+      16, 7,
+      [](std::uint64_t seed, std::size_t index) {
+        return seed ^ (index << 32);
+      },
+      4);
+  ASSERT_EQ(results.size(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(results[i],
+              rfc::support::derive_seed(7, i) ^ (std::uint64_t{i} << 32));
+  }
+}
+
+TEST(MonteCarlo, ThreadCountDoesNotChangeResults) {
+  const auto run = [](std::size_t threads) {
+    return run_trials<std::uint64_t>(
+        64, 99,
+        [](std::uint64_t seed, std::size_t) { return seed * 3; }, threads);
+  };
+  EXPECT_EQ(run(1), run(8));
+}
+
+TEST(Scaling, BitsGrowSubquadratically) {
+  core::RunConfig base;
+  base.gamma = 3.0;
+  base.seed = 5;
+  const auto sweep = measure_scaling(base, {64, 128, 256, 512}, 6);
+  ASSERT_EQ(sweep.points.size(), 4u);
+  for (std::size_t i = 1; i < sweep.points.size(); ++i) {
+    EXPECT_GT(sweep.points[i].total_bits.mean(),
+              sweep.points[i - 1].total_bits.mean());
+  }
+  const auto fit = sweep.total_bits_fit();
+  EXPECT_GT(fit.exponent, 0.9);
+  EXPECT_LT(fit.exponent, 1.8);  // Well below the baseline's 2.
+  EXPECT_GT(fit.r_squared, 0.98);
+}
+
+TEST(Scaling, NoFailuresAtDefaultGamma) {
+  core::RunConfig base;
+  base.gamma = 4.0;
+  base.seed = 6;
+  const auto sweep = measure_scaling(base, {64, 256}, 10);
+  for (const auto& p : sweep.points) {
+    EXPECT_EQ(p.failures, 0u) << "n=" << p.n;
+    EXPECT_EQ(p.trials, 10u);
+    EXPECT_GE(p.min_votes.min(), 1.0);
+  }
+}
+
+TEST(Scaling, NormalizedMetricsAreBounded) {
+  core::RunConfig base;
+  base.gamma = 4.0;
+  base.seed = 8;
+  const auto sweep = measure_scaling(base, {128, 1024}, 4);
+  for (const auto& p : sweep.points) {
+    EXPECT_GT(p.rounds_per_log_n(), 1.0);
+    EXPECT_LT(p.rounds_per_log_n(), 40.0);
+    EXPECT_GT(p.max_msg_per_log2_n(), 0.1);
+    EXPECT_LT(p.max_msg_per_log2_n(), 200.0);
+    EXPECT_GT(p.bits_per_n_log3_n(), 0.01);
+    EXPECT_LT(p.bits_per_n_log3_n(), 500.0);
+  }
+}
+
+}  // namespace
+}  // namespace rfc::analysis

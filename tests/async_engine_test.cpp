@@ -1,0 +1,118 @@
+#include "sim/async_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "gossip/min_aggregation.hpp"
+#include "gossip/rumor.hpp"
+
+namespace rfc::sim {
+namespace {
+
+TEST(AsyncEngine, RejectsZeroAgents) {
+  EXPECT_THROW(AsyncEngine({0, 1, nullptr}), std::invalid_argument);
+}
+
+TEST(AsyncEngine, MissingAgentThrows) {
+  AsyncEngine engine({2, 1, nullptr});
+  engine.set_agent(0, std::make_unique<gossip::RumorAgent>(
+                          gossip::Mechanism::kPull, true, 8));
+  EXPECT_THROW(engine.step(), std::logic_error);
+}
+
+TEST(AsyncEngine, FaultPlanLockedAfterStart) {
+  AsyncEngine engine({2, 1, nullptr});
+  for (AgentId i = 0; i < 2; ++i) {
+    engine.set_agent(i, std::make_unique<gossip::RumorAgent>(
+                            gossip::Mechanism::kPull, i == 0, 8));
+  }
+  engine.step();
+  EXPECT_THROW(engine.set_faulty(1), std::logic_error);
+}
+
+TEST(AsyncEngine, RumorEventuallyReachesEveryone) {
+  gossip::SpreadConfig cfg;
+  cfg.n = 128;
+  cfg.mechanism = gossip::Mechanism::kPushPull;
+  cfg.seed = 3;
+  cfg.max_rounds = 100'000;
+  const auto r = gossip::run_rumor_spreading_async(cfg);
+  EXPECT_TRUE(r.complete);
+  EXPECT_GT(r.rounds, 128u);  // Needs far more steps than agents.
+}
+
+TEST(AsyncEngine, StepsScaleAsNLogN) {
+  // Coupon-collector behaviour: steps/(n ln n) bounded for push-pull.
+  for (const std::uint32_t n : {128u, 512u}) {
+    gossip::SpreadConfig cfg;
+    cfg.n = n;
+    cfg.mechanism = gossip::Mechanism::kPushPull;
+    cfg.max_rounds = 1'000'000;
+    double mean = 0;
+    constexpr int kReps = 5;
+    for (int i = 0; i < kReps; ++i) {
+      cfg.seed = 50 + i;
+      const auto r = gossip::run_rumor_spreading_async(cfg);
+      ASSERT_TRUE(r.complete);
+      mean += static_cast<double>(r.rounds) / kReps;
+    }
+    const double normalized = mean / (n * std::log(n));
+    EXPECT_GT(normalized, 0.3) << "n=" << n;
+    EXPECT_LT(normalized, 6.0) << "n=" << n;
+  }
+}
+
+TEST(AsyncEngine, SeedReproducible) {
+  gossip::SpreadConfig cfg;
+  cfg.n = 96;
+  cfg.mechanism = gossip::Mechanism::kPull;
+  cfg.seed = 12;
+  cfg.max_rounds = 100'000;
+  const auto a = gossip::run_rumor_spreading_async(cfg);
+  const auto b = gossip::run_rumor_spreading_async(cfg);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.metrics.total_bits, b.metrics.total_bits);
+}
+
+TEST(AsyncEngine, FaultyAgentsNeverWake) {
+  gossip::SpreadConfig cfg;
+  cfg.n = 64;
+  cfg.num_faulty = 32;
+  cfg.placement = FaultPlacement::kPrefix;
+  cfg.mechanism = gossip::Mechanism::kPushPull;
+  cfg.seed = 7;
+  cfg.max_rounds = 200'000;
+  const auto r = gossip::run_rumor_spreading_async(cfg);
+  EXPECT_TRUE(r.complete);  // Among active agents.
+}
+
+TEST(AsyncEngine, RespectsTopology) {
+  gossip::SpreadConfig cfg;
+  cfg.n = 64;
+  cfg.mechanism = gossip::Mechanism::kPushPull;
+  cfg.seed = 5;
+  cfg.topology = make_ring(64, 1);
+  cfg.max_rounds = 500'000;
+  const auto r = gossip::run_rumor_spreading_async(cfg);
+  EXPECT_TRUE(r.complete);
+  // Ring diameter forces ≫ n log n steps.
+  EXPECT_GT(r.rounds, 64u * 6);
+}
+
+TEST(AsyncEngine, MetricsAccountMessages) {
+  gossip::SpreadConfig cfg;
+  cfg.n = 64;
+  cfg.mechanism = gossip::Mechanism::kPull;
+  cfg.seed = 6;
+  cfg.rumor_bits = 99;
+  cfg.max_rounds = 100'000;
+  const auto r = gossip::run_rumor_spreading_async(cfg);
+  EXPECT_GT(r.metrics.pull_requests, 0u);
+  EXPECT_GE(r.metrics.max_message_bits, 99u);
+  EXPECT_LE(r.metrics.active_links, r.rounds);
+}
+
+}  // namespace
+}  // namespace rfc::sim

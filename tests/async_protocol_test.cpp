@@ -1,0 +1,159 @@
+// The exploratory asynchronous Protocol P: schedule math, guard-band
+// effect, fairness when it succeeds.
+#include "core/async_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace rfc::core {
+namespace {
+
+TEST(AsyncSchedule, PhaseBoundaries) {
+  AsyncSchedule s;
+  s.q = 10;
+  s.slack = 3;
+  using P = AsyncSchedule::LocalPhase;
+  EXPECT_EQ(s.phase_of(0), P::kCommitment);
+  EXPECT_EQ(s.phase_of(9), P::kCommitment);
+  EXPECT_EQ(s.phase_of(10), P::kGuard);
+  EXPECT_EQ(s.phase_of(12), P::kGuard);
+  EXPECT_EQ(s.phase_of(13), P::kVoting);
+  EXPECT_EQ(s.phase_of(22), P::kVoting);
+  EXPECT_EQ(s.phase_of(23), P::kGuard);
+  EXPECT_EQ(s.phase_of(25), P::kGuard);
+  EXPECT_EQ(s.phase_of(26), P::kFindMin);
+  EXPECT_EQ(s.phase_of(38), P::kFindMin);  // Length q + slack = 13.
+  EXPECT_EQ(s.phase_of(39), P::kCoherence);
+  EXPECT_EQ(s.phase_of(48), P::kCoherence);
+  EXPECT_EQ(s.phase_of(49), P::kFinished);
+  EXPECT_EQ(s.total_activations(), 49u);
+}
+
+TEST(AsyncSchedule, ZeroSlackIsContiguous) {
+  AsyncSchedule s;
+  s.q = 5;
+  s.slack = 0;
+  using P = AsyncSchedule::LocalPhase;
+  EXPECT_EQ(s.phase_of(4), P::kCommitment);
+  EXPECT_EQ(s.phase_of(5), P::kVoting);
+  EXPECT_EQ(s.phase_of(10), P::kFindMin);
+  EXPECT_EQ(s.phase_of(15), P::kCoherence);
+  EXPECT_EQ(s.phase_of(20), P::kFinished);
+}
+
+TEST(AsyncSchedule, IndexWithinPhase) {
+  AsyncSchedule s;
+  s.q = 10;
+  s.slack = 3;
+  EXPECT_EQ(s.index_of(0), 0u);
+  EXPECT_EQ(s.index_of(9), 9u);
+  EXPECT_EQ(s.index_of(13), 0u);  // First voting activation.
+  EXPECT_EQ(s.index_of(22), 9u);  // Last voting activation.
+  EXPECT_EQ(s.index_of(26), 0u);  // First find-min activation.
+}
+
+TEST(AsyncProtocol, GuardBandsMakeItSucceed) {
+  // With a generous guard band the full pipeline (audit, vote, broadcast,
+  // verify) goes through in the sequential model.
+  AsyncRunConfig cfg;
+  cfg.n = 96;
+  cfg.gamma = 4.0;
+  cfg.slack = 40;  // ~2 sqrt(q log n) at this size.
+  int successes = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    cfg.seed = seed;
+    if (!run_async_protocol(cfg).failed()) ++successes;
+  }
+  EXPECT_GE(successes, 8);
+}
+
+TEST(AsyncProtocol, NaiveScheduleFailsMoreOften) {
+  // slack = 0: late votes miss sealed certificates and strict verification
+  // fires.  This is the measured obstacle of open problem #2.
+  int naive_successes = 0, guarded_successes = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    AsyncRunConfig cfg;
+    cfg.n = 96;
+    cfg.gamma = 4.0;
+    cfg.seed = seed;
+    cfg.slack = 0;
+    if (!run_async_protocol(cfg).failed()) ++naive_successes;
+    cfg.slack = 40;
+    if (!run_async_protocol(cfg).failed()) ++guarded_successes;
+  }
+  EXPECT_GT(guarded_successes, naive_successes);
+}
+
+TEST(AsyncProtocol, WinnerIsAValidColor) {
+  AsyncRunConfig cfg;
+  cfg.n = 64;
+  cfg.gamma = 4.0;
+  cfg.slack = 40;
+  cfg.colors.assign(64, 0);
+  for (int i = 0; i < 16; ++i) cfg.colors[i] = 1;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    cfg.seed = seed;
+    const auto r = run_async_protocol(cfg);
+    if (!r.failed()) {
+      EXPECT_TRUE(r.winner == 0 || r.winner == 1);
+    }
+  }
+}
+
+TEST(AsyncProtocol, RoughlyFairWhenItSucceeds) {
+  AsyncRunConfig cfg;
+  cfg.n = 64;
+  cfg.gamma = 4.0;
+  cfg.slack = 48;
+  cfg.colors.assign(64, 0);
+  for (int i = 0; i < 32; ++i) cfg.colors[i] = 1;
+  int wins1 = 0, successes = 0;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    cfg.seed = seed;
+    const auto r = run_async_protocol(cfg);
+    if (!r.failed()) {
+      ++successes;
+      if (r.winner == 1) ++wins1;
+    }
+  }
+  ASSERT_GT(successes, 30);
+  const double share =
+      static_cast<double>(wins1) / static_cast<double>(successes);
+  EXPECT_NEAR(share, 0.5, 0.25);
+}
+
+TEST(AsyncProtocol, SeedDeterministic) {
+  AsyncRunConfig cfg;
+  cfg.n = 48;
+  cfg.gamma = 3.0;
+  cfg.slack = 30;
+  cfg.seed = 77;
+  const auto a = run_async_protocol(cfg);
+  const auto b = run_async_protocol(cfg);
+  EXPECT_EQ(a.winner, b.winner);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.metrics.total_bits, b.metrics.total_bits);
+}
+
+TEST(AsyncProtocol, ToleratesFaults) {
+  AsyncRunConfig cfg;
+  cfg.n = 96;
+  cfg.gamma = 5.0;
+  cfg.slack = 50;
+  cfg.num_faulty = 24;
+  cfg.placement = sim::FaultPlacement::kRandom;
+  int successes = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    cfg.seed = seed;
+    const auto r = run_async_protocol(cfg);
+    if (!r.failed()) {
+      ++successes;
+      EXPECT_EQ(r.active_colors.size(), 72u);  // Leader election colors.
+    }
+  }
+  EXPECT_GE(successes, 7);
+}
+
+}  // namespace
+}  // namespace rfc::core

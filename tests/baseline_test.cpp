@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "baseline/local_fair_election.hpp"
+#include "baseline/naive_election.hpp"
+
+namespace rfc::baseline {
+namespace {
+
+TEST(LocalFairElection, ElectsAnActiveAgent) {
+  LocalElectionConfig cfg;
+  cfg.n = 100;
+  cfg.num_faulty = 40;
+  cfg.placement = sim::FaultPlacement::kPrefix;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    cfg.seed = seed;
+    const auto r = run_local_fair_election(cfg);
+    EXPECT_GE(r.leader, 40u);
+    EXPECT_EQ(r.winner, static_cast<core::Color>(r.leader));
+    EXPECT_EQ(r.num_active, 60u);
+  }
+}
+
+TEST(LocalFairElection, MessageCountIsQuadratic) {
+  LocalElectionConfig cfg;
+  cfg.n = 100;
+  const auto r = run_local_fair_election(cfg);
+  EXPECT_EQ(r.messages, 2ull * 100 * 99);
+  EXPECT_EQ(r.rounds, 2u);
+  EXPECT_EQ(r.total_bits, r.messages * 7);  // ceil(log2 100) = 7.
+}
+
+TEST(LocalFairElection, RoughlyUniformOverActiveAgents) {
+  LocalElectionConfig cfg;
+  cfg.n = 8;
+  std::map<sim::AgentId, int> wins;
+  constexpr int kTrials = 4000;
+  for (int i = 0; i < kTrials; ++i) {
+    cfg.seed = 100 + i;
+    ++wins[run_local_fair_election(cfg).leader];
+  }
+  for (const auto& [leader, count] : wins) {
+    EXPECT_NEAR(count, kTrials / 8.0, 5 * std::sqrt(kTrials / 8.0))
+        << "leader " << leader;
+  }
+  EXPECT_EQ(wins.size(), 8u);
+}
+
+TEST(LocalFairElection, CustomColors) {
+  LocalElectionConfig cfg;
+  cfg.n = 10;
+  cfg.colors.assign(10, 7);
+  cfg.seed = 3;
+  const auto r = run_local_fair_election(cfg);
+  EXPECT_EQ(r.winner, 7);
+}
+
+TEST(LocalFairElection, EmptyNetworkIsNoop) {
+  LocalElectionConfig cfg;
+  cfg.n = 0;
+  const auto r = run_local_fair_election(cfg);
+  EXPECT_EQ(r.winner, core::kNoColor);
+}
+
+TEST(NaiveElection, HonestRunsAgreeAndElectSomeone) {
+  NaiveElectionConfig cfg;
+  cfg.n = 128;
+  cfg.gamma = 4.0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    cfg.seed = seed;
+    const auto r = run_naive_election(cfg);
+    EXPECT_TRUE(r.agreement);
+    EXPECT_NE(r.winner, core::kNoColor);
+    EXPECT_LT(r.leader, 128u);
+  }
+}
+
+TEST(NaiveElection, HonestElectionIsRoughlyFair) {
+  NaiveElectionConfig cfg;
+  cfg.n = 64;
+  cfg.gamma = 4.0;
+  cfg.colors.assign(64, 0);
+  for (int i = 0; i < 32; ++i) cfg.colors[i] = 1;
+  int color1 = 0;
+  constexpr int kTrials = 300;
+  for (int i = 0; i < kTrials; ++i) {
+    cfg.seed = 500 + i;
+    if (run_naive_election(cfg).winner == 1) ++color1;
+  }
+  EXPECT_NEAR(color1 / static_cast<double>(kTrials), 0.5, 0.1);
+}
+
+TEST(NaiveElection, SingleCheaterAlwaysWins) {
+  NaiveElectionConfig cfg;
+  cfg.n = 128;
+  cfg.gamma = 4.0;
+  cfg.cheaters = 1;
+  cfg.colors.assign(128, 0);
+  cfg.colors[0] = 1;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    cfg.seed = seed;
+    const auto r = run_naive_election(cfg);
+    ASSERT_TRUE(r.agreement);
+    EXPECT_EQ(r.winner, 1);
+    EXPECT_EQ(r.leader, 0u);
+  }
+}
+
+TEST(NaiveElection, MinIdModeAlwaysElectsLabelZero) {
+  NaiveElectionConfig cfg;
+  cfg.n = 64;
+  cfg.mode = NaiveKeyMode::kMinId;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    cfg.seed = seed;
+    const auto r = run_naive_election(cfg);
+    ASSERT_TRUE(r.agreement);
+    EXPECT_EQ(r.leader, 0u);
+  }
+}
+
+TEST(NaiveElection, SurvivesFaults) {
+  NaiveElectionConfig cfg;
+  cfg.n = 128;
+  cfg.gamma = 6.0;
+  cfg.num_faulty = 64;
+  cfg.placement = sim::FaultPlacement::kRandom;
+  cfg.seed = 4;
+  const auto r = run_naive_election(cfg);
+  EXPECT_TRUE(r.agreement);
+}
+
+TEST(NaiveElectionAsync, AgreesWithGenerousBudget) {
+  NaiveElectionConfig cfg;
+  cfg.n = 128;
+  cfg.gamma = 4.0;
+  int agreements = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    cfg.seed = seed;
+    if (run_naive_election_async(cfg, 4.0).agreement) ++agreements;
+  }
+  EXPECT_GE(agreements, 19);
+}
+
+TEST(NaiveElectionAsync, StarvedBudgetLosesAgreement) {
+  NaiveElectionConfig cfg;
+  cfg.n = 128;
+  cfg.gamma = 4.0;
+  int starved = 0, generous = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    cfg.seed = seed;
+    if (run_naive_election_async(cfg, 0.25).agreement) ++starved;
+    if (run_naive_election_async(cfg, 4.0).agreement) ++generous;
+  }
+  EXPECT_LT(starved, generous);
+}
+
+TEST(NaiveElectionAsync, CheaterStillWins) {
+  // The async baseline inherits the sync one's vulnerability.
+  NaiveElectionConfig cfg;
+  cfg.n = 64;
+  cfg.gamma = 4.0;
+  cfg.cheaters = 1;
+  cfg.colors.assign(64, 0);
+  cfg.colors[0] = 1;
+  int cheater_wins = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    cfg.seed = seed;
+    const auto r = run_naive_election_async(cfg, 4.0);
+    if (r.agreement && r.winner == 1) ++cheater_wins;
+  }
+  EXPECT_GE(cheater_wins, 9);
+}
+
+TEST(NaiveElection, ModeNamesDefined) {
+  EXPECT_EQ(to_string(NaiveKeyMode::kRandom), "random-key");
+  EXPECT_EQ(to_string(NaiveKeyMode::kMinId), "min-id");
+}
+
+}  // namespace
+}  // namespace rfc::baseline

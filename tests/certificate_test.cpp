@@ -1,0 +1,114 @@
+#include "core/certificate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/payloads.hpp"
+
+namespace rfc::core {
+namespace {
+
+ProtocolParams params() { return ProtocolParams::make(256, 2.0); }
+
+TEST(Certificate, VoteSumIsModular) {
+  const auto p = params();
+  Certificate ce;
+  ce.votes = {{1, 0, p.m - 1}, {2, 0, 2}};
+  EXPECT_EQ(ce.vote_sum(p), 1u);  // (m-1) + 2 mod m.
+}
+
+TEST(Certificate, VoteSumEmptyIsZero) {
+  Certificate ce;
+  EXPECT_EQ(ce.vote_sum(params()), 0u);
+}
+
+TEST(Certificate, VoteSumReducesOversizedValues) {
+  const auto p = params();
+  Certificate ce;
+  ce.votes = {{1, 0, p.m + 5}};  // Malformed value still sums mod m.
+  EXPECT_EQ(ce.vote_sum(p), 5u);
+}
+
+TEST(Certificate, MakeCertificateComputesKey) {
+  const auto p = params();
+  ReceivedVotes votes = {{3, 1, 100}, {4, 2, 250}};
+  const Certificate ce = make_certificate(p, 7, 2, votes);
+  EXPECT_EQ(ce.k, 350u);
+  EXPECT_EQ(ce.owner, 7u);
+  EXPECT_EQ(ce.color, 2);
+  EXPECT_EQ(ce.votes.size(), 2u);
+}
+
+TEST(Certificate, LessThanOrdersByKey) {
+  Certificate a, b;
+  a.k = 5;
+  a.owner = 9;
+  b.k = 6;
+  b.owner = 1;
+  EXPECT_TRUE(a.less_than(b));
+  EXPECT_FALSE(b.less_than(a));
+}
+
+TEST(Certificate, LessThanTieBreaksByOwner) {
+  Certificate a, b;
+  a.k = b.k = 5;
+  a.owner = 1;
+  b.owner = 2;
+  EXPECT_TRUE(a.less_than(b));
+  EXPECT_FALSE(b.less_than(a));
+  EXPECT_FALSE(a.less_than(a));  // Irreflexive.
+}
+
+TEST(Certificate, EqualityIsStructural) {
+  const auto p = params();
+  const Certificate a = make_certificate(p, 1, 0, {{2, 0, 10}});
+  Certificate b = a;
+  EXPECT_EQ(a, b);
+  b.votes[0].value = 11;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Certificate, BitSizeFormula) {
+  const auto p = params();
+  Certificate ce = make_certificate(p, 1, 0, {{2, 0, 10}, {3, 1, 20}});
+  const std::uint64_t per_vote =
+      p.label_bits() + p.round_bits() + p.value_bits();
+  EXPECT_EQ(ce.bit_size(p),
+            p.value_bits() + 2 * per_vote + p.color_bits() + p.label_bits());
+}
+
+TEST(Certificate, BitSizeGrowsWithVotes) {
+  const auto p = params();
+  Certificate small = make_certificate(p, 1, 0, {});
+  ReceivedVotes many;
+  for (std::uint32_t i = 0; i < 40; ++i) many.push_back({i, 0, i});
+  Certificate large = make_certificate(p, 1, 0, many);
+  EXPECT_GT(large.bit_size(p), small.bit_size(p));
+}
+
+TEST(CertificatePayload, ReportsCertificateSize) {
+  const auto p = params();
+  const Certificate ce = make_certificate(p, 1, 0, {{2, 0, 10}});
+  const CertificatePayload payload(ce, p);
+  EXPECT_EQ(payload.bit_size(), ce.bit_size(p));
+  EXPECT_EQ(payload.certificate(), ce);
+}
+
+TEST(IntentionPayload, SizeIsPerEntry) {
+  const auto p = params();
+  VoteIntention h(p.q, {1, 2});
+  const IntentionPayload payload(h, p);
+  EXPECT_EQ(payload.bit_size(),
+            static_cast<std::uint64_t>(p.q) *
+                (p.value_bits() + p.label_bits()));
+  EXPECT_EQ(payload.intention().size(), p.q);
+}
+
+TEST(VotePayload, SizeIsValueWidth) {
+  const auto p = params();
+  const VotePayload payload(123, p);
+  EXPECT_EQ(payload.bit_size(), p.value_bits());
+  EXPECT_EQ(payload.value(), 123u);
+}
+
+}  // namespace
+}  // namespace rfc::core

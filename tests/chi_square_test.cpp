@@ -1,0 +1,89 @@
+#include "support/chi_square.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace rfc::support {
+namespace {
+
+TEST(RegularizedGammaQ, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(regularized_gamma_q(1.0, 0.0), 1.0);
+  EXPECT_NEAR(regularized_gamma_q(1.0, 1e9), 0.0, 1e-12);
+}
+
+TEST(RegularizedGammaQ, ExponentialSpecialCase) {
+  // Q(1, x) = exp(-x).
+  for (const double x : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    EXPECT_NEAR(regularized_gamma_q(1.0, x), std::exp(-x), 1e-10);
+  }
+}
+
+TEST(ChiSquareSf, KnownCriticalValues) {
+  // Classic table entries: P(X >= x) = 0.05.
+  EXPECT_NEAR(chi_square_sf(3.841, 1), 0.05, 0.001);
+  EXPECT_NEAR(chi_square_sf(5.991, 2), 0.05, 0.001);
+  EXPECT_NEAR(chi_square_sf(16.919, 9), 0.05, 0.001);
+  // And the 0.99 tail.
+  EXPECT_NEAR(chi_square_sf(0.000157, 1), 0.99, 0.002);
+}
+
+TEST(ChiSquareSf, ZeroDofIsVacuous) {
+  EXPECT_DOUBLE_EQ(chi_square_sf(10.0, 0), 1.0);
+}
+
+TEST(ChiSquareGof, PerfectFitHasHighP) {
+  const auto r = chi_square_gof({250, 250, 250, 250},
+                                {0.25, 0.25, 0.25, 0.25});
+  EXPECT_EQ(r.dof, 3u);
+  EXPECT_NEAR(r.statistic, 0.0, 1e-12);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-9);
+  EXPECT_FALSE(r.rejected(0.05));
+}
+
+TEST(ChiSquareGof, GrossMismatchRejected) {
+  const auto r = chi_square_gof({900, 100}, {0.5, 0.5});
+  EXPECT_TRUE(r.rejected(0.001));
+}
+
+TEST(ChiSquareGof, UnnormalizedProbsAccepted) {
+  const auto a = chi_square_gof({100, 200}, {1.0, 2.0});
+  const auto b = chi_square_gof({100, 200}, {1.0 / 3, 2.0 / 3});
+  EXPECT_NEAR(a.statistic, b.statistic, 1e-9);
+}
+
+TEST(ChiSquareGof, ZeroExpectationWithObservationsIsInfinite) {
+  const auto r = chi_square_gof({10, 5}, {1.0, 0.0});
+  EXPECT_TRUE(std::isinf(r.statistic));
+  EXPECT_DOUBLE_EQ(r.p_value, 0.0);
+}
+
+TEST(ChiSquareGof, ZeroExpectationWithoutObservationsIsFine) {
+  const auto r = chi_square_gof({10, 0}, {1.0, 0.0});
+  EXPECT_FALSE(std::isinf(r.statistic));
+  EXPECT_NEAR(r.p_value, 1.0, 1e-9);
+}
+
+TEST(ChiSquareGof, EmptyInputsAreVacuous) {
+  const auto r = chi_square_gof({}, {});
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(ChiSquareGof, UniformSamplesUsuallyAccepted) {
+  // Property: data actually drawn from the hypothesized distribution should
+  // rarely be rejected at alpha = 1e-3.
+  Xoshiro256 rng(5);
+  int rejections = 0;
+  for (int rep = 0; rep < 50; ++rep) {
+    std::vector<std::uint64_t> counts(10, 0);
+    for (int i = 0; i < 5000; ++i) ++counts[rng.below(10)];
+    const auto r = chi_square_gof(counts, std::vector<double>(10, 0.1));
+    if (r.rejected(1e-3)) ++rejections;
+  }
+  EXPECT_LE(rejections, 2);
+}
+
+}  // namespace
+}  // namespace rfc::support

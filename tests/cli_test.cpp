@@ -1,0 +1,68 @@
+#include "support/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rfc::support {
+namespace {
+
+CliArgs make(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v = {"prog"};
+  v.insert(v.end(), argv.begin(), argv.end());
+  return CliArgs(static_cast<int>(v.size()), v.data());
+}
+
+TEST(CliArgs, EqualsSyntax) {
+  const auto args = make({"--n=128", "--gamma=2.5"});
+  EXPECT_EQ(args.get_uint("n", 0), 128u);
+  EXPECT_DOUBLE_EQ(args.get_double("gamma", 0), 2.5);
+}
+
+TEST(CliArgs, SpaceSyntax) {
+  const auto args = make({"--n", "64"});
+  EXPECT_EQ(args.get_uint("n", 0), 64u);
+}
+
+TEST(CliArgs, BareFlagIsTrue) {
+  const auto args = make({"--full"});
+  EXPECT_TRUE(args.get_bool("full"));
+  EXPECT_TRUE(args.has("full"));
+}
+
+TEST(CliArgs, BoolParsing) {
+  EXPECT_TRUE(make({"--x=true"}).get_bool("x"));
+  EXPECT_TRUE(make({"--x=1"}).get_bool("x"));
+  EXPECT_TRUE(make({"--x=yes"}).get_bool("x"));
+  EXPECT_FALSE(make({"--x=false"}).get_bool("x", true));
+  EXPECT_FALSE(make({"--x=0"}).get_bool("x", true));
+}
+
+TEST(CliArgs, DefaultsWhenAbsent) {
+  const auto args = make({});
+  EXPECT_EQ(args.get("name", "dflt"), "dflt");
+  EXPECT_EQ(args.get_int("k", -3), -3);
+  EXPECT_EQ(args.get_uint("k", 9), 9u);
+  EXPECT_DOUBLE_EQ(args.get_double("k", 1.5), 1.5);
+  EXPECT_FALSE(args.get_bool("k"));
+  EXPECT_FALSE(args.has("k"));
+}
+
+TEST(CliArgs, PositionalArguments) {
+  const auto args = make({"input.txt", "--n=4", "extra"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+  EXPECT_EQ(args.positional()[1], "extra");
+}
+
+TEST(CliArgs, NegativeIntegers) {
+  const auto args = make({"--delta=-12"});
+  EXPECT_EQ(args.get_int("delta", 0), -12);
+}
+
+TEST(CliArgs, FlagFollowedByFlagIsBoolean) {
+  const auto args = make({"--a", "--b=2"});
+  EXPECT_TRUE(args.get_bool("a"));
+  EXPECT_EQ(args.get_uint("b", 0), 2u);
+}
+
+}  // namespace
+}  // namespace rfc::support

@@ -1,0 +1,97 @@
+// Engine robustness fuzz: agents performing random actions must never
+// violate the engine's model invariants, whatever they do.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/engine.hpp"
+#include "sim/fault_model.hpp"
+#include "sim/topology.hpp"
+
+namespace rfc::sim {
+namespace {
+
+class ChaosPayload final : public Payload {
+ public:
+  explicit ChaosPayload(std::uint64_t bits) : bits_(bits) {}
+  std::uint64_t bit_size() const noexcept override { return bits_; }
+
+ private:
+  std::uint64_t bits_;
+};
+
+/// Acts uniformly at random each round: idle / push / pull, random targets
+/// (possibly self), random payload sizes, randomly refuses to serve pulls,
+/// randomly declares itself done.
+class ChaosAgent final : public Agent {
+ public:
+  Action on_round(const Context& ctx) override {
+    if (!done_ && ctx.rng->bernoulli(0.01)) done_ = true;
+    switch (ctx.rng->below(3)) {
+      case 0: return Action::idle();
+      case 1:
+        return Action::push(ctx.random_peer(),
+                            ctx.rng->bernoulli(0.2)
+                                ? nullptr  // Even null payloads.
+                                : std::make_shared<ChaosPayload>(
+                                      ctx.rng->below(512)));
+      default: return Action::pull(ctx.random_peer());
+    }
+  }
+  PayloadPtr serve_pull(const Context& ctx, AgentId) override {
+    if (ctx.rng->bernoulli(0.3)) return nullptr;
+    return std::make_shared<ChaosPayload>(ctx.rng->below(256));
+  }
+  void on_pull_reply(const Context&, AgentId, PayloadPtr) override {}
+  void on_push(const Context&, AgentId, PayloadPtr) override {}
+  bool done() const override { return done_; }
+
+ private:
+  bool done_ = false;
+};
+
+TEST(EngineFuzz, InvariantsUnderChaos) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Engine engine({64, seed, nullptr});
+    rfc::support::Xoshiro256 rng(seed);
+    engine.apply_fault_plan(
+        make_fault_plan(FaultPlacement::kRandom, 64, 16, rng));
+    for (AgentId i = 0; i < 64; ++i) {
+      engine.set_agent(i, std::make_unique<ChaosAgent>());
+    }
+    const std::uint64_t rounds = engine.run(300);
+    const Metrics& m = engine.metrics();
+    // At most one active op per active agent per round.
+    EXPECT_LE(m.active_links, rounds * 48);
+    // Replies never exceed requests.
+    EXPECT_LE(m.pull_replies, m.pull_requests);
+    // Accounting is internally consistent.
+    EXPECT_GE(m.total_bits, m.pull_requests * engine.pull_request_bits());
+    EXPECT_LE(m.max_message_bits, 512u);
+    EXPECT_EQ(m.rounds, rounds);
+  }
+}
+
+TEST(EngineFuzz, ChaosOnSparseTopology) {
+  Engine engine({32, 9, make_ring(32, 1)});
+  for (AgentId i = 0; i < 32; ++i) {
+    engine.set_agent(i, std::make_unique<ChaosAgent>());
+  }
+  engine.run(200);
+  EXPECT_LE(engine.metrics().active_links, 200u * 32);
+}
+
+TEST(EngineFuzz, TerminatesWhenChaosAgentsAllFinish) {
+  // done_ flips with p=0.01 per round: by round 3000 all 16 agents are done
+  // with overwhelming probability, and the engine must stop by itself.
+  Engine engine({16, 4, nullptr});
+  for (AgentId i = 0; i < 16; ++i) {
+    engine.set_agent(i, std::make_unique<ChaosAgent>());
+  }
+  const std::uint64_t rounds = engine.run(10'000);
+  EXPECT_LT(rounds, 10'000u);
+  EXPECT_TRUE(engine.all_done());
+}
+
+}  // namespace
+}  // namespace rfc::sim

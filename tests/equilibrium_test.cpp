@@ -1,0 +1,81 @@
+#include "analysis/equilibrium.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rfc::analysis {
+namespace {
+
+DeviationConfig base_config(rational::DeviationStrategy s,
+                            std::uint32_t t = 8) {
+  DeviationConfig cfg;
+  cfg.n = 64;
+  cfg.gamma = 4.0;
+  cfg.coalition_size = t;
+  cfg.strategy = s;
+  cfg.seed = 321;
+  return cfg;
+}
+
+TEST(Equilibrium, HonestControlMatchesFairShare) {
+  const auto report =
+      measure_deviation(base_config(rational::DeviationStrategy::kHonest),
+                        200);
+  EXPECT_EQ(report.trials, 200u);
+  EXPECT_EQ(report.failures, 0u);
+  EXPECT_DOUBLE_EQ(report.fair_share, 8.0 / 64.0);
+  EXPECT_TRUE(report.win_ci().contains(report.fair_share));
+  EXPECT_TRUE(report.equilibrium_holds());
+}
+
+TEST(Equilibrium, UtilityAccountsForFailures) {
+  DeviationReport r;
+  r.trials = 100;
+  r.coalition_wins = 20;
+  r.failures = 50;
+  EXPECT_DOUBLE_EQ(r.win_rate(), 0.2);
+  EXPECT_DOUBLE_EQ(r.fail_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(r.utility(0.0), 0.2);
+  EXPECT_DOUBLE_EQ(r.utility(1.0), 0.2 - 0.5);
+}
+
+TEST(Equilibrium, ForgingNeverProfitsUnderStrictVerification) {
+  for (const auto s : {rational::DeviationStrategy::kForgedEmptyCert,
+                       rational::DeviationStrategy::kForgedCoalitionCert}) {
+    const auto report = measure_deviation(base_config(s, 4), 60);
+    EXPECT_TRUE(report.equilibrium_holds(0.05))
+        << rational::to_string(s) << " win rate " << report.win_rate();
+    // And the failures make the utility strictly worse than honesty.
+    EXPECT_LT(report.utility(1.0), report.fair_share);
+  }
+}
+
+TEST(Equilibrium, AblationDetectsTheLoophole) {
+  auto cfg = base_config(rational::DeviationStrategy::kForgedCoalitionCert, 4);
+  cfg.strict_verification = false;
+  const auto report = measure_deviation(cfg, 60);
+  // The harness must be able to *see* a broken protocol: without the
+  // completeness check the coalition wins nearly every execution.
+  EXPECT_GT(report.win_rate(), 0.9);
+  EXPECT_FALSE(report.equilibrium_holds(0.05));
+}
+
+TEST(Equilibrium, WorksWithFaults) {
+  auto cfg = base_config(rational::DeviationStrategy::kHonest, 4);
+  cfg.gamma = 6.0;      // gamma(alpha) grows with the fault fraction.
+  cfg.num_faulty = 16;  // Suffix placement: never overlaps the coalition.
+  const auto report = measure_deviation(cfg, 100);
+  EXPECT_DOUBLE_EQ(report.fair_share, 4.0 / 48.0);
+  EXPECT_EQ(report.failures, 0u);
+  EXPECT_TRUE(report.win_ci().contains(report.fair_share));
+}
+
+TEST(Equilibrium, EveryStrategyHoldsAtSmallCoalition) {
+  // The headline theorem, smoke-tested across the whole strategy library.
+  for (const auto s : rational::all_deviation_strategies()) {
+    const auto report = measure_deviation(base_config(s, 2), 40);
+    EXPECT_TRUE(report.equilibrium_holds(0.12)) << rational::to_string(s);
+  }
+}
+
+}  // namespace
+}  // namespace rfc::analysis

@@ -1,0 +1,105 @@
+// Property tests of the fairness guarantee (Theorem 4), parameterized over
+// color configurations: the empirical winning distribution must match the
+// initial histogram.
+#include <gtest/gtest.h>
+
+#include "analysis/fairness.hpp"
+#include "core/runner.hpp"
+
+namespace rfc::analysis {
+namespace {
+
+struct FairnessCase {
+  const char* name;
+  std::vector<double> fractions;  ///< Empty = leader election.
+  std::uint32_t n;
+};
+
+class FairnessPropertyTest : public ::testing::TestWithParam<FairnessCase> {};
+
+TEST_P(FairnessPropertyTest, ObservedSharesMatchInitialShares) {
+  const FairnessCase& c = GetParam();
+  core::RunConfig cfg;
+  cfg.n = c.n;
+  cfg.gamma = 4.0;
+  cfg.seed = 1234;
+  if (!c.fractions.empty()) {
+    cfg.colors = core::split_colors(c.n, c.fractions);
+  }
+  const FairnessReport report = measure_fairness(cfg, 400);
+
+  // "w.h.p." is not "always": a straggling Find-Min broadcast makes the
+  // protocol fail safely (⊥, no unfair winner).  At gamma=4 this is rare.
+  EXPECT_LE(report.failures, 4u);
+  // Chi-square must not reject at a very conservative level.
+  EXPECT_GT(report.chi.p_value, 1e-4) << "stat=" << report.chi.statistic;
+  // Every color's initial share must sit inside a 99.9% interval around
+  // its observed winning rate (the report's 95% CIs are for display; at a
+  // fixed seed the occasional 95% miss is expected by construction).
+  const std::uint64_t successes = report.trials - report.failures;
+  for (const auto& share : report.shares) {
+    const auto wide =
+        rfc::support::wilson_interval(share.wins, successes, 3.29);
+    EXPECT_TRUE(wide.contains(share.expected))
+        << "color " << share.color << " observed " << share.observed
+        << " expected " << share.expected;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ColorConfigurations, FairnessPropertyTest,
+    ::testing::Values(
+        FairnessCase{"balanced", {0.5, 0.5}, 96},
+        FairnessCase{"skewed", {0.85, 0.15}, 96},
+        FairnessCase{"three_way", {0.6, 0.3, 0.1}, 96},
+        FairnessCase{"five_way", {0.3, 0.25, 0.2, 0.15, 0.1}, 100},
+        FairnessCase{"leader_election", {}, 48}),
+    [](const ::testing::TestParamInfo<FairnessCase>& info) {
+      return info.param.name;
+    });
+
+TEST(Fairness, FaultyColorNeverWins) {
+  // Kill every supporter of color 0: color 1 must always win.
+  core::RunConfig cfg;
+  cfg.n = 64;
+  cfg.gamma = 5.0;
+  cfg.seed = 77;
+  cfg.colors = core::split_colors(cfg.n, {0.25, 0.75});
+  cfg.num_faulty = 16;
+  cfg.placement = sim::FaultPlacement::kPrefix;
+  const FairnessReport report = measure_fairness(cfg, 100);
+  EXPECT_EQ(report.failures, 0u);
+  for (const auto& share : report.shares) {
+    if (share.color == 1) {
+      EXPECT_EQ(share.wins, 100u);
+      EXPECT_DOUBLE_EQ(share.expected, 1.0);
+    }
+  }
+}
+
+TEST(Fairness, FairAmongSurvivorsUnderFaults) {
+  // 50/50 split, half of each color killed: survivors still 50/50.
+  core::RunConfig cfg;
+  cfg.n = 96;
+  cfg.gamma = 5.0;
+  cfg.seed = 99;
+  cfg.colors = core::split_colors(cfg.n, {0.5, 0.5});
+  cfg.num_faulty = 32;
+  cfg.placement = sim::FaultPlacement::kStride;
+  const FairnessReport report = measure_fairness(cfg, 300);
+  EXPECT_EQ(report.failures, 0u);
+  EXPECT_GT(report.chi.p_value, 1e-4);
+}
+
+TEST(Fairness, ReportAggregatesCostStatistics) {
+  core::RunConfig cfg;
+  cfg.n = 64;
+  cfg.gamma = 2.0;
+  const FairnessReport report = measure_fairness(cfg, 20);
+  EXPECT_EQ(report.rounds.count(), 20u);
+  EXPECT_GT(report.total_bits.mean(), 0.0);
+  EXPECT_GT(report.max_message_bits.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace rfc::analysis

@@ -1,0 +1,103 @@
+#include "sim/fault_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace rfc::sim {
+namespace {
+
+std::uint32_t count(const std::vector<bool>& plan) {
+  return static_cast<std::uint32_t>(
+      std::count(plan.begin(), plan.end(), true));
+}
+
+class FaultPlanTest : public ::testing::TestWithParam<FaultPlacement> {};
+
+TEST_P(FaultPlanTest, ExactCountForEveryPlacement) {
+  rfc::support::Xoshiro256 rng(1);
+  for (const std::uint32_t n : {2u, 10u, 64u, 257u}) {
+    for (const std::uint32_t f : {0u, 1u, n / 3, n - 1}) {
+      const auto plan = make_fault_plan(GetParam(), n, f, rng);
+      ASSERT_EQ(plan.size(), n);
+      if (GetParam() == FaultPlacement::kNone) {
+        EXPECT_EQ(count(plan), 0u);
+      } else {
+        EXPECT_EQ(count(plan), f);
+      }
+    }
+  }
+}
+
+TEST_P(FaultPlanTest, ClampsToLeaveOneActive) {
+  rfc::support::Xoshiro256 rng(2);
+  const auto plan = make_fault_plan(GetParam(), 8, 100, rng);
+  if (GetParam() == FaultPlacement::kNone) {
+    EXPECT_EQ(count(plan), 0u);
+  } else {
+    EXPECT_EQ(count(plan), 7u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlacements, FaultPlanTest,
+    ::testing::ValuesIn(all_fault_placements()),
+    [](const ::testing::TestParamInfo<FaultPlacement>& info) {
+      std::string name = to_string(info.param);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST(FaultPlan, PrefixKillsSmallestLabels) {
+  rfc::support::Xoshiro256 rng(3);
+  const auto plan = make_fault_plan(FaultPlacement::kPrefix, 10, 3, rng);
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(plan[i], i < 3);
+}
+
+TEST(FaultPlan, SuffixKillsLargestLabels) {
+  rfc::support::Xoshiro256 rng(3);
+  const auto plan = make_fault_plan(FaultPlacement::kSuffix, 10, 3, rng);
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(plan[i], i >= 7);
+}
+
+TEST(FaultPlan, StrideIsSpread) {
+  rfc::support::Xoshiro256 rng(3);
+  const auto plan = make_fault_plan(FaultPlacement::kStride, 12, 4, rng);
+  EXPECT_TRUE(plan[0]);
+  EXPECT_TRUE(plan[3]);
+  EXPECT_TRUE(plan[6]);
+  EXPECT_TRUE(plan[9]);
+}
+
+TEST(FaultPlan, ClusteredIsContiguousModN) {
+  rfc::support::Xoshiro256 rng(5);
+  const auto plan = make_fault_plan(FaultPlacement::kClustered, 16, 5, rng);
+  // Find the start and verify the next 5 (mod 16) are faulty.
+  std::uint32_t start = 0;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    const bool prev = plan[(i + 15) % 16];
+    if (plan[i] && !prev) start = i;
+  }
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_TRUE(plan[(start + i) % 16]);
+}
+
+TEST(FaultPlan, RandomIsDeterministicGivenRngState) {
+  rfc::support::Xoshiro256 rng_a(7), rng_b(7);
+  EXPECT_EQ(make_fault_plan(FaultPlacement::kRandom, 100, 30, rng_a),
+            make_fault_plan(FaultPlacement::kRandom, 100, 30, rng_b));
+}
+
+TEST(FaultPlan, RandomVariesAcrossSeeds) {
+  rfc::support::Xoshiro256 rng_a(7), rng_b(8);
+  EXPECT_NE(make_fault_plan(FaultPlacement::kRandom, 100, 30, rng_a),
+            make_fault_plan(FaultPlacement::kRandom, 100, 30, rng_b));
+}
+
+TEST(FaultPlan, AllPlacementsHaveNames) {
+  for (const auto p : all_fault_placements()) {
+    EXPECT_NE(to_string(p), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace rfc::sim

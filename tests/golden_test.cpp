@@ -1,0 +1,75 @@
+// Golden regression anchors: exact outcomes for pinned seeds.
+//
+// These protect the reproducibility contract — any change to RNG stream
+// layout, engine callback order, payload sizes, or protocol logic shows up
+// here first, deliberately.  If a change is *intended* to alter execution
+// (new draw order, different accounting), regenerate the constants with
+// tests/golden_test --print and update this file in the same commit.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/runner.hpp"
+
+namespace rfc::core {
+namespace {
+
+RunResult golden_run() {
+  RunConfig cfg;
+  cfg.n = 64;
+  cfg.gamma = 3.0;
+  cfg.seed = 123456789;
+  cfg.colors = split_colors(cfg.n, {0.5, 0.5});
+  return run_protocol(cfg);
+}
+
+RunResult golden_faulty_run() {
+  RunConfig cfg;
+  cfg.n = 96;
+  cfg.gamma = 5.0;
+  cfg.seed = 42;
+  cfg.num_faulty = 24;
+  cfg.placement = sim::FaultPlacement::kRandom;
+  return run_protocol(cfg);
+}
+
+TEST(Golden, PrintCurrentValues) {
+  // Not an assertion — run with --gtest_also_run_disabled_tests after an
+  // intended behaviour change to regenerate the constants below.
+  if (!::testing::GTEST_FLAG(also_run_disabled_tests)) {
+    GTEST_SKIP() << "regeneration helper";
+  }
+  const RunResult a = golden_run();
+  std::printf("golden_run: winner=%lld agent=%u bits=%llu msgs=%llu max=%llu\n",
+              static_cast<long long>(a.winner), a.winner_agent,
+              static_cast<unsigned long long>(a.metrics.total_bits),
+              static_cast<unsigned long long>(a.metrics.messages()),
+              static_cast<unsigned long long>(a.metrics.max_message_bits));
+  const RunResult b = golden_faulty_run();
+  std::printf("golden_faulty: winner=%lld bits=%llu active=%u\n",
+              static_cast<long long>(b.winner),
+              static_cast<unsigned long long>(b.metrics.total_bits),
+              b.num_active);
+}
+
+TEST(Golden, FaultFreeRunIsPinned) {
+  const RunResult r = golden_run();
+  EXPECT_EQ(r.winner, 1);
+  EXPECT_EQ(r.winner_agent, 36u);
+  EXPECT_EQ(r.metrics.total_bits, 1008340u);
+  EXPECT_EQ(r.metrics.messages(), 4992u);
+  EXPECT_EQ(r.metrics.max_message_bits, 674u);
+  EXPECT_EQ(r.rounds, 53u);
+  EXPECT_EQ(r.rounds, 4ull * ProtocolParams::make(64, 3.0).q + 1);
+}
+
+TEST(Golden, FaultyRunIsPinned) {
+  const RunResult r = golden_faulty_run();
+  EXPECT_EQ(r.winner, 0);
+  EXPECT_EQ(r.num_active, 72u);
+  EXPECT_EQ(r.metrics.total_bits, 2442902u);
+  EXPECT_EQ(r.events.min_votes, 6u);
+}
+
+}  // namespace
+}  // namespace rfc::core

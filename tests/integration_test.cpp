@@ -1,0 +1,150 @@
+// End-to-end integration: the full stack (engine + gossip + protocol +
+// rational + baselines + analysis) exercised together the way the examples
+// and experiments use it.
+#include <gtest/gtest.h>
+
+#include "analysis/equilibrium.hpp"
+#include "analysis/fairness.hpp"
+#include "analysis/scaling.hpp"
+#include "baseline/local_fair_election.hpp"
+#include "baseline/naive_election.hpp"
+#include "core/runner.hpp"
+#include "rational/strategies.hpp"
+
+namespace rfc {
+namespace {
+
+TEST(Integration, MediumNetworkFullPipeline) {
+  // One substantial honest run with faults: all good-execution events and
+  // a clean consensus.
+  core::RunConfig cfg;
+  cfg.n = 512;
+  cfg.gamma = 4.0;
+  cfg.seed = 2024;
+  cfg.colors = core::split_colors(cfg.n, {0.4, 0.35, 0.25});
+  cfg.num_faulty = 128;
+  cfg.placement = sim::FaultPlacement::kClustered;
+
+  const auto r = core::run_protocol(cfg);
+  ASSERT_FALSE(r.failed());
+  EXPECT_TRUE(r.winner >= 0 && r.winner <= 2);
+  EXPECT_EQ(r.num_active, 384u);
+  EXPECT_GE(r.events.min_votes, 1u);
+  EXPECT_TRUE(r.events.k_values_distinct);
+  EXPECT_TRUE(r.events.find_min_agreement);
+
+  // Communication stays far below the LOCAL baseline at this size.
+  baseline::LocalElectionConfig lc;
+  lc.n = cfg.n;
+  const auto local = baseline::run_local_fair_election(lc);
+  EXPECT_LT(r.metrics.messages(), local.messages);
+}
+
+TEST(Integration, EquilibriumAndFairnessAgreeOnHonestPlay) {
+  // The two analysis paths must tell the same story for honest play: the
+  // coalition's color wins at its share.
+  analysis::DeviationConfig dev;
+  dev.n = 96;
+  dev.gamma = 3.0;
+  dev.coalition_size = 24;
+  dev.strategy = rational::DeviationStrategy::kHonest;
+  dev.seed = 55;
+  const auto eq = analysis::measure_deviation(dev, 150);
+
+  core::RunConfig fair_cfg;
+  fair_cfg.n = 96;
+  fair_cfg.gamma = 3.0;
+  fair_cfg.seed = 55;
+  fair_cfg.colors.assign(96, 0);
+  for (std::uint32_t i = 0; i < 24; ++i) fair_cfg.colors[i] = 1;
+  const auto fair = analysis::measure_fairness(fair_cfg, 150);
+
+  double fair_color1 = 0;
+  for (const auto& share : fair.shares) {
+    if (share.color == 1) fair_color1 = share.observed;
+  }
+  EXPECT_NEAR(eq.win_rate(), fair_color1, 0.12);
+  EXPECT_NEAR(eq.win_rate(), 0.25, 0.12);
+}
+
+TEST(Integration, AttackedProtocolStillProtectsHonestMajority) {
+  // Large-ish network, faults AND a deviating coalition simultaneously.
+  const auto coalition = rational::make_prefix_coalition(8);
+  core::RunConfig cfg;
+  cfg.n = 256;
+  cfg.gamma = 4.0;
+  cfg.colors.assign(cfg.n, 0);
+  for (std::uint32_t i = 0; i < 8; ++i) cfg.colors[i] = 1;
+  cfg.coalition = coalition->members();
+  cfg.num_faulty = 64;
+  cfg.placement = sim::FaultPlacement::kSuffix;
+
+  int coalition_wins = 0, failures = 0;
+  constexpr int kTrials = 30;
+  for (int i = 0; i < kTrials; ++i) {
+    cfg.seed = 9000 + i;
+    const auto fresh = rational::make_prefix_coalition(8);
+    cfg.factory = rational::make_deviating_factory(
+        rational::DeviationStrategy::kForgedCoalitionCert, fresh);
+    const auto r = core::run_protocol(cfg);
+    if (r.failed()) {
+      ++failures;
+    } else if (r.winner == 1) {
+      ++coalition_wins;
+    }
+  }
+  // The attack must never convert into wins; it only burns executions.
+  EXPECT_EQ(coalition_wins, 0);
+  EXPECT_GT(failures, kTrials / 2);
+}
+
+TEST(Integration, ScalingSweepMatchesDirectRuns) {
+  core::RunConfig base;
+  base.gamma = 3.0;
+  base.seed = 31;
+  const auto sweep = analysis::measure_scaling(base, {64}, 3);
+  ASSERT_EQ(sweep.points.size(), 1u);
+
+  // Reproduce trial 0 by hand and compare.
+  core::RunConfig direct;
+  direct.n = 64;
+  direct.gamma = 3.0;
+  direct.seed = rfc::support::derive_seed(31, 0);
+  const auto r = core::run_protocol(direct);
+  EXPECT_EQ(sweep.points[0].total_bits.min() <=
+                static_cast<double>(r.metrics.total_bits) &&
+            static_cast<double>(r.metrics.total_bits) <=
+                sweep.points[0].total_bits.max(),
+            true);
+}
+
+TEST(Integration, NaiveBaselineBreaksWhereProtocolHolds) {
+  // The paper's motivation in one test: identical cheating intent, two
+  // protocols, opposite outcomes.
+  baseline::NaiveElectionConfig naive;
+  naive.n = 128;
+  naive.gamma = 4.0;
+  naive.cheaters = 1;
+  naive.colors.assign(128, 0);
+  naive.colors[0] = 1;
+  int naive_cheater_wins = 0;
+  for (int i = 0; i < 20; ++i) {
+    naive.seed = 100 + i;
+    if (baseline::run_naive_election(naive).winner == 1) {
+      ++naive_cheater_wins;
+    }
+  }
+  EXPECT_EQ(naive_cheater_wins, 20);
+
+  analysis::DeviationConfig dev;
+  dev.n = 128;
+  dev.gamma = 4.0;
+  dev.coalition_size = 1;
+  dev.strategy = rational::DeviationStrategy::kForgedEmptyCert;
+  dev.seed = 100;
+  const auto report = analysis::measure_deviation(dev, 20);
+  EXPECT_EQ(report.coalition_wins, 0u);
+}
+
+}  // namespace
+}  // namespace rfc

@@ -1,0 +1,61 @@
+#include "support/math_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rfc::support {
+namespace {
+
+TEST(FloorLog2, KnownValues) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(4), 2u);
+  EXPECT_EQ(floor_log2(1023), 9u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+  EXPECT_EQ(floor_log2(~0ull), 63u);
+}
+
+TEST(CeilLog2, KnownValues) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(1ull << 40), 40u);
+  EXPECT_EQ(ceil_log2((1ull << 40) + 1), 41u);
+}
+
+TEST(BitWidthForDomain, NeverZero) {
+  EXPECT_EQ(bit_width_for_domain(1), 1u);
+  EXPECT_EQ(bit_width_for_domain(2), 1u);
+  EXPECT_EQ(bit_width_for_domain(3), 2u);
+  EXPECT_EQ(bit_width_for_domain(256), 8u);
+  EXPECT_EQ(bit_width_for_domain(257), 9u);
+}
+
+TEST(Cube, MatchesMultiplication) {
+  EXPECT_EQ(cube(1), 1u);
+  EXPECT_EQ(cube(10), 1000u);
+  EXPECT_EQ(cube(1u << 21), 1ull << 63);  // The domain boundary for m = n^3.
+}
+
+TEST(RoundCount, MatchesCeilGammaLnN) {
+  EXPECT_EQ(round_count(4.0, 1024),
+            static_cast<std::uint32_t>(std::ceil(4.0 * std::log(1024.0))));
+  EXPECT_EQ(round_count(1.0, 2), 1u);
+}
+
+TEST(RoundCount, AtLeastOne) {
+  EXPECT_GE(round_count(0.01, 2), 1u);
+  EXPECT_GE(round_count(0.5, 1), 1u);
+}
+
+TEST(RoundCount, MonotoneInGammaAndN) {
+  EXPECT_LE(round_count(2.0, 100), round_count(4.0, 100));
+  EXPECT_LE(round_count(4.0, 100), round_count(4.0, 10'000));
+}
+
+}  // namespace
+}  // namespace rfc::support

@@ -1,0 +1,83 @@
+// Pull-based min-aggregation: the Find-Min communication skeleton.
+#include "gossip/min_aggregation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/math_util.hpp"
+
+namespace rfc::gossip {
+namespace {
+
+TEST(MinAggregation, ConvergesWithGenerousBudget) {
+  MinAggConfig cfg;
+  cfg.n = 512;
+  cfg.rounds = rfc::support::round_count(4.0, cfg.n);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    cfg.seed = seed;
+    const auto result = run_min_aggregation(cfg);
+    EXPECT_TRUE(result.converged) << "seed " << seed;
+  }
+}
+
+TEST(MinAggregation, ZeroRoundsDoesNotConverge) {
+  MinAggConfig cfg;
+  cfg.n = 64;
+  cfg.rounds = 0;
+  cfg.seed = 3;
+  const auto result = run_min_aggregation(cfg);
+  // With 64 distinct random inputs, no-communication agreement is
+  // impossible.
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(MinAggregation, SingleAgentTriviallyConverged) {
+  MinAggConfig cfg;
+  cfg.n = 1;
+  cfg.rounds = 0;
+  const auto result = run_min_aggregation(cfg);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(MinAggregation, GlobalMinExcludesFaultyInputs) {
+  // With faults, convergence is to the min over *active* agents.
+  MinAggConfig cfg;
+  cfg.n = 256;
+  cfg.rounds = rfc::support::round_count(6.0, cfg.n);
+  cfg.num_faulty = 128;
+  cfg.placement = sim::FaultPlacement::kRandom;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    cfg.seed = seed;
+    const auto result = run_min_aggregation(cfg);
+    EXPECT_TRUE(result.converged) << "seed " << seed;
+  }
+}
+
+TEST(MinAggregation, BudgetMonotonicity) {
+  // If the process converged with budget q, it stays converged with q' > q
+  // (value sets only shrink toward the min).  Check statistically: the
+  // convergence rate with double budget is at least as high.
+  int small_ok = 0, large_ok = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    MinAggConfig cfg;
+    cfg.n = 128;
+    cfg.seed = seed;
+    cfg.rounds = 3;
+    if (run_min_aggregation(cfg).converged) ++small_ok;
+    cfg.rounds = 30;
+    if (run_min_aggregation(cfg).converged) ++large_ok;
+  }
+  EXPECT_GE(large_ok, small_ok);
+  EXPECT_EQ(large_ok, 20);
+}
+
+TEST(MinAggregation, MetricsCountPullsOnly) {
+  MinAggConfig cfg;
+  cfg.n = 32;
+  cfg.rounds = 4;
+  const auto result = run_min_aggregation(cfg);
+  EXPECT_EQ(result.metrics.pushes, 0u);
+  EXPECT_EQ(result.metrics.pull_requests, 32u * 4u);
+}
+
+}  // namespace
+}  // namespace rfc::gossip

@@ -1,0 +1,100 @@
+#include "baseline/plurality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+
+namespace rfc::baseline {
+namespace {
+
+TEST(Plurality, ConvergesOnTwoColors) {
+  PluralityConfig cfg;
+  cfg.n = 128;
+  cfg.colors = core::split_colors(cfg.n, {0.5, 0.5});
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    cfg.seed = seed;
+    const auto r = run_plurality_consensus(cfg);
+    EXPECT_TRUE(r.converged);
+    EXPECT_TRUE(r.winner == 0 || r.winner == 1);
+    EXPECT_LT(r.rounds, 200u);
+  }
+}
+
+TEST(Plurality, StrongMajorityAlmostAlwaysWins) {
+  PluralityConfig cfg;
+  cfg.n = 200;
+  cfg.colors = core::split_colors(cfg.n, {0.75, 0.25});
+  int majority_wins = 0;
+  constexpr int kTrials = 40;
+  for (int i = 0; i < kTrials; ++i) {
+    cfg.seed = 100 + i;
+    const auto r = run_plurality_consensus(cfg);
+    ASSERT_TRUE(r.converged);
+    if (r.winner == 0) ++majority_wins;
+  }
+  // The point of E8b: this is NOT proportional (75%) — it is ~100%.
+  EXPECT_GE(majority_wins, kTrials - 1);
+}
+
+TEST(Plurality, MonochromaticStartIsImmediate) {
+  PluralityConfig cfg;
+  cfg.n = 32;
+  cfg.colors.assign(32, 7);
+  cfg.seed = 2;
+  const auto r = run_plurality_consensus(cfg);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.winner, 7);
+  EXPECT_EQ(r.rounds, 0u);
+}
+
+TEST(Plurality, SurvivesFaults) {
+  PluralityConfig cfg;
+  cfg.n = 128;
+  cfg.colors = core::split_colors(cfg.n, {0.7, 0.3});
+  cfg.num_faulty = 48;
+  cfg.placement = sim::FaultPlacement::kRandom;
+  cfg.seed = 5;
+  const auto r = run_plurality_consensus(cfg);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Plurality, MetricsCountThreeSamplesPerAgentRound) {
+  PluralityConfig cfg;
+  cfg.n = 64;
+  cfg.colors = core::split_colors(cfg.n, {0.5, 0.5});
+  cfg.seed = 3;
+  const auto r = run_plurality_consensus(cfg);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.metrics.pull_requests, 3ull * 64 * r.rounds);
+}
+
+TEST(Plurality, DeterministicPerSeed) {
+  PluralityConfig cfg;
+  cfg.n = 96;
+  cfg.colors = core::split_colors(cfg.n, {0.5, 0.5});
+  cfg.seed = 11;
+  const auto a = run_plurality_consensus(cfg);
+  const auto b = run_plurality_consensus(cfg);
+  EXPECT_EQ(a.winner, b.winner);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(Plurality, RespectsMaxRounds) {
+  PluralityConfig cfg;
+  cfg.n = 128;
+  cfg.colors = core::split_colors(cfg.n, {0.5, 0.5});
+  cfg.max_rounds = 1;
+  cfg.seed = 4;
+  const auto r = run_plurality_consensus(cfg);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.rounds, 1u);
+}
+
+TEST(Plurality, RejectsEmptyNetwork) {
+  PluralityConfig cfg;
+  cfg.n = 0;
+  EXPECT_THROW(run_plurality_consensus(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rfc::baseline

@@ -1,0 +1,208 @@
+// White-box tests of the honest ProtocolAgent driven through a real engine.
+#include "core/protocol_agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/payloads.hpp"
+#include "sim/engine.hpp"
+
+namespace rfc::core {
+namespace {
+
+struct World {
+  explicit World(std::uint32_t n, double gamma = 2.0, std::uint64_t seed = 1)
+      : params(ProtocolParams::make(n, gamma)), engine({n, seed}) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      auto agent = std::make_unique<ProtocolAgent>(
+          params, static_cast<Color>(i % 3));
+      agents.push_back(agent.get());
+      engine.set_agent(i, std::move(agent));
+    }
+  }
+  void run_all() { engine.run(params.total_rounds() + 4); }
+
+  ProtocolParams params;
+  sim::Engine engine;
+  std::vector<ProtocolAgent*> agents;
+};
+
+TEST(ProtocolAgent, IntentionHasCorrectShape) {
+  World w(64);
+  w.engine.step();  // on_start runs before round 0.
+  for (const auto* agent : w.agents) {
+    const VoteIntention& h = agent->intention();
+    ASSERT_EQ(h.size(), w.params.q);
+    for (const VoteEntry& e : h) {
+      EXPECT_LT(e.value, w.params.m);
+      EXPECT_LT(e.target, w.params.n);
+    }
+  }
+}
+
+TEST(ProtocolAgent, IntentionsVaryAcrossAgents) {
+  World w(32);
+  w.engine.step();
+  std::set<std::uint64_t> first_values;
+  for (const auto* agent : w.agents) {
+    first_values.insert(agent->intention().front().value);
+  }
+  EXPECT_GT(first_values.size(), 30u);  // Collisions vanishingly unlikely.
+}
+
+TEST(ProtocolAgent, CommitmentCollectsOnePullPerRound) {
+  World w(64);
+  for (std::uint32_t r = 0; r < w.params.q; ++r) w.engine.step();
+  for (const auto* agent : w.agents) {
+    // Up to q records (self-pulls and repeats dedupe).
+    EXPECT_GE(agent->collected_intentions().size(), 1u);
+    EXPECT_LE(agent->collected_intentions().size(), w.params.q);
+    for (const auto& [peer, record] : agent->collected_intentions()) {
+      EXPECT_LT(peer, w.params.n);
+      EXPECT_FALSE(record.marked_faulty);  // Everyone honest & active.
+      EXPECT_EQ(record.intention.size(), w.params.q);
+    }
+  }
+}
+
+TEST(ProtocolAgent, FaultyPeersAreMarkedFaulty) {
+  World w(32);
+  // Make half the network faulty before starting.
+  for (std::uint32_t i = 16; i < 32; ++i) w.engine.set_faulty(i);
+  for (std::uint32_t r = 0; r < w.params.q; ++r) w.engine.step();
+  bool saw_faulty_mark = false;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    for (const auto& [peer, record] :
+         w.agents[i]->collected_intentions()) {
+      if (peer >= 16) {
+        EXPECT_TRUE(record.marked_faulty);
+        saw_faulty_mark = true;
+      } else {
+        EXPECT_FALSE(record.marked_faulty);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_faulty_mark);  // With q pulls over 32 labels, certain.
+}
+
+TEST(ProtocolAgent, VotesMatchDeclaredIntentions) {
+  World w(64);
+  for (std::uint32_t r = 0; r < 2 * w.params.q; ++r) w.engine.step();
+  // Cross-check: every received vote (v, j, h) equals H_v[j] and targets
+  // the receiver.
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    for (const ReceivedVote& vote : w.agents[i]->received_votes()) {
+      const VoteIntention& hv = w.agents[vote.voter]->intention();
+      EXPECT_EQ(hv.at(vote.round_index).value, vote.value);
+      EXPECT_EQ(hv.at(vote.round_index).target, i);
+    }
+  }
+}
+
+TEST(ProtocolAgent, TotalVotesEqualsActiveTimesQ) {
+  World w(64);
+  for (std::uint32_t r = 0; r < 2 * w.params.q; ++r) w.engine.step();
+  std::size_t total = 0;
+  for (const auto* agent : w.agents) total += agent->received_votes().size();
+  EXPECT_EQ(total, 64ull * w.params.q);
+}
+
+TEST(ProtocolAgent, CertificateBuiltAtFindMinStart) {
+  World w(64);
+  for (std::uint32_t r = 0; r < 2 * w.params.q; ++r) w.engine.step();
+  for (const auto* agent : w.agents) {
+    EXPECT_FALSE(agent->has_own_certificate());
+  }
+  w.engine.step();
+  for (const auto* agent : w.agents) {
+    ASSERT_TRUE(agent->has_own_certificate());
+    const Certificate& ce = agent->own_certificate();
+    EXPECT_EQ(ce.k, ce.vote_sum(w.params));
+    EXPECT_EQ(ce.votes.size(), agent->received_votes().size());
+  }
+}
+
+TEST(ProtocolAgent, FindMinReachesGlobalMinimum) {
+  World w(128, 4.0);
+  for (std::uint32_t r = 0; r < 3 * w.params.q; ++r) w.engine.step();
+  Certificate global_min = w.agents[0]->own_certificate();
+  for (const auto* agent : w.agents) {
+    if (agent->own_certificate().less_than(global_min)) {
+      global_min = agent->own_certificate();
+    }
+  }
+  for (const auto* agent : w.agents) {
+    EXPECT_EQ(agent->min_certificate(), global_min);
+  }
+}
+
+TEST(ProtocolAgent, FullRunDecidesUnanimously) {
+  World w(128, 4.0);
+  w.run_all();
+  ASSERT_TRUE(w.agents[0]->decided());
+  const Color winner = w.agents[0]->decision();
+  EXPECT_NE(winner, kNoColor);
+  for (const auto* agent : w.agents) {
+    EXPECT_TRUE(agent->decided());
+    EXPECT_FALSE(agent->failed());
+    EXPECT_EQ(agent->decision(), winner);
+    EXPECT_EQ(agent->verification_failure(), VerificationFailure::kNone);
+  }
+}
+
+TEST(ProtocolAgent, WinnerColorBelongsToMinCertOwner) {
+  World w(64, 3.0);
+  w.run_all();
+  const Certificate& min_cert = w.agents[0]->min_certificate();
+  EXPECT_EQ(w.agents[0]->decision(),
+            w.agents[min_cert.owner]->initial_color());
+}
+
+TEST(ProtocolAgent, CommitmentPullersAreRecorded) {
+  World w(32);
+  for (std::uint32_t r = 0; r < w.params.q; ++r) w.engine.step();
+  std::size_t total_pulls = 0;
+  for (const auto* agent : w.agents) {
+    total_pulls += agent->commitment_pullers().size();
+  }
+  EXPECT_EQ(total_pulls, 32ull * w.params.q);
+}
+
+TEST(ProtocolAgent, ServesNothingOutsideProtocolPhases) {
+  World w(16);
+  // Drive to the Voting phase, where the protocol defines no pulls.
+  for (std::uint32_t r = 0; r < w.params.q + 1; ++r) w.engine.step();
+  sim::Context ctx;
+  ctx.self = 0;
+  ctx.n = 16;
+  ctx.round = w.params.q + 1;  // Voting.
+  rfc::support::Xoshiro256 rng(1);
+  ctx.rng = &rng;
+  EXPECT_EQ(w.agents[0]->serve_pull(ctx, 5), nullptr);
+}
+
+TEST(ProtocolAgent, DoneAgentIsQuiescent) {
+  World w(16);
+  w.run_all();
+  ASSERT_TRUE(w.agents[0]->done());
+  sim::Context ctx;
+  ctx.self = 0;
+  ctx.n = 16;
+  ctx.round = 0;  // Even a Commitment-phase pull gets silence now.
+  rfc::support::Xoshiro256 rng(1);
+  ctx.rng = &rng;
+  EXPECT_EQ(w.agents[0]->serve_pull(ctx, 3), nullptr);
+  EXPECT_EQ(w.agents[0]->on_round(ctx).kind, sim::ActionKind::kIdle);
+}
+
+TEST(ProtocolAgent, TerminatesWithinScheduledRounds) {
+  World w(64);
+  const std::uint64_t rounds = w.engine.run(w.params.total_rounds() + 100);
+  EXPECT_EQ(rounds, w.params.total_rounds());
+}
+
+}  // namespace
+}  // namespace rfc::core

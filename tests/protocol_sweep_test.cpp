@@ -1,0 +1,123 @@
+// Large parameterized property sweeps over the protocol's configuration
+// space: every (n, gamma, fault fraction, placement, digest-mode) cell must
+// uphold the core invariants — termination, safety (winner is an active
+// agent's initial color or ⊥), agreement, and exact communication-model
+// bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/runner.hpp"
+
+namespace rfc::core {
+namespace {
+
+struct SweepCase {
+  std::uint32_t n;
+  double gamma;
+  double alpha;
+  sim::FaultPlacement placement;
+  bool digest;
+};
+
+std::string case_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  const SweepCase& c = info.param;
+  std::string name = "n" + std::to_string(c.n) + "_g" +
+                     std::to_string(static_cast<int>(c.gamma)) + "_a" +
+                     std::to_string(static_cast<int>(c.alpha * 100)) + "_" +
+                     sim::to_string(c.placement) +
+                     (c.digest ? "_digest" : "_full");
+  for (char& ch : name) {
+    if (ch == '-') ch = '_';
+  }
+  return name;
+}
+
+class ProtocolSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(ProtocolSweepTest, InvariantsHold) {
+  const SweepCase& c = GetParam();
+  RunConfig cfg;
+  cfg.n = c.n;
+  cfg.gamma = c.gamma;
+  cfg.num_faulty = static_cast<std::uint32_t>(c.alpha * c.n);
+  cfg.placement = cfg.num_faulty ? c.placement : sim::FaultPlacement::kNone;
+  cfg.coherence_digest = c.digest;
+  cfg.colors = split_colors(c.n, {0.5, 0.3, 0.2});
+  const auto params = ProtocolParams::make(c.n, c.gamma);
+
+  int successes = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    cfg.seed = seed * 7919;
+    const RunResult r = run_protocol(cfg);
+
+    // Termination: the engine never exceeds the schedule.
+    EXPECT_LE(r.rounds, params.total_rounds());
+
+    // Safety: the outcome is ⊥ or a color some active agent started with.
+    if (!r.failed()) {
+      ++successes;
+      EXPECT_TRUE(r.active_colors.contains(r.winner));
+      EXPECT_NE(r.winner_agent, sim::kNoAgent);
+    }
+
+    // Model bounds: one active operation per agent per round; message
+    // sizes polylog.
+    EXPECT_LE(r.metrics.active_links,
+              r.rounds * static_cast<std::uint64_t>(c.n));
+    const double log2n = std::log2(static_cast<double>(c.n));
+    EXPECT_LT(static_cast<double>(r.metrics.max_message_bits),
+              64.0 * log2n * log2n);
+
+    // Consistency of the active-color histogram.
+    std::uint32_t active_total = 0;
+    for (const auto& [color, count] : r.active_colors) {
+      (void)color;
+      active_total += count;
+    }
+    EXPECT_EQ(active_total, r.num_active);
+    EXPECT_EQ(r.num_active, c.n - cfg.num_faulty);
+  }
+  // Liveness at suitable gamma: gamma = 6 covers alpha <= 0.5 comfortably.
+  if (c.gamma >= 6.0) {
+    EXPECT_EQ(successes, 5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultFreeSizes, ProtocolSweepTest,
+    ::testing::Values(
+        SweepCase{16, 6.0, 0.0, sim::FaultPlacement::kNone, false},
+        SweepCase{33, 6.0, 0.0, sim::FaultPlacement::kNone, false},
+        SweepCase{64, 6.0, 0.0, sim::FaultPlacement::kNone, false},
+        SweepCase{100, 6.0, 0.0, sim::FaultPlacement::kNone, false},
+        SweepCase{128, 6.0, 0.0, sim::FaultPlacement::kNone, true},
+        SweepCase{257, 6.0, 0.0, sim::FaultPlacement::kNone, false}),
+    case_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultPlacements, ProtocolSweepTest,
+    ::testing::Values(
+        SweepCase{96, 6.0, 0.25, sim::FaultPlacement::kRandom, false},
+        SweepCase{96, 6.0, 0.25, sim::FaultPlacement::kPrefix, false},
+        SweepCase{96, 6.0, 0.25, sim::FaultPlacement::kSuffix, false},
+        SweepCase{96, 6.0, 0.25, sim::FaultPlacement::kStride, false},
+        SweepCase{96, 6.0, 0.25, sim::FaultPlacement::kClustered, false},
+        SweepCase{96, 6.0, 0.5, sim::FaultPlacement::kRandom, false},
+        SweepCase{96, 6.0, 0.5, sim::FaultPlacement::kClustered, true}),
+    case_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    GammaLadder, ProtocolSweepTest,
+    ::testing::Values(
+        // Small gamma: invariants must hold even when liveness does not.
+        SweepCase{128, 1.0, 0.0, sim::FaultPlacement::kNone, false},
+        SweepCase{128, 2.0, 0.0, sim::FaultPlacement::kNone, false},
+        SweepCase{128, 3.0, 0.3, sim::FaultPlacement::kRandom, false},
+        SweepCase{128, 8.0, 0.6, sim::FaultPlacement::kRandom, false},
+        SweepCase{128, 8.0, 0.6, sim::FaultPlacement::kPrefix, true}),
+    case_name);
+
+}  // namespace
+}  // namespace rfc::core

@@ -1,0 +1,72 @@
+#include "support/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rfc::support {
+namespace {
+
+TEST(FitLinear, ExactLine) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {3, 5, 7, 9, 11};  // y = 1 + 2x
+  const LinearFit f = fit_linear(x, y);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-10);
+  EXPECT_NEAR(f.slope, 2.0, 1e-10);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-10);
+  EXPECT_NEAR(f.predict(10), 21.0, 1e-9);
+}
+
+TEST(FitLinear, NoisyDataStillRecoversSlope) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(i);
+    y.push_back(5.0 * i + 2.0 + ((i % 3) - 1) * 0.1);
+  }
+  const LinearFit f = fit_linear(x, y);
+  EXPECT_NEAR(f.slope, 5.0, 0.01);
+  EXPECT_GT(f.r_squared, 0.999);
+}
+
+TEST(FitLinear, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(fit_linear({}, {}).slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit_linear({1.0}, {2.0}).slope, 0.0);
+  // Vertical data (all x equal) must not divide by zero.
+  const LinearFit f = fit_linear({2, 2, 2}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(f.slope, 0.0);
+}
+
+TEST(FitPower, ExactPowerLaw) {
+  std::vector<double> x, y;
+  for (const double v : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    x.push_back(v);
+    y.push_back(3.0 * v * v);  // y = 3 x^2
+  }
+  const PowerFit f = fit_power(x, y);
+  EXPECT_NEAR(f.exponent, 2.0, 1e-9);
+  EXPECT_NEAR(f.coefficient, 3.0, 1e-9);
+  EXPECT_NEAR(f.predict(32), 3.0 * 32 * 32, 1e-6);
+}
+
+TEST(FitPower, IgnoresNonPositivePoints) {
+  const PowerFit f = fit_power({0.0, 1.0, 2.0, 4.0}, {5.0, 2.0, 4.0, 8.0});
+  EXPECT_NEAR(f.exponent, 1.0, 1e-9);  // The (0,5) point is dropped.
+}
+
+TEST(FitPower, QuasilinearBitsLookSlightlySuperlinear) {
+  // n log^3 n over a decade fits as n^e with 1 < e < 1.7 — the shape E3
+  // relies on to separate P from the quadratic baseline.
+  std::vector<double> x, y;
+  for (std::uint32_t n = 64; n <= 8192; n *= 2) {
+    x.push_back(n);
+    const double l = std::log2(static_cast<double>(n));
+    y.push_back(static_cast<double>(n) * l * l * l);
+  }
+  const PowerFit f = fit_power(x, y);
+  EXPECT_GT(f.exponent, 1.0);
+  EXPECT_LT(f.exponent, 1.7);
+  EXPECT_GT(f.r_squared, 0.99);
+}
+
+}  // namespace
+}  // namespace rfc::support

@@ -1,0 +1,119 @@
+// Rumor spreading: completion, Θ(log n) convergence, fault resilience.
+#include "gossip/rumor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace rfc::gossip {
+namespace {
+
+class MechanismTest : public ::testing::TestWithParam<Mechanism> {};
+
+TEST_P(MechanismTest, CompletesOnCompleteGraph) {
+  SpreadConfig cfg;
+  cfg.n = 256;
+  cfg.mechanism = GetParam();
+  cfg.seed = 1;
+  const auto result = run_rumor_spreading(cfg);
+  EXPECT_TRUE(result.complete);
+  EXPECT_GT(result.rounds, 0u);
+}
+
+TEST_P(MechanismTest, RoundsAreLogarithmic) {
+  // Very loose sanity bounds: complete within c*log2(n) rounds, need at
+  // least log2(n) (push/pull can at best double the informed set).
+  SpreadConfig cfg;
+  cfg.n = 1024;
+  cfg.mechanism = GetParam();
+  double mean = 0;
+  constexpr int kReps = 10;
+  for (int i = 0; i < kReps; ++i) {
+    cfg.seed = 100 + i;
+    const auto result = run_rumor_spreading(cfg);
+    ASSERT_TRUE(result.complete);
+    mean += static_cast<double>(result.rounds) / kReps;
+  }
+  const double log2n = std::log2(1024.0);
+  EXPECT_GE(mean, log2n * 0.9);
+  EXPECT_LE(mean, log2n * 6.0);
+}
+
+TEST_P(MechanismTest, CompletesDespiteFaults) {
+  SpreadConfig cfg;
+  cfg.n = 256;
+  cfg.mechanism = GetParam();
+  cfg.num_faulty = 128;
+  cfg.placement = sim::FaultPlacement::kRandom;
+  cfg.seed = 5;
+  const auto result = run_rumor_spreading(cfg);
+  EXPECT_TRUE(result.complete);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMechanisms, MechanismTest, ::testing::ValuesIn(all_mechanisms()),
+    [](const ::testing::TestParamInfo<Mechanism>& info) {
+      std::string name = to_string(info.param);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST(Rumor, SingleNodeIsImmediatelyComplete) {
+  SpreadConfig cfg;
+  cfg.n = 1;
+  const auto result = run_rumor_spreading(cfg);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.rounds, 0u);
+}
+
+TEST(Rumor, SourceAvoidsFaultyLabels) {
+  // With a prefix fault plan the source must land on an active label, so
+  // the rumor still spreads.
+  SpreadConfig cfg;
+  cfg.n = 64;
+  cfg.num_faulty = 32;
+  cfg.placement = sim::FaultPlacement::kPrefix;
+  cfg.mechanism = Mechanism::kPushPull;
+  cfg.seed = 9;
+  const auto result = run_rumor_spreading(cfg);
+  EXPECT_TRUE(result.complete);
+}
+
+TEST(Rumor, MoreSourcesConvergeFaster) {
+  SpreadConfig one, many;
+  one.n = many.n = 2048;
+  one.mechanism = many.mechanism = Mechanism::kPush;
+  many.initial_informed = 512;
+  double rounds_one = 0, rounds_many = 0;
+  for (int i = 0; i < 5; ++i) {
+    one.seed = many.seed = 40 + i;
+    rounds_one += static_cast<double>(run_rumor_spreading(one).rounds);
+    rounds_many += static_cast<double>(run_rumor_spreading(many).rounds);
+  }
+  EXPECT_LT(rounds_many, rounds_one);
+}
+
+TEST(Rumor, MetricsAreAccounted) {
+  SpreadConfig cfg;
+  cfg.n = 128;
+  cfg.mechanism = Mechanism::kPull;
+  cfg.rumor_bits = 77;
+  const auto result = run_rumor_spreading(cfg);
+  EXPECT_GT(result.metrics.pull_requests, 0u);
+  EXPECT_GT(result.metrics.total_bits, 0u);
+  EXPECT_GE(result.metrics.max_message_bits, 77u);
+}
+
+TEST(Rumor, MaxRoundsCapRespected) {
+  SpreadConfig cfg;
+  cfg.n = 4096;
+  cfg.mechanism = Mechanism::kPush;
+  cfg.max_rounds = 2;  // Cannot possibly finish.
+  const auto result = run_rumor_spreading(cfg);
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.rounds, 2u);
+}
+
+}  // namespace
+}  // namespace rfc::gossip

@@ -1,0 +1,213 @@
+// Behavioural tests of each deviation strategy: what the attack does, and
+// how Protocol P punishes it.
+#include "rational/strategies.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/equilibrium.hpp"
+#include "core/runner.hpp"
+
+namespace rfc::rational {
+namespace {
+
+/// Runs `trials` executions of strategy `s` with a coalition of size t
+/// (color 1) against honest agents (color 0) and returns (wins, failures).
+struct AttackOutcome {
+  std::uint64_t coalition_wins = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t trials = 0;
+};
+
+AttackOutcome run_attack(DeviationStrategy s, std::uint32_t n,
+                         std::uint32_t t, std::uint64_t trials,
+                         bool strict = true, double gamma = 4.0) {
+  AttackOutcome outcome;
+  outcome.trials = trials;
+  for (std::uint64_t i = 0; i < trials; ++i) {
+    core::RunConfig cfg;
+    cfg.n = n;
+    cfg.gamma = gamma;
+    cfg.seed = 1000 + i;
+    cfg.strict_verification = strict;
+    cfg.colors.assign(n, 0);
+    const CoalitionPtr coalition = make_prefix_coalition(t);
+    for (std::uint32_t j = 0; j < t; ++j) cfg.colors[j] = 1;
+    cfg.coalition = coalition->members();
+    cfg.factory = make_deviating_factory(s, coalition);
+    const core::RunResult r = core::run_protocol(cfg);
+    if (r.failed()) {
+      ++outcome.failures;
+    } else if (r.winner == 1) {
+      ++outcome.coalition_wins;
+    }
+  }
+  return outcome;
+}
+
+TEST(Coalition, ConstructionAndAccessors) {
+  const auto c = make_prefix_coalition(4);
+  EXPECT_EQ(c->size(), 4u);
+  EXPECT_EQ(c->beneficiary(), 0u);
+  EXPECT_EQ(c->fixer(), 0u);
+  EXPECT_TRUE(c->contains(3));
+  EXPECT_FALSE(c->contains(4));
+}
+
+TEST(Coalition, BeneficiaryMustBeMember) {
+  EXPECT_THROW(Coalition({1, 2}, 5), std::invalid_argument);
+  EXPECT_THROW(Coalition({}, 0), std::invalid_argument);
+}
+
+TEST(Coalition, BlackboardRoundTrips) {
+  const auto c = make_prefix_coalition(2);
+  core::VoteIntention h(3, {7, 0});
+  c->publish_intention(1, h);
+  EXPECT_EQ(c->declared_intentions().at(1), h);
+  c->publish_beneficiary_vote_sum(42);
+  EXPECT_EQ(c->beneficiary_vote_sum(), 42u);
+}
+
+TEST(Strategies, AllHaveNamesAndFactories) {
+  for (const auto s : all_deviation_strategies()) {
+    EXPECT_NE(to_string(s), "unknown");
+    const auto factory = make_deviating_factory(s, make_prefix_coalition(2));
+    ASSERT_TRUE(factory);
+    const auto params = core::ProtocolParams::make(16, 2.0);
+    auto agent = factory(0, params, 1);
+    if (s == DeviationStrategy::kHonest) {
+      EXPECT_EQ(agent, nullptr);
+    } else {
+      EXPECT_NE(agent, nullptr);
+    }
+  }
+}
+
+TEST(Strategies, HonestControlWinsAtFairShare) {
+  const auto outcome = run_attack(DeviationStrategy::kHonest, 64, 16, 60);
+  EXPECT_EQ(outcome.failures, 0u);
+  const double rate =
+      static_cast<double>(outcome.coalition_wins) / outcome.trials;
+  EXPECT_NEAR(rate, 0.25, 0.17);  // Fair share 16/64 with wide CI.
+}
+
+TEST(Strategies, SelfishVotingGainsNothing) {
+  const auto outcome =
+      run_attack(DeviationStrategy::kSelfishVoting, 64, 16, 60);
+  // Votes stay consistent with declarations: no failures, no gain.
+  EXPECT_EQ(outcome.failures, 0u);
+  const double rate =
+      static_cast<double>(outcome.coalition_wins) / outcome.trials;
+  EXPECT_LT(rate, 0.25 + 0.17);
+}
+
+TEST(Strategies, ForgedEmptyCertIsCaughtByStrictVerification) {
+  const auto outcome =
+      run_attack(DeviationStrategy::kForgedEmptyCert, 64, 4, 40);
+  // The forged k=0 certificate always wins Find-Min, and the completeness
+  // audit then fails the protocol (votes for the beneficiary were declared
+  // to honest auditors but are absent from W).
+  EXPECT_EQ(outcome.coalition_wins, 0u);
+  EXPECT_GT(outcome.failures, 35u);
+}
+
+TEST(Strategies, ForgedCoalitionCertCaughtStrictButWinsLax) {
+  const auto strict =
+      run_attack(DeviationStrategy::kForgedCoalitionCert, 64, 4, 40, true);
+  EXPECT_EQ(strict.coalition_wins, 0u);
+  EXPECT_GT(strict.failures, 35u);
+
+  // Ablation: with value-only verification the same attack wins outright —
+  // the completeness check is load-bearing (proof of Claim 1).
+  const auto lax =
+      run_attack(DeviationStrategy::kForgedCoalitionCert, 64, 4, 40, false);
+  EXPECT_GT(lax.coalition_wins, 35u);
+  EXPECT_EQ(lax.failures, 0u);
+}
+
+TEST(Strategies, VoteDropCaughtStrict) {
+  const auto outcome = run_attack(DeviationStrategy::kVoteDrop, 64, 4, 40);
+  // Whenever the dropped-vote certificate wins Find-Min, some auditor holds
+  // the dropped voter's declaration and fails the protocol; the coalition
+  // can never *win* with a tampered certificate.
+  const double win_rate =
+      static_cast<double>(outcome.coalition_wins) / outcome.trials;
+  EXPECT_LT(win_rate, 4.0 / 64 + 0.15);
+}
+
+TEST(Strategies, StubbornCertForcesFailure) {
+  const auto outcome =
+      run_attack(DeviationStrategy::kStubbornCert, 64, 8, 40);
+  // Honest agents receive mismatching certificates in Coherence: ⊥ almost
+  // always (unless a coalition certificate happens to be the true min).
+  EXPECT_GT(outcome.failures, 30u);
+}
+
+TEST(Strategies, SkipVerificationChangesNothing) {
+  const auto outcome =
+      run_attack(DeviationStrategy::kSkipVerification, 64, 16, 60);
+  EXPECT_EQ(outcome.failures, 0u);
+  const double rate =
+      static_cast<double>(outcome.coalition_wins) / outcome.trials;
+  EXPECT_NEAR(rate, 0.25, 0.17);
+}
+
+TEST(Strategies, FindMinSuppressDoesNotBlockConsensus) {
+  const auto outcome =
+      run_attack(DeviationStrategy::kFindMinSuppress, 64, 8, 40);
+  // Honest pulls route around the suppressors w.h.p.
+  EXPECT_LT(outcome.failures, 8u);
+}
+
+TEST(Strategies, PlayDeadGainsNothing) {
+  const auto outcome = run_attack(DeviationStrategy::kPlayDead, 64, 8, 40);
+  const double rate =
+      static_cast<double>(outcome.coalition_wins) / outcome.trials;
+  EXPECT_LT(rate, 8.0 / 64 + 0.18);
+}
+
+TEST(Strategies, EquivocateGainsNothing) {
+  const auto outcome = run_attack(DeviationStrategy::kEquivocate, 64, 8, 40);
+  const double rate =
+      static_cast<double>(outcome.coalition_wins) / outcome.trials;
+  EXPECT_LT(rate, 8.0 / 64 + 0.18);
+}
+
+TEST(Strategies, ForgingStillCaughtUnderDigestCoherence) {
+  // The digest optimization must not weaken the audit chain: forged
+  // certificates still lose under strict verification.
+  std::uint64_t wins = 0, failures = 0;
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    core::RunConfig cfg;
+    cfg.n = 64;
+    cfg.gamma = 4.0;
+    cfg.seed = 4000 + i;
+    cfg.coherence_digest = true;
+    cfg.colors.assign(64, 0);
+    const CoalitionPtr coalition = make_prefix_coalition(4);
+    for (std::uint32_t j = 0; j < 4; ++j) cfg.colors[j] = 1;
+    cfg.coalition = coalition->members();
+    cfg.factory = make_deviating_factory(
+        DeviationStrategy::kForgedCoalitionCert, coalition);
+    const core::RunResult r = core::run_protocol(cfg);
+    if (r.failed()) {
+      ++failures;
+    } else if (r.winner == 1) {
+      ++wins;
+    }
+  }
+  EXPECT_EQ(wins, 0u);
+  EXPECT_GT(failures, 25u);
+}
+
+TEST(Strategies, AdaptiveVoteCannotBeatAudits) {
+  const auto outcome =
+      run_attack(DeviationStrategy::kAdaptiveVote, 64, 8, 40);
+  // Voting differently from the declaration is caught whenever the forged
+  // votes back the winning certificate: win rate stays at/below fair share.
+  const double rate =
+      static_cast<double>(outcome.coalition_wins) / outcome.trials;
+  EXPECT_LT(rate, 8.0 / 64 + 0.18);
+}
+
+}  // namespace
+}  // namespace rfc::rational

@@ -1,0 +1,109 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <iterator>
+
+namespace rfc::support {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  const std::string out = t.render();
+  // Every line of the table must have the same length.
+  std::size_t expected = out.find('\n');
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t eol = out.find('\n', pos);
+    EXPECT_EQ(eol - pos, expected);
+    pos = eol + 1;
+  }
+}
+
+TEST(Table, ColumnsWidenToFitCells) {
+  Table t({"x"});
+  t.add_row({"a-much-longer-cell"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("a-much-longer-cell"), std::string::npos);
+}
+
+TEST(Table, CaptionIsPrepended) {
+  Table t({"x"});
+  const std::string out = t.render("My caption");
+  EXPECT_EQ(out.rfind("My caption", 0), 0u);
+}
+
+TEST(TableFmt, FixedPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+  EXPECT_EQ(Table::fmt(-0.5, 1), "-0.5");
+}
+
+TEST(TableFmt, IntGrouping) {
+  EXPECT_EQ(Table::fmt_int(0), "0");
+  EXPECT_EQ(Table::fmt_int(999), "999");
+  EXPECT_EQ(Table::fmt_int(1000), "1'000");
+  EXPECT_EQ(Table::fmt_int(1234567), "1'234'567");
+}
+
+TEST(TableFmt, Percent) {
+  EXPECT_EQ(Table::fmt_pct(0.5), "50.0%");
+  EXPECT_EQ(Table::fmt_pct(0.123, 1), "12.3%");
+  EXPECT_EQ(Table::fmt_pct(1.0, 0), "100%");
+}
+
+TEST(TableCsv, PlainCells) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"x", "y"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\nx,y\n");
+}
+
+TEST(TableCsv, EscapesSpecialCharacters) {
+  Table t({"name", "note"});
+  t.add_row({"with,comma", "with \"quote\""});
+  t.add_row({"with\nnewline", "plain"});
+  EXPECT_EQ(t.to_csv(),
+            "name,note\n"
+            "\"with,comma\",\"with \"\"quote\"\"\"\n"
+            "\"with\nnewline\",plain\n");
+}
+
+TEST(TableCsv, PaddedRowsStayRectangular) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_EQ(t.to_csv(), "a,b,c\n1,,\n");
+}
+
+TEST(TableCsv, WriteFileRoundTrips) {
+  Table t({"h"});
+  t.add_row({"v"});
+  const std::string path = ::testing::TempDir() + "/rfc_table_test.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "h\nv\n");
+}
+
+TEST(TableCsv, WriteFileFailsOnBadPath) {
+  Table t({"h"});
+  EXPECT_FALSE(t.write_csv("/nonexistent-dir-zz/file.csv"));
+}
+
+}  // namespace
+}  // namespace rfc::support

@@ -1,0 +1,83 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace rfc::support {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // Must not hang.
+  SUCCEED();
+}
+
+TEST(ThreadPool, SingleThreadStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) pool.submit([&counter] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 20; ++i) pool.submit([&counter] { ++counter; });
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 20 * (batch + 1));
+  }
+}
+
+TEST(ParallelFor, CoversEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(1000, [&hits](std::size_t i) { hits[i].fetch_add(1); }, 8);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; }, 2);
+  SUCCEED();
+}
+
+TEST(ParallelFor, MoreWorkersThanItems) {
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(3, [&hits](std::size_t i) { hits[i].fetch_add(1); }, 16);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ResultIndependentOfThreadCount) {
+  // The determinism contract: per-index outputs depend only on the index.
+  const auto compute = [](std::size_t threads) {
+    std::vector<std::uint64_t> out(256);
+    parallel_for(
+        out.size(),
+        [&out](std::size_t i) { out[i] = i * 2654435761u + 17; }, threads);
+    return out;
+  };
+  EXPECT_EQ(compute(1), compute(7));
+}
+
+TEST(ParallelFor, PoolOverloadWorks) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  parallel_for(pool, 100, [&sum](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+}  // namespace
+}  // namespace rfc::support

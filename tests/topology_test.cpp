@@ -1,0 +1,177 @@
+#include "sim/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "gossip/rumor.hpp"
+
+namespace rfc::sim {
+namespace {
+
+/// BFS connectivity check over are_adjacent (test-only; O(n^2)).
+bool is_connected(const Topology& topo) {
+  const std::uint32_t n = topo.n();
+  if (n == 0) return true;
+  std::vector<bool> seen(n, false);
+  std::queue<AgentId> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  std::uint32_t count = 1;
+  while (!frontier.empty()) {
+    const AgentId u = frontier.front();
+    frontier.pop();
+    for (AgentId v = 0; v < n; ++v) {
+      if (!seen[v] && topo.are_adjacent(u, v)) {
+        seen[v] = true;
+        ++count;
+        frontier.push(v);
+      }
+    }
+  }
+  return count == n;
+}
+
+TEST(CompleteTopology, EverythingAdjacent) {
+  const auto topo = make_complete(16);
+  EXPECT_EQ(topo->n(), 16u);
+  EXPECT_TRUE(topo->are_adjacent(0, 15));
+  EXPECT_EQ(topo->degree(3), 16u);
+  rfc::support::Xoshiro256 rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(topo->sample_neighbor(5, rng), 16u);
+  }
+}
+
+TEST(RingTopology, DegreeAndAdjacency) {
+  const auto topo = make_ring(10, 2);
+  for (AgentId u = 0; u < 10; ++u) EXPECT_EQ(topo->degree(u), 4u);
+  EXPECT_TRUE(topo->are_adjacent(0, 1));
+  EXPECT_TRUE(topo->are_adjacent(0, 2));
+  EXPECT_FALSE(topo->are_adjacent(0, 3));
+  EXPECT_TRUE(topo->are_adjacent(0, 9));  // Wraps.
+  EXPECT_TRUE(topo->are_adjacent(0, 8));
+  EXPECT_TRUE(is_connected(*topo));
+}
+
+TEST(RingTopology, RejectsZeroK) {
+  EXPECT_THROW(make_ring(10, 0), std::invalid_argument);
+}
+
+TEST(RingTopology, SamplesOnlyNeighbors) {
+  const auto topo = make_ring(20, 1);
+  rfc::support::Xoshiro256 rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const AgentId v = topo->sample_neighbor(7, rng);
+    EXPECT_TRUE(v == 6 || v == 8) << v;
+  }
+}
+
+TEST(RandomRegular, DegreesNearDAndConnected) {
+  const auto topo = make_random_regular(128, 8, 5);
+  std::uint32_t total_degree = 0;
+  for (AgentId u = 0; u < 128; ++u) {
+    EXPECT_LE(topo->degree(u), 8u);
+    EXPECT_GE(topo->degree(u), 2u);  // At least the two cycle edges.
+    total_degree += topo->degree(u);
+  }
+  // Cycle unions lose only the rare overlapping edges.
+  EXPECT_GE(total_degree, 128u * 7);
+  EXPECT_TRUE(is_connected(*topo));
+}
+
+TEST(RandomRegular, RejectsOddOrTinyDegree) {
+  EXPECT_THROW(make_random_regular(16, 3, 1), std::invalid_argument);
+  EXPECT_THROW(make_random_regular(16, 0, 1), std::invalid_argument);
+}
+
+TEST(RandomRegular, SeedDeterminism) {
+  const auto a = make_random_regular(64, 4, 9);
+  const auto b = make_random_regular(64, 4, 9);
+  for (AgentId u = 0; u < 64; ++u) {
+    for (AgentId v = 0; v < 64; ++v) {
+      EXPECT_EQ(a->are_adjacent(u, v), b->are_adjacent(u, v));
+    }
+  }
+}
+
+TEST(ErdosRenyi, EdgeDensityNearP) {
+  const auto topo = make_erdos_renyi(200, 0.1, 3);
+  std::uint64_t edges = 0;
+  for (AgentId u = 0; u < 200; ++u) edges += topo->degree(u);
+  edges /= 2;
+  const double expected = 0.1 * 200 * 199 / 2;
+  EXPECT_NEAR(static_cast<double>(edges), expected, 4 * std::sqrt(expected));
+}
+
+TEST(ErdosRenyi, SuperConnectivityRegimeIsConnected) {
+  const double p = 4.0 * std::log(256.0) / 256;
+  EXPECT_TRUE(is_connected(*make_erdos_renyi(256, p, 11)));
+}
+
+TEST(ErdosRenyi, RejectsBadProbability) {
+  EXPECT_THROW(make_erdos_renyi(10, -0.1, 1), std::invalid_argument);
+  EXPECT_THROW(make_erdos_renyi(10, 1.5, 1), std::invalid_argument);
+}
+
+TEST(ErdosRenyi, IsolatedNodeSelfSamples) {
+  const auto topo = make_erdos_renyi(8, 0.0, 1);
+  rfc::support::Xoshiro256 rng(1);
+  EXPECT_EQ(topo->sample_neighbor(3, rng), 3u);
+  EXPECT_EQ(topo->degree(3), 0u);
+}
+
+TEST(TopologyIntegration, RumorSpreadsOnExpander) {
+  gossip::SpreadConfig cfg;
+  cfg.n = 256;
+  cfg.mechanism = gossip::Mechanism::kPushPull;
+  cfg.seed = 4;
+  cfg.topology = make_random_regular(256, 8, 4);
+  const auto r = gossip::run_rumor_spreading(cfg);
+  EXPECT_TRUE(r.complete);
+  EXPECT_LT(r.rounds, 60u);  // Θ(log n) with expander constants.
+}
+
+TEST(TopologyIntegration, RumorOnRingTakesLinearTime) {
+  gossip::SpreadConfig cfg;
+  cfg.n = 256;
+  cfg.mechanism = gossip::Mechanism::kPushPull;
+  cfg.seed = 4;
+  cfg.topology = make_ring(256, 1);
+  cfg.max_rounds = 10'000;
+  const auto r = gossip::run_rumor_spreading(cfg);
+  EXPECT_TRUE(r.complete);
+  EXPECT_GT(r.rounds, 60u);  // Frontier moves O(1) per round.
+}
+
+TEST(TopologyIntegration, ProtocolSucceedsOnExpander) {
+  core::RunConfig cfg;
+  cfg.n = 256;
+  cfg.gamma = 5.0;
+  cfg.topology = make_random_regular(256, 8, 21);
+  cfg.colors = core::split_colors(cfg.n, {0.5, 0.5});
+  int successes = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    cfg.seed = seed;
+    if (!core::run_protocol(cfg).failed()) ++successes;
+  }
+  EXPECT_GE(successes, 9);
+}
+
+TEST(TopologyIntegration, ProtocolStarvesOnRing) {
+  core::RunConfig cfg;
+  cfg.n = 256;
+  cfg.gamma = 4.0;
+  cfg.topology = make_ring(256, 1);
+  cfg.seed = 8;
+  const auto r = core::run_protocol(cfg);
+  // The Θ(log n) Find-Min budget cannot cover a Θ(n)-diameter graph: the
+  // protocol detects the disagreement and fails safely.
+  EXPECT_TRUE(r.failed());
+}
+
+}  // namespace
+}  // namespace rfc::sim

@@ -1,0 +1,99 @@
+// TraceRecorder + the protocol's phase structure observed from outside:
+// the communication pattern of Algorithm 1 is visible in the per-round
+// metric deltas.
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/params.hpp"
+#include "core/protocol_agent.hpp"
+
+namespace rfc::sim {
+namespace {
+
+struct TracedWorld {
+  explicit TracedWorld(std::uint32_t n, double gamma = 2.0)
+      : params(core::ProtocolParams::make(n, gamma)), engine({n, 3}) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      engine.set_agent(i, std::make_unique<core::ProtocolAgent>(
+                              params, static_cast<core::Color>(i)));
+    }
+    trace.attach(engine);
+    engine.run(params.total_rounds());
+  }
+  core::ProtocolParams params;
+  Engine engine;
+  TraceRecorder trace;
+};
+
+TEST(Trace, RecordsEveryRound) {
+  TracedWorld w(32);
+  EXPECT_EQ(w.trace.rounds().size(), w.params.total_rounds());
+  for (std::size_t i = 0; i < w.trace.rounds().size(); ++i) {
+    EXPECT_EQ(w.trace.rounds()[i].round, i);
+  }
+}
+
+TEST(Trace, CommitmentPhaseIsPullOnly) {
+  TracedWorld w(32);
+  const auto q = w.params.q;
+  EXPECT_EQ(w.trace.total_pushes(0, q), 0u);
+  EXPECT_EQ(w.trace.total_pulls(0, q), 32ull * q);
+}
+
+TEST(Trace, VotingPhaseIsPushOnly) {
+  TracedWorld w(32);
+  const auto q = w.params.q;
+  EXPECT_EQ(w.trace.total_pushes(q, 2ull * q), 32ull * q);
+  EXPECT_EQ(w.trace.total_pulls(q, 2ull * q), 0u);
+}
+
+TEST(Trace, FindMinPhaseIsPullOnly) {
+  TracedWorld w(32);
+  const auto q = w.params.q;
+  EXPECT_EQ(w.trace.total_pushes(2ull * q, 3ull * q), 0u);
+  EXPECT_EQ(w.trace.total_pulls(2ull * q, 3ull * q), 32ull * q);
+}
+
+TEST(Trace, CoherencePhaseIsPushOnly) {
+  TracedWorld w(32);
+  const auto q = w.params.q;
+  EXPECT_EQ(w.trace.total_pushes(3ull * q, 4ull * q), 32ull * q);
+  EXPECT_EQ(w.trace.total_pulls(3ull * q, 4ull * q), 0u);
+}
+
+TEST(Trace, VerificationRoundIsSilent) {
+  TracedWorld w(32);
+  const auto last = w.params.communication_rounds();
+  EXPECT_EQ(w.trace.total_pushes(last, last + 1), 0u);
+  EXPECT_EQ(w.trace.total_pulls(last, last + 1), 0u);
+  EXPECT_EQ(w.trace.total_bits(last, last + 1), 0u);
+}
+
+TEST(Trace, BitsSumToEngineTotal) {
+  TracedWorld w(48);
+  EXPECT_EQ(w.trace.total_bits(0, w.params.total_rounds()),
+            w.engine.metrics().total_bits);
+}
+
+TEST(Trace, CoherenceBitsDominateWithoutDigest) {
+  // The Θ(log^2 n)-bit certificates make Coherence the costliest push
+  // phase — the motivation for the digest optimization.
+  TracedWorld w(64, 3.0);
+  const auto q = w.params.q;
+  const auto voting_bits = w.trace.total_bits(q, 2ull * q);
+  const auto coherence_bits = w.trace.total_bits(3ull * q, 4ull * q);
+  EXPECT_GT(coherence_bits, voting_bits);
+}
+
+TEST(Trace, RenderContainsRoundLines) {
+  TracedWorld w(8);
+  const std::string out = w.trace.render();
+  EXPECT_NE(out.find("r0:"), std::string::npos);
+  EXPECT_NE(out.find("push="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rfc::sim

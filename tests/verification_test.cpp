@@ -1,0 +1,185 @@
+// Exhaustive tests of the Verification-phase audit — the security core of
+// the protocol.
+#include "core/verification.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rfc::core {
+namespace {
+
+class VerificationTest : public ::testing::Test {
+ protected:
+  VerificationTest() : params_(ProtocolParams::make(64, 2.0)) {}
+
+  /// A consistent world: voter v declared intention H_v, the winner's W
+  /// contains exactly the declared votes aimed at the winner.
+  void build_consistent_world(sim::AgentId winner, int num_voters) {
+    cert_ = Certificate{};
+    cert_.owner = winner;
+    cert_.color = 3;
+    collected_.clear();
+    std::uint64_t value = 10;
+    for (int v = 1; v <= num_voters; ++v) {
+      CommitmentRecord record;
+      record.intention.assign(params_.q, {0, sim::kNoAgent});
+      for (std::uint32_t j = 0; j < params_.q; ++j) {
+        // Even rounds vote for the winner, odd rounds elsewhere.
+        if (j % 2 == 0) {
+          record.intention[j] = {value, winner};
+          cert_.votes.push_back(
+              {static_cast<sim::AgentId>(v), j, value});
+          value += 7;
+        } else {
+          record.intention[j] = {value * 3, static_cast<sim::AgentId>(63)};
+        }
+      }
+      collected_.emplace(static_cast<sim::AgentId>(v), std::move(record));
+    }
+    cert_.k = cert_.vote_sum(params_);
+  }
+
+  ProtocolParams params_;
+  Certificate cert_;
+  CollectedIntentions collected_;
+};
+
+TEST_F(VerificationTest, AcceptsConsistentCertificate) {
+  build_consistent_world(0, 3);
+  const auto r = verify_certificate(params_, cert_, collected_);
+  EXPECT_TRUE(r.accepted()) << to_string(r.failure);
+}
+
+TEST_F(VerificationTest, AcceptsEmptyAuditData) {
+  // A verifier that audited nobody can only check well-formedness and k.
+  build_consistent_world(0, 3);
+  const auto r = verify_certificate(params_, cert_, {});
+  EXPECT_TRUE(r.accepted());
+}
+
+TEST_F(VerificationTest, AcceptsVotesFromUnauditedPeers) {
+  build_consistent_world(0, 2);
+  cert_.votes.push_back({40, 0, 999});  // Voter 40 not in collected_.
+  cert_.k = cert_.vote_sum(params_);
+  const auto r = verify_certificate(params_, cert_, collected_);
+  EXPECT_TRUE(r.accepted());
+}
+
+TEST_F(VerificationTest, RejectsBadKeySum) {
+  build_consistent_world(0, 2);
+  cert_.k = (cert_.k + 1) % params_.m;
+  const auto r = verify_certificate(params_, cert_, collected_);
+  EXPECT_EQ(r.failure, VerificationFailure::kBadKeySum);
+}
+
+TEST_F(VerificationTest, RejectsOversizedVoteValue) {
+  build_consistent_world(0, 1);
+  cert_.votes.push_back({40, 0, params_.m});  // value == m is out of domain.
+  const auto r = verify_certificate(params_, cert_, collected_);
+  EXPECT_EQ(r.failure, VerificationFailure::kMalformedVote);
+}
+
+TEST_F(VerificationTest, RejectsOutOfRangeRound) {
+  build_consistent_world(0, 1);
+  cert_.votes.push_back({40, params_.q, 1});
+  const auto r = verify_certificate(params_, cert_, collected_);
+  EXPECT_EQ(r.failure, VerificationFailure::kMalformedVote);
+}
+
+TEST_F(VerificationTest, RejectsOutOfRangeVoter) {
+  build_consistent_world(0, 1);
+  cert_.votes.push_back({params_.n, 0, 1});
+  const auto r = verify_certificate(params_, cert_, collected_);
+  EXPECT_EQ(r.failure, VerificationFailure::kMalformedVote);
+}
+
+TEST_F(VerificationTest, RejectsDuplicateVote) {
+  build_consistent_world(0, 1);
+  cert_.votes.push_back(cert_.votes.front());
+  cert_.k = cert_.vote_sum(params_);
+  const auto r = verify_certificate(params_, cert_, collected_);
+  EXPECT_EQ(r.failure, VerificationFailure::kDuplicateVote);
+}
+
+TEST_F(VerificationTest, RejectsVoteFromPeerMarkedFaulty) {
+  build_consistent_world(0, 2);
+  // Re-mark voter 1 as faulty: its votes all count as zero (footnote 4),
+  // so any vote from it in W is a lie.
+  collected_[1].marked_faulty = true;
+  collected_[1].intention.clear();
+  const auto r = verify_certificate(params_, cert_, collected_);
+  EXPECT_EQ(r.failure, VerificationFailure::kVoteFromFaulty);
+}
+
+TEST_F(VerificationTest, RejectsValueDifferentFromDeclaration) {
+  build_consistent_world(0, 2);
+  cert_.votes.front().value += 1;
+  cert_.k = cert_.vote_sum(params_);
+  const auto r = verify_certificate(params_, cert_, collected_);
+  EXPECT_EQ(r.failure, VerificationFailure::kIntentionMismatch);
+}
+
+TEST_F(VerificationTest, RejectsVoteDeclaredForAnotherTarget) {
+  build_consistent_world(0, 2);
+  // Claim voter 1's round-1 vote (declared for agent 63) was for us.
+  const auto& declared = collected_[1].intention[1];
+  cert_.votes.push_back({1, 1, declared.value});
+  cert_.k = cert_.vote_sum(params_);
+  const auto r = verify_certificate(params_, cert_, collected_);
+  EXPECT_EQ(r.failure, VerificationFailure::kIntentionMismatch);
+}
+
+TEST_F(VerificationTest, StrictModeRejectsDroppedVote) {
+  build_consistent_world(0, 2);
+  cert_.votes.pop_back();
+  cert_.k = cert_.vote_sum(params_);
+  const auto r = verify_certificate(params_, cert_, collected_);
+  EXPECT_EQ(r.failure, VerificationFailure::kMissingVote);
+}
+
+TEST_F(VerificationTest, LaxModeMissesDroppedVote) {
+  // The ablation: with completeness off, vote dropping passes — this is the
+  // loophole E7's ablation block demonstrates end-to-end.
+  params_ = ProtocolParams::make(64, 2.0, /*strict_verification=*/false);
+  build_consistent_world(0, 2);
+  cert_.votes.pop_back();
+  cert_.k = cert_.vote_sum(params_);
+  const auto r = verify_certificate(params_, cert_, collected_);
+  EXPECT_TRUE(r.accepted());
+}
+
+TEST_F(VerificationTest, LaxModeStillChecksPresentVotes) {
+  params_ = ProtocolParams::make(64, 2.0, /*strict_verification=*/false);
+  build_consistent_world(0, 2);
+  cert_.votes.front().value += 1;
+  cert_.k = cert_.vote_sum(params_);
+  const auto r = verify_certificate(params_, cert_, collected_);
+  EXPECT_EQ(r.failure, VerificationFailure::kIntentionMismatch);
+}
+
+TEST_F(VerificationTest, EmptyCertificateWithNoAuditsAccepted) {
+  Certificate empty;
+  empty.owner = 5;
+  empty.color = 0;
+  empty.k = 0;
+  const auto r = verify_certificate(params_, empty, {});
+  EXPECT_TRUE(r.accepted());
+}
+
+TEST_F(VerificationTest, EmptyCertificateCaughtByCompleteness) {
+  // The forged-empty-cert attack: k=0, W={}, but an audited peer declared a
+  // vote for the owner.
+  build_consistent_world(0, 2);
+  cert_.votes.clear();
+  cert_.k = 0;
+  const auto r = verify_certificate(params_, cert_, collected_);
+  EXPECT_EQ(r.failure, VerificationFailure::kMissingVote);
+}
+
+TEST_F(VerificationTest, FailureNamesAreDistinct) {
+  EXPECT_NE(to_string(VerificationFailure::kBadKeySum),
+            to_string(VerificationFailure::kMissingVote));
+  EXPECT_EQ(to_string(VerificationFailure::kNone), "none");
+}
+
+}  // namespace
+}  // namespace rfc::core

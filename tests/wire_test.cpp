@@ -1,0 +1,148 @@
+// Bit-exact serialization: every payload round-trips in exactly the number
+// of bits the accounting model charges.
+#include "core/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace rfc::core {
+namespace {
+
+ProtocolParams params() { return ProtocolParams::make(300, 3.0); }
+
+TEST(BitWriter, PacksMsbFirst) {
+  BitWriter w;
+  w.write(0b101, 3);
+  w.write(0b01, 2);
+  EXPECT_EQ(w.bit_count(), 5u);
+  ASSERT_EQ(w.bytes().size(), 1u);
+  EXPECT_EQ(w.bytes()[0], 0b10101000);
+}
+
+TEST(BitWriter, CrossesByteBoundaries) {
+  BitWriter w;
+  w.write(0xABCD, 16);
+  w.write(0x3, 2);
+  EXPECT_EQ(w.bit_count(), 18u);
+  BitReader r(w.bytes(), w.bit_count());
+  EXPECT_EQ(r.read(16), 0xABCDu);
+  EXPECT_EQ(r.read(2), 0x3u);
+}
+
+TEST(BitReader, RefusesOverread) {
+  BitWriter w;
+  w.write(1, 4);
+  BitReader r(w.bytes(), w.bit_count());
+  EXPECT_TRUE(r.read(4).has_value());
+  EXPECT_FALSE(r.read(1).has_value());
+}
+
+TEST(BitRoundTrip, RandomValues) {
+  rfc::support::Xoshiro256 rng(44);
+  BitWriter w;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> expected;
+  for (int i = 0; i < 500; ++i) {
+    const auto bits = static_cast<std::uint32_t>(1 + rng.below(64));
+    const std::uint64_t value =
+        bits == 64 ? rng.next() : rng.below(1ull << bits);
+    w.write(value, bits);
+    expected.emplace_back(value, bits);
+  }
+  BitReader r(w.bytes(), w.bit_count());
+  for (const auto& [value, bits] : expected) {
+    const auto got = r.read(bits);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, value);
+  }
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(WireIntention, RoundTripsAtExactSize) {
+  const auto p = params();
+  rfc::support::Xoshiro256 rng(7);
+  VoteIntention h(p.q);
+  for (VoteEntry& e : h) {
+    e.value = rng.below(p.m);
+    e.target = static_cast<sim::AgentId>(rng.below(p.n));
+  }
+  BitWriter w;
+  encode_intention(w, p, h);
+  // Exactly the size IntentionPayload charges.
+  EXPECT_EQ(w.bit_count(),
+            static_cast<std::uint64_t>(p.q) *
+                (p.value_bits() + p.label_bits()));
+  BitReader r(w.bytes(), w.bit_count());
+  const auto decoded = decode_intention(r, p);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, h);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(WireVote, RoundTrips) {
+  const auto p = params();
+  BitWriter w;
+  encode_vote(w, p, 123456);
+  EXPECT_EQ(w.bit_count(), p.value_bits());
+  BitReader r(w.bytes(), w.bit_count());
+  EXPECT_EQ(decode_vote(r, p), 123456u);
+}
+
+TEST(WireCertificate, RoundTripsAtChargedSizePlusCount) {
+  const auto p = params();
+  rfc::support::Xoshiro256 rng(8);
+  ReceivedVotes votes;
+  for (std::uint32_t i = 0; i < 25; ++i) {
+    votes.push_back({static_cast<sim::AgentId>(rng.below(p.n)),
+                     static_cast<std::uint32_t>(rng.below(p.q)),
+                     rng.below(p.m)});
+  }
+  const Certificate cert = make_certificate(p, 17, 5, votes);
+
+  BitWriter w;
+  encode_certificate(w, p, cert);
+  EXPECT_EQ(w.bit_count(), encoded_certificate_bits(p, cert));
+  EXPECT_EQ(w.bit_count(),
+            cert.bit_size(p) + certificate_count_bits(p));
+
+  BitReader r(w.bytes(), w.bit_count());
+  const auto decoded = decode_certificate(r, p);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, cert);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(WireCertificate, EmptyVotesRoundTrip) {
+  const auto p = params();
+  Certificate cert;
+  cert.k = 0;
+  cert.color = 0;
+  cert.owner = 3;
+  BitWriter w;
+  encode_certificate(w, p, cert);
+  BitReader r(w.bytes(), w.bit_count());
+  const auto decoded = decode_certificate(r, p);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, cert);
+}
+
+TEST(WireCertificate, TruncatedStreamFailsCleanly) {
+  const auto p = params();
+  const Certificate cert = make_certificate(p, 1, 2, {{3, 0, 400}});
+  BitWriter w;
+  encode_certificate(w, p, cert);
+  BitReader r(w.bytes(), w.bit_count() - 5);  // Chop the tail.
+  EXPECT_FALSE(decode_certificate(r, p).has_value());
+}
+
+TEST(WireCertificate, CountPrefixCoversMaxVotes) {
+  // The count field must be able to represent n*q (every vote in the
+  // system landing on one agent).
+  const auto p = params();
+  const std::uint64_t max_count =
+      static_cast<std::uint64_t>(p.n) * p.q;
+  EXPECT_LT(max_count, 1ull << certificate_count_bits(p));
+}
+
+}  // namespace
+}  // namespace rfc::core
