@@ -15,22 +15,33 @@
 
 namespace rfc::analysis {
 
-/// Runs `trials` independent trials of `trial(seed, index)` across
-/// `threads` workers (0 = hardware concurrency) and returns the results in
-/// index order.
+/// Runs `trials` independent trials of `trial(seed, index)` on an existing
+/// pool and returns the results in index order.  Reusing one pool across
+/// many sweep points (see analysis::measure_scaling) avoids paying thread
+/// start-up per point.
+template <typename Result>
+std::vector<Result> run_trials(
+    rfc::support::ThreadPool& pool, std::uint64_t trials,
+    std::uint64_t base_seed,
+    const std::function<Result(std::uint64_t seed, std::size_t index)>&
+        trial) {
+  std::vector<Result> results(trials);
+  rfc::support::parallel_for(
+      pool, static_cast<std::size_t>(trials), [&](std::size_t i) {
+        results[i] = trial(rfc::support::derive_seed(base_seed, i), i);
+      });
+  return results;
+}
+
+/// Convenience: the same on a transient pool of `threads` workers
+/// (0 = hardware concurrency).
 template <typename Result>
 std::vector<Result> run_trials(
     std::uint64_t trials, std::uint64_t base_seed,
     const std::function<Result(std::uint64_t seed, std::size_t index)>& trial,
     std::size_t threads = 0) {
-  std::vector<Result> results(trials);
-  rfc::support::parallel_for(
-      static_cast<std::size_t>(trials),
-      [&](std::size_t i) {
-        results[i] = trial(rfc::support::derive_seed(base_seed, i), i);
-      },
-      threads);
-  return results;
+  rfc::support::ThreadPool pool(threads);
+  return run_trials<Result>(pool, trials, base_seed, trial);
 }
 
 }  // namespace rfc::analysis

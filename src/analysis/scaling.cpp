@@ -35,6 +35,9 @@ ScalingSweep measure_scaling(const core::RunConfig& base,
                              const std::vector<std::uint32_t>& sizes,
                              std::uint64_t trials, std::size_t threads) {
   ScalingSweep sweep;
+  // One pool for the whole sweep: per-trial seeds keep results independent
+  // of worker count, so reuse costs nothing but thread start-up saved.
+  rfc::support::ThreadPool pool(threads);
   for (const std::uint32_t n : sizes) {
     core::RunConfig cfg = base;
     cfg.n = n;
@@ -47,13 +50,11 @@ ScalingSweep measure_scaling(const core::RunConfig& base,
     point.trials = trials;
 
     const auto results = run_trials<core::RunResult>(
-        trials, cfg.seed,
-        [&cfg](std::uint64_t seed, std::size_t) {
+        pool, trials, cfg.seed, [&cfg](std::uint64_t seed, std::size_t) {
           core::RunConfig run = cfg;
           run.seed = seed;
           return core::run_protocol(run);
-        },
-        threads);
+        });
     for (const core::RunResult& r : results) {
       point.rounds.add(static_cast<double>(r.rounds));
       point.max_message_bits.add(

@@ -4,8 +4,8 @@
 #include <memory>
 
 #include "core/runner.hpp"
-#include "sim/async_engine.hpp"
 #include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
 #include "support/math_util.hpp"
 
 namespace rfc::baseline {
@@ -113,14 +113,12 @@ NaiveElectionResult run_naive_election(const NaiveElectionConfig& cfg) {
 
 NaiveElectionResult run_naive_election_async(const NaiveElectionConfig& cfg,
                                              double budget_multiplier) {
-  sim::AsyncEngine engine({cfg.n, cfg.seed, nullptr});
+  sim::Engine engine(
+      {cfg.n, cfg.seed, nullptr, sim::make_sequential_scheduler()});
   rfc::support::Xoshiro256 fault_rng(
       rfc::support::derive_seed(cfg.seed, 0x0fau));
-  const auto plan =
-      sim::make_fault_plan(cfg.placement, cfg.n, cfg.num_faulty, fault_rng);
-  for (std::uint32_t i = 0; i < cfg.n; ++i) {
-    if (plan[i]) engine.set_faulty(i);
-  }
+  engine.apply_fault_plan(
+      sim::make_fault_plan(cfg.placement, cfg.n, cfg.num_faulty, fault_rng));
 
   const std::vector<core::Color> colors =
       cfg.colors.empty() ? core::leader_election_colors(cfg.n) : cfg.colors;

@@ -4,7 +4,8 @@
 
 #include "core/payloads.hpp"
 #include "core/runner.hpp"
-#include "sim/async_engine.hpp"
+#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
 #include "support/math_util.hpp"
 
 namespace rfc::core {
@@ -219,14 +220,12 @@ AsyncRunResult run_async_protocol(const AsyncRunConfig& cfg) {
   schedule.q = params.q;
   schedule.slack = cfg.slack;
 
-  sim::AsyncEngine engine({cfg.n, cfg.seed, nullptr});
+  sim::Engine engine(
+      {cfg.n, cfg.seed, nullptr, sim::make_sequential_scheduler()});
   rfc::support::Xoshiro256 fault_rng(
       rfc::support::derive_seed(cfg.seed, 0x0fau));
-  const auto plan =
-      sim::make_fault_plan(cfg.placement, cfg.n, cfg.num_faulty, fault_rng);
-  for (std::uint32_t i = 0; i < cfg.n; ++i) {
-    if (plan[i]) engine.set_faulty(i);
-  }
+  engine.apply_fault_plan(
+      sim::make_fault_plan(cfg.placement, cfg.n, cfg.num_faulty, fault_rng));
 
   const std::vector<Color> colors =
       cfg.colors.empty() ? leader_election_colors(cfg.n) : cfg.colors;

@@ -2,8 +2,7 @@
 
 #include <algorithm>
 #include <memory>
-
-#include "sim/async_engine.hpp"
+#include <utility>
 
 namespace rfc::gossip {
 
@@ -52,8 +51,10 @@ void RumorAgent::on_push(const sim::Context&, sim::AgentId, sim::PayloadPtr) {
   informed_ = true;
 }
 
-SpreadResult run_rumor_spreading(const SpreadConfig& cfg) {
-  sim::Engine engine({cfg.n, cfg.seed, cfg.topology});
+SpreadResult run_rumor_spreading_scheduled(const SpreadConfig& cfg,
+                                           sim::SchedulerPtr scheduler,
+                                           std::uint64_t check_every) {
+  sim::Engine engine({cfg.n, cfg.seed, cfg.topology, std::move(scheduler)});
   rfc::support::Xoshiro256 fault_rng(
       rfc::support::derive_seed(cfg.seed, 0x0fau));
   engine.apply_fault_plan(
@@ -79,55 +80,33 @@ SpreadResult run_rumor_spreading(const SpreadConfig& cfg) {
     }
     return true;
   };
-  while (engine.round() < cfg.max_rounds && !all_informed()) engine.step();
+  check_every = std::max<std::uint64_t>(1, check_every);
+  // The all_done() exit matters for schedulers whose step() can stop
+  // advancing time once every agent reports done() (e.g. adversarial):
+  // without it a done-capable agent population could spin here forever.
+  while (engine.round() < cfg.max_rounds && !all_informed() &&
+         !engine.all_done()) {
+    for (std::uint64_t i = 0;
+         i < check_every && engine.round() < cfg.max_rounds; ++i) {
+      engine.step();
+    }
+  }
   result.complete = all_informed();
   result.rounds = engine.round();
   result.metrics = engine.metrics();
   return result;
 }
 
+SpreadResult run_rumor_spreading(const SpreadConfig& cfg) {
+  return run_rumor_spreading_scheduled(cfg, nullptr, 1);
+}
+
 SpreadResult run_rumor_spreading_async(const SpreadConfig& cfg) {
-  sim::AsyncEngine engine({cfg.n, cfg.seed, cfg.topology});
-  rfc::support::Xoshiro256 fault_rng(
-      rfc::support::derive_seed(cfg.seed, 0x0fau));
-  const auto plan =
-      sim::make_fault_plan(cfg.placement, cfg.n, cfg.num_faulty, fault_rng);
-  for (std::uint32_t i = 0; i < cfg.n; ++i) {
-    if (plan[i]) engine.set_faulty(i);
-  }
-
-  std::uint32_t sources = cfg.initial_informed;
-  for (std::uint32_t i = 0; i < cfg.n; ++i) {
-    const bool informed = !plan[i] && sources > 0;
-    if (informed) --sources;
-    engine.set_agent(i, std::make_unique<RumorAgent>(cfg.mechanism, informed,
-                                                     cfg.rumor_bits));
-  }
-
-  SpreadResult result;
-  const auto all_informed = [&engine] {
-    for (std::uint32_t i = 0; i < engine.n(); ++i) {
-      if (engine.is_faulty(i)) continue;
-      if (!static_cast<const RumorAgent&>(engine.agent(i)).informed()) {
-        return false;
-      }
-    }
-    return true;
-  };
   // Checking the global predicate every step is O(n); amortize by checking
   // every n/4 steps (completion time only overstated by that granularity).
-  const std::uint64_t check_every = std::max<std::uint64_t>(1, cfg.n / 4);
-  while (engine.steps() < cfg.max_rounds) {
-    for (std::uint64_t i = 0;
-         i < check_every && engine.steps() < cfg.max_rounds; ++i) {
-      engine.step();
-    }
-    if (all_informed()) break;
-  }
-  result.complete = all_informed();
-  result.rounds = engine.steps();
-  result.metrics = engine.metrics();
-  return result;
+  return run_rumor_spreading_scheduled(
+      cfg, sim::make_sequential_scheduler(),
+      std::max<std::uint64_t>(1, cfg.n / 4));
 }
 
 }  // namespace rfc::gossip

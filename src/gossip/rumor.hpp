@@ -15,6 +15,7 @@
 #include "sim/agent.hpp"
 #include "sim/engine.hpp"
 #include "sim/fault_model.hpp"
+#include "sim/scheduler.hpp"
 
 namespace rfc::gossip {
 
@@ -92,5 +93,14 @@ SpreadResult run_rumor_spreading(const SpreadConfig& cfg);
 /// expect Θ(n log n) on the complete graph (vs Θ(log n) synchronous
 /// rounds) — the cost gap experiment E12 quantifies.
 SpreadResult run_rumor_spreading_async(const SpreadConfig& cfg);
+
+/// Fully general form: the spreading process under any activation policy
+/// (null = synchronous).  `check_every` bounds how often the O(n)
+/// completion predicate is evaluated — 1 checks after every time unit,
+/// larger values amortize the scan under step-based schedulers at the cost
+/// of overstating completion time by at most that granularity.
+SpreadResult run_rumor_spreading_scheduled(const SpreadConfig& cfg,
+                                           sim::SchedulerPtr scheduler,
+                                           std::uint64_t check_every = 1);
 
 }  // namespace rfc::gossip

@@ -1,142 +1,23 @@
 #include "sim/engine.hpp"
 
-#include <cassert>
-#include <stdexcept>
-
-#include "support/math_util.hpp"
-
 namespace rfc::sim {
 
-Engine::Engine(EngineConfig cfg) : cfg_(cfg) {
-  if (cfg_.n == 0) throw std::invalid_argument("Engine: n must be positive");
-  agents_.resize(cfg_.n);
-  faulty_.assign(cfg_.n, false);
-  rngs_.reserve(cfg_.n);
-  for (std::uint32_t i = 0; i < cfg_.n; ++i) {
-    rngs_.emplace_back(rfc::support::derive_seed(cfg_.seed, i));
-  }
-  actions_.resize(cfg_.n);
-  pull_replies_.resize(cfg_.n);
-}
-
-void Engine::set_agent(AgentId id, std::unique_ptr<Agent> agent) {
-  agents_.at(id) = std::move(agent);
-}
-
-void Engine::set_faulty(AgentId id, bool faulty) {
-  if (started_) {
-    throw std::logic_error("Engine: fault plan is permanent; set before run");
-  }
-  if (faulty_.at(id) != faulty) {
-    faulty_[id] = faulty;
-    num_faulty_ += faulty ? 1u : -1u;
-  }
-}
-
-void Engine::apply_fault_plan(const std::vector<bool>& plan) {
-  if (plan.size() != cfg_.n) {
-    throw std::invalid_argument("Engine: fault plan size mismatch");
-  }
-  for (std::uint32_t i = 0; i < cfg_.n; ++i) set_faulty(i, plan[i]);
-}
-
-std::uint64_t Engine::pull_request_bits() const noexcept {
-  return rfc::support::bit_width_for_domain(cfg_.n);
-}
-
-Context Engine::make_context(AgentId id) noexcept {
-  Context ctx;
-  ctx.self = id;
-  ctx.n = cfg_.n;
-  ctx.round = round_;
-  ctx.rng = &rngs_[id];
-  ctx.topology = cfg_.topology.get();
-  return ctx;
+Engine::Engine(EngineConfig cfg)
+    : core_(cfg.n, cfg.seed, std::move(cfg.topology)),
+      scheduler_(cfg.scheduler != nullptr ? std::move(cfg.scheduler)
+                                          : make_synchronous_scheduler()) {
+  scheduler_->attach(core_);
 }
 
 void Engine::step() {
-  if (!started_) {
-    for (std::uint32_t i = 0; i < cfg_.n; ++i) {
-      if (agents_[i] == nullptr) {
-        throw std::logic_error("Engine: agent " + std::to_string(i) +
-                               " not installed");
-      }
-      if (!faulty_[i]) {
-        const Context ctx = make_context(i);
-        agents_[i]->on_start(ctx);
-      }
-    }
-    started_ = true;
-  }
-
-  // Phase A: collect each active agent's single active operation.
-  for (std::uint32_t i = 0; i < cfg_.n; ++i) {
-    if (faulty_[i] || agents_[i]->done()) {
-      actions_[i] = Action::idle();
-      continue;
-    }
-    actions_[i] = agents_[i]->on_round(make_context(i));
-    if (actions_[i].kind != ActionKind::kIdle) {
-      assert(actions_[i].target < cfg_.n);
-      ++metrics_.active_links;
-    }
-  }
-
-  // Phase B: serve all pull requests from round-start state.
-  for (std::uint32_t i = 0; i < cfg_.n; ++i) {
-    pull_replies_[i] = nullptr;
-    const Action& a = actions_[i];
-    if (a.kind != ActionKind::kPull) continue;
-    ++metrics_.pull_requests;
-    metrics_.note_message(pull_request_bits());
-    const AgentId v = a.target;
-    if (faulty_[v]) continue;  // Silence: the puller observes no reply.
-    PayloadPtr reply = agents_[v]->serve_pull(make_context(v), i);
-    if (reply != nullptr) {
-      ++metrics_.pull_replies;
-      metrics_.note_message(reply->bit_size());
-      pull_replies_[i] = std::move(reply);
-    }
-  }
-
-  // Phase C: deliver pull replies in puller-label order.
-  for (std::uint32_t i = 0; i < cfg_.n; ++i) {
-    const Action& a = actions_[i];
-    if (a.kind != ActionKind::kPull) continue;
-    agents_[i]->on_pull_reply(make_context(i), a.target, pull_replies_[i]);
-    pull_replies_[i] = nullptr;
-  }
-
-  // Phase D: deliver pushes in sender-label order.  A push to a faulty node
-  // still travels (and is charged), but is dropped at the destination.
-  for (std::uint32_t i = 0; i < cfg_.n; ++i) {
-    const Action& a = actions_[i];
-    if (a.kind != ActionKind::kPush) continue;
-    ++metrics_.pushes;
-    const std::uint64_t bits =
-        a.payload != nullptr ? a.payload->bit_size() : 0;
-    metrics_.note_message(bits);
-    const AgentId v = a.target;
-    if (!faulty_[v]) {
-      agents_[v]->on_push(make_context(v), i, a.payload);
-    }
-  }
-
-  ++round_;
-  metrics_.rounds = round_;
+  core_.ensure_started();
+  scheduler_->step(core_);
   if (observer_) observer_(*this);
 }
 
-bool Engine::all_done() const {
-  for (std::uint32_t i = 0; i < cfg_.n; ++i) {
-    if (!faulty_[i] && !agents_[i]->done()) return false;
-  }
-  return true;
-}
-
-std::uint64_t Engine::run(std::uint64_t max_rounds) {
-  while (round_ < max_rounds && !all_done()) step();
-  return round_;
+std::uint64_t Engine::run(std::uint64_t max_time) {
+  while (core_.time() < max_time && !all_done()) step();
+  return core_.time();
 }
 
 }  // namespace rfc::sim

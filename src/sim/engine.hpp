@@ -1,13 +1,21 @@
-// The synchronous GOSSIP round engine.
+// The unified GOSSIP simulation engine.
 //
-// Executes the model of Section 2: per round, every non-faulty agent performs
-// at most one active push or pull; pulls are answered within the round from
-// round-start state; any number of passive receptions is allowed.  The engine
-// is single-threaded and fully deterministic given (config, agents, fault
-// plan): agent callbacks are invoked in label order and each agent draws from
-// its own SplitMix-derived RNG stream, so a master seed pins down the entire
-// execution trace.  Monte-Carlo parallelism lives one level up
-// (analysis::MonteCarlo) and runs independent engines on independent seeds.
+// Engine binds the execution substrate (sim/engine_core.hpp — agents,
+// faults, RNG streams, delivery, accounting) to a pluggable activation
+// policy (sim/scheduler.hpp).  With the default SynchronousScheduler it
+// executes the model of Section 2 of the paper: per round, every non-faulty
+// agent performs at most one active push or pull; pulls are answered within
+// the round from round-start state; any number of passive receptions is
+// allowed.  Other schedulers reinterpret step() — one sequential activation
+// for SequentialScheduler, one partial round for PartialAsyncScheduler, and
+// so on — over the same agents, unchanged.
+//
+// The engine is single-threaded and fully deterministic given (config,
+// agents, fault plan): agent callbacks are invoked in label order and each
+// agent draws from its own SplitMix-derived RNG stream, so a master seed
+// pins down the entire execution trace under every scheduler.  Monte-Carlo
+// parallelism lives one level up (analysis::MonteCarlo) and runs
+// independent engines on independent seeds.
 #pragma once
 
 #include <cstdint>
@@ -16,21 +24,28 @@
 #include <vector>
 
 #include "sim/agent.hpp"
+#include "sim/engine_core.hpp"
 #include "sim/metrics.hpp"
-#include "support/rng.hpp"
+#include "sim/scheduler.hpp"
 
 namespace rfc::sim {
 
 struct EngineConfig {
   EngineConfig() = default;
   EngineConfig(std::uint32_t n_, std::uint64_t seed_ = 1,
-               TopologyPtr topology_ = nullptr)
-      : n(n_), seed(seed_), topology(std::move(topology_)) {}
+               TopologyPtr topology_ = nullptr,
+               SchedulerPtr scheduler_ = nullptr)
+      : n(n_),
+        seed(seed_),
+        topology(std::move(topology_)),
+        scheduler(std::move(scheduler_)) {}
 
   std::uint32_t n = 0;      ///< Number of nodes.
   std::uint64_t seed = 1;   ///< Master seed; derives every agent stream.
   /// Interconnect; null means the complete graph on [n] (the paper's model).
   TopologyPtr topology;
+  /// Activation policy; null means SynchronousScheduler (the paper's model).
+  SchedulerPtr scheduler;
 };
 
 class Engine {
@@ -39,59 +54,63 @@ class Engine {
 
   /// Installs the agent for label `id`.  All labels must be populated before
   /// `run` / `step`.
-  void set_agent(AgentId id, std::unique_ptr<Agent> agent);
+  void set_agent(AgentId id, std::unique_ptr<Agent> agent) {
+    core_.set_agent(id, std::move(agent));
+  }
 
   /// Marks `id` permanently faulty (must be called before the first round).
-  void set_faulty(AgentId id, bool faulty = true);
+  void set_faulty(AgentId id, bool faulty = true) {
+    core_.set_faulty(id, faulty);
+  }
 
   /// Applies a full fault plan (see sim/fault_model.hpp).
-  void apply_fault_plan(const std::vector<bool>& plan);
+  void apply_fault_plan(const std::vector<bool>& plan) {
+    core_.apply_fault_plan(plan);
+  }
 
-  bool is_faulty(AgentId id) const { return faulty_.at(id); }
-  std::uint32_t num_faulty() const noexcept { return num_faulty_; }
-  std::uint32_t num_active() const noexcept { return cfg_.n - num_faulty_; }
+  bool is_faulty(AgentId id) const { return core_.is_faulty(id); }
+  std::uint32_t num_faulty() const noexcept { return core_.num_faulty(); }
+  std::uint32_t num_active() const noexcept { return core_.num_active(); }
 
-  /// Executes one synchronous round.
+  /// Executes one unit of simulated time under the installed scheduler: a
+  /// synchronous round, a sequential activation, a partial round, ...
   void step();
 
-  /// Runs until every non-faulty agent reports done() or `max_rounds`
-  /// rounds have executed; returns the number of rounds executed in total.
-  std::uint64_t run(std::uint64_t max_rounds);
+  /// Runs until every non-faulty agent reports done() or `max_time` units
+  /// (rounds or steps, per the scheduler) have executed; returns the number
+  /// of units executed in total.
+  std::uint64_t run(std::uint64_t max_time);
 
   /// True when every non-faulty agent reports done().
-  bool all_done() const;
+  bool all_done() const { return core_.all_done(); }
 
-  Agent& agent(AgentId id) { return *agents_.at(id); }
-  const Agent& agent(AgentId id) const { return *agents_.at(id); }
+  Agent& agent(AgentId id) { return core_.agent(id); }
+  const Agent& agent(AgentId id) const { return core_.agent(id); }
 
-  std::uint32_t n() const noexcept { return cfg_.n; }
-  std::uint64_t round() const noexcept { return round_; }
-  const Metrics& metrics() const noexcept { return metrics_; }
+  std::uint32_t n() const noexcept { return core_.n(); }
+  /// Elapsed simulated time.  Under round-based schedulers this counts
+  /// rounds; under sequential ones it counts activations.
+  std::uint64_t round() const noexcept { return core_.time(); }
+  /// Alias of round() for sequential-model call sites.
+  std::uint64_t steps() const noexcept { return core_.time(); }
+  const Metrics& metrics() const noexcept { return core_.metrics(); }
 
-  /// Observer invoked after every round (for traces and tests).
+  const Scheduler& scheduler() const noexcept { return *scheduler_; }
+
+  /// Observer invoked after every step (for traces and tests).
   using RoundObserver = std::function<void(const Engine&)>;
   void set_round_observer(RoundObserver obs) { observer_ = std::move(obs); }
 
   /// Bits charged for a pull *request* (the "send me your X" control
   /// message): one peer label, per the paper's accounting.
-  std::uint64_t pull_request_bits() const noexcept;
+  std::uint64_t pull_request_bits() const noexcept {
+    return core_.pull_request_bits();
+  }
 
  private:
-  Context make_context(AgentId id) noexcept;
-
-  EngineConfig cfg_;
-  std::vector<std::unique_ptr<Agent>> agents_;
-  std::vector<bool> faulty_;
-  std::vector<rfc::support::Xoshiro256> rngs_;
-  std::uint32_t num_faulty_ = 0;
-  std::uint64_t round_ = 0;
-  bool started_ = false;
-  Metrics metrics_;
+  EngineCore core_;
+  SchedulerPtr scheduler_;
   RoundObserver observer_;
-
-  // Scratch buffers reused across rounds to avoid per-round allocation.
-  std::vector<Action> actions_;
-  std::vector<PayloadPtr> pull_replies_;
 };
 
 }  // namespace rfc::sim

@@ -1,0 +1,191 @@
+#include "sim/engine_core.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+#include "support/math_util.hpp"
+
+namespace rfc::sim {
+
+EngineCore::EngineCore(std::uint32_t n, std::uint64_t seed,
+                       TopologyPtr topology)
+    : n_(n), seed_(seed), topology_(std::move(topology)) {
+  if (n_ == 0) throw std::invalid_argument("Engine: n must be positive");
+  agents_.resize(n_);
+  faulty_.assign(n_, false);
+  rngs_.reserve(n_);
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    rngs_.emplace_back(rfc::support::derive_seed(seed_, i));
+  }
+  actions_.resize(n_);
+  pull_replies_.resize(n_);
+}
+
+void EngineCore::set_agent(AgentId id, std::unique_ptr<Agent> agent) {
+  agents_.at(id) = std::move(agent);
+}
+
+void EngineCore::set_faulty(AgentId id, bool faulty) {
+  if (started_) {
+    throw std::logic_error("Engine: fault plan is permanent; set before run");
+  }
+  if (faulty_.at(id) != faulty) {
+    faulty_[id] = faulty;
+    num_faulty_ += faulty ? 1u : -1u;
+  }
+}
+
+void EngineCore::apply_fault_plan(const std::vector<bool>& plan) {
+  if (plan.size() != n_) {
+    throw std::invalid_argument("Engine: fault plan size mismatch");
+  }
+  for (std::uint32_t i = 0; i < n_; ++i) set_faulty(i, plan[i]);
+}
+
+bool EngineCore::all_done() const {
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    if (!faulty_[i] && !agents_[i]->done()) return false;
+  }
+  return true;
+}
+
+std::vector<AgentId> EngineCore::active_labels() const {
+  std::vector<AgentId> labels;
+  labels.reserve(num_active());
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    if (!faulty_[i]) labels.push_back(i);
+  }
+  return labels;
+}
+
+std::uint64_t EngineCore::pull_request_bits() const noexcept {
+  return rfc::support::bit_width_for_domain(n_);
+}
+
+Context EngineCore::make_context(AgentId id) noexcept {
+  Context ctx;
+  ctx.self = id;
+  ctx.n = n_;
+  ctx.round = time_;
+  ctx.rng = &rngs_[id];
+  ctx.topology = topology_.get();
+  return ctx;
+}
+
+void EngineCore::ensure_started() {
+  if (started_) return;
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    if (agents_[i] == nullptr) {
+      throw std::logic_error("Engine: agent " + std::to_string(i) +
+                             " not installed");
+    }
+    if (!faulty_[i]) {
+      const Context ctx = make_context(i);
+      agents_[i]->on_start(ctx);
+    }
+  }
+  started_ = true;
+}
+
+void EngineCore::charge_pull_request() {
+  ++metrics_.pull_requests;
+  metrics_.note_message(pull_request_bits());
+}
+
+PayloadPtr EngineCore::serve_and_charge_pull(AgentId v, AgentId requester) {
+  if (faulty_[v]) return nullptr;  // Silence: the puller observes no reply.
+  PayloadPtr reply = agents_[v]->serve_pull(make_context(v), requester);
+  if (reply != nullptr) {
+    ++metrics_.pull_replies;
+    metrics_.note_message(reply->bit_size());
+  }
+  return reply;
+}
+
+void EngineCore::execute_push(AgentId sender, const Action& action) {
+  ++metrics_.pushes;
+  metrics_.note_message(
+      action.payload != nullptr ? action.payload->bit_size() : 0);
+  const AgentId v = action.target;
+  if (!faulty_[v]) {
+    agents_[v]->on_push(make_context(v), sender, action.payload);
+  }
+}
+
+void EngineCore::run_synchronous_round(const std::vector<bool>* awake_mask) {
+  ensure_started();
+
+  // Phase A: collect each awake agent's single active operation.
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    if (faulty_[i] || agents_[i]->done() ||
+        (awake_mask != nullptr && !(*awake_mask)[i])) {
+      actions_[i] = Action::idle();
+      continue;
+    }
+    actions_[i] = agents_[i]->on_round(make_context(i));
+    if (actions_[i].kind != ActionKind::kIdle) {
+      assert(actions_[i].target < n_);
+      ++metrics_.active_links;
+    }
+  }
+
+  // Phase B: serve all pull requests from round-start state.
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    pull_replies_[i] = nullptr;
+    const Action& a = actions_[i];
+    if (a.kind != ActionKind::kPull) continue;
+    charge_pull_request();
+    pull_replies_[i] = serve_and_charge_pull(a.target, i);
+  }
+
+  // Phase C: deliver pull replies in puller-label order.
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    const Action& a = actions_[i];
+    if (a.kind != ActionKind::kPull) continue;
+    agents_[i]->on_pull_reply(make_context(i), a.target, pull_replies_[i]);
+    pull_replies_[i] = nullptr;
+  }
+
+  // Phase D: deliver pushes in sender-label order.
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    const Action& a = actions_[i];
+    if (a.kind != ActionKind::kPush) continue;
+    execute_push(i, a);
+  }
+
+  ++time_;
+  metrics_.rounds = time_;
+}
+
+void EngineCore::sequential_activation(AgentId u) {
+  ensure_started();
+  ++time_;
+  metrics_.rounds = time_;
+  if (agents_[u]->done()) return;  // A wasted activation.
+
+  const Action action = agents_[u]->on_round(make_context(u));
+  switch (action.kind) {
+    case ActionKind::kIdle:
+      return;
+    case ActionKind::kPull: {
+      ++metrics_.active_links;
+      charge_pull_request();
+      // Done agents are still asked: in the sequential model a fast agent
+      // finishes while slow ones are mid-audit, and whether a terminated
+      // agent keeps serving is the agent's own policy (as in the
+      // synchronous round).
+      PayloadPtr reply = serve_and_charge_pull(action.target, u);
+      agents_[u]->on_pull_reply(make_context(u), action.target,
+                                std::move(reply));
+      return;
+    }
+    case ActionKind::kPush: {
+      ++metrics_.active_links;
+      execute_push(u, action);
+      return;
+    }
+  }
+}
+
+}  // namespace rfc::sim

@@ -1,0 +1,119 @@
+// The execution substrate shared by every activation model.
+//
+// EngineCore owns *what it means to run agents* — agent storage, fault
+// bookkeeping, per-agent SplitMix-derived RNG streams, exact message
+// accounting, and the two delivery primitives every model composes:
+//
+//   * run_synchronous_round — the paper's phased lock-step round (collect
+//     one active operation per awake agent, serve pulls from round-start
+//     state, deliver replies, deliver pushes, all in label order);
+//   * sequential_activation — one agent wakes alone and its operation
+//     resolves immediately against current state.
+//
+// *When* agents run — activation order and round/step semantics — is a
+// Scheduler policy (sim/scheduler.hpp).  The Engine facade
+// (sim/engine.hpp) binds the two.  EngineCore is single-threaded and fully
+// deterministic given (n, seed, topology, fault plan, agents): Monte-Carlo
+// parallelism lives one level up (analysis::MonteCarlo) and runs
+// independent cores on independent seeds.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/agent.hpp"
+#include "sim/metrics.hpp"
+#include "support/rng.hpp"
+
+namespace rfc::sim {
+
+class EngineCore {
+ public:
+  EngineCore(std::uint32_t n, std::uint64_t seed, TopologyPtr topology);
+
+  /// Installs the agent for label `id`.  All labels must be populated
+  /// before the first step.
+  void set_agent(AgentId id, std::unique_ptr<Agent> agent);
+
+  /// Marks `id` permanently faulty (must be called before the first step).
+  void set_faulty(AgentId id, bool faulty = true);
+
+  /// Applies a full fault plan (see sim/fault_model.hpp).
+  void apply_fault_plan(const std::vector<bool>& plan);
+
+  bool is_faulty(AgentId id) const { return faulty_.at(id); }
+  std::uint32_t num_faulty() const noexcept { return num_faulty_; }
+  std::uint32_t num_active() const noexcept { return n_ - num_faulty_; }
+
+  std::uint32_t n() const noexcept { return n_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+  /// Elapsed simulated time: rounds under round-based schedulers, steps
+  /// under sequential ones.
+  std::uint64_t time() const noexcept { return time_; }
+  bool started() const noexcept { return started_; }
+  const Metrics& metrics() const noexcept { return metrics_; }
+
+  Agent& agent(AgentId id) { return *agents_.at(id); }
+  const Agent& agent(AgentId id) const { return *agents_.at(id); }
+
+  /// True when every non-faulty agent reports done().
+  bool all_done() const;
+
+  /// Non-faulty labels, in label order.
+  std::vector<AgentId> active_labels() const;
+
+  /// Bits charged for a pull *request* (the "send me your X" control
+  /// message): one peer label, per the paper's accounting.
+  std::uint64_t pull_request_bits() const noexcept;
+
+  // --- Execution primitives, composed by Scheduler policies. ---
+
+  /// Installs-check plus on_start for every active agent in label order.
+  /// Idempotent; runs before the first scheduler step.
+  void ensure_started();
+
+  /// Executes one synchronous phased round over the agents with
+  /// `awake_mask[i]` true (null = every agent), then advances time by one
+  /// round.  Faulty and done() agents idle regardless of the mask.
+  void run_synchronous_round(const std::vector<bool>* awake_mask = nullptr);
+
+  /// Advances time by one step, then wakes `u` alone: its action is
+  /// collected and resolved immediately (a pull is served from current
+  /// state).  Waking a done() agent consumes the step as a wasted
+  /// activation, as in the sequential model's analyses.
+  void sequential_activation(AgentId u);
+
+  /// The per-callback view handed to agent `id` at the current time.
+  Context make_context(AgentId id) noexcept;
+
+ private:
+  // Shared accounting/delivery between the synchronous phases and the
+  // sequential activation path — one definition keeps the two execution
+  // models' metrics bit-identical by construction.
+  void charge_pull_request();
+  /// Serves `requester`'s pull on `v` (silence if `v` is faulty), charging
+  /// the reply if any.  Delivery to the requester is the caller's job:
+  /// the synchronous round defers it to phase C, the sequential path
+  /// delivers immediately.
+  PayloadPtr serve_and_charge_pull(AgentId v, AgentId requester);
+  /// Charges `sender`'s push and delivers it unless the target is faulty
+  /// (the message still travels, and is charged, either way).
+  void execute_push(AgentId sender, const Action& action);
+  std::uint32_t n_;
+  std::uint64_t seed_;
+  TopologyPtr topology_;
+  std::vector<std::unique_ptr<Agent>> agents_;
+  std::vector<bool> faulty_;
+  std::vector<rfc::support::Xoshiro256> rngs_;
+  std::uint32_t num_faulty_ = 0;
+  std::uint64_t time_ = 0;
+  bool started_ = false;
+  Metrics metrics_;
+
+  // Scratch buffers reused across rounds to avoid per-round allocation.
+  std::vector<Action> actions_;
+  std::vector<PayloadPtr> pull_replies_;
+};
+
+}  // namespace rfc::sim

@@ -1,0 +1,124 @@
+#include "sim/scheduler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/engine_core.hpp"
+
+namespace rfc::sim {
+
+void Scheduler::attach(EngineCore& /*core*/) {}
+
+void SynchronousScheduler::step(EngineCore& core) {
+  core.run_synchronous_round(nullptr);
+}
+
+void SequentialScheduler::attach(EngineCore& core) {
+  rng_ = rfc::support::Xoshiro256(
+      rfc::support::derive_seed(core.seed(), kStream));
+}
+
+void SequentialScheduler::step(EngineCore& core) {
+  if (!active_built_) {
+    active_ = core.active_labels();
+    active_built_ = true;
+  }
+  if (active_.empty()) return;
+  const AgentId u = active_[rng_.below(active_.size())];
+  core.sequential_activation(u);
+}
+
+PartialAsyncScheduler::PartialAsyncScheduler(double wake_probability)
+    : p_(wake_probability) {
+  if (!(p_ >= 0.0 && p_ <= 1.0)) {
+    throw std::invalid_argument(
+        "PartialAsyncScheduler: wake probability must be in [0, 1]");
+  }
+}
+
+void PartialAsyncScheduler::attach(EngineCore& core) {
+  rng_ = rfc::support::Xoshiro256(
+      rfc::support::derive_seed(core.seed(), kStream));
+}
+
+void PartialAsyncScheduler::step(EngineCore& core) {
+  if (awake_.size() != core.n()) awake_.assign(core.n(), false);
+  // One draw per label, faulty included, so the wake pattern of agent i is
+  // independent of the fault plan (mirrors the per-agent RNG streams).
+  for (std::uint32_t i = 0; i < core.n(); ++i) {
+    awake_[i] = rng_.bernoulli(p_);
+  }
+  core.run_synchronous_round(&awake_);
+}
+
+AdversarialScheduler::AdversarialScheduler(AdversarialConfig cfg)
+    : cfg_(cfg) {
+  if (!(cfg_.victim_fraction >= 0.0 && cfg_.victim_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "AdversarialScheduler: victim fraction must be in [0, 1]");
+  }
+}
+
+void AdversarialScheduler::attach(EngineCore& core) {
+  rng_ = rfc::support::Xoshiro256(
+      rfc::support::derive_seed(core.seed(), cfg_.stream));
+}
+
+void AdversarialScheduler::build_order(EngineCore& core) {
+  std::vector<AgentId> order = core.active_labels();
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng_.below(i)]);
+  }
+  const auto num_victims = static_cast<std::size_t>(
+      std::ceil(cfg_.victim_fraction * static_cast<double>(order.size())));
+  victims_.assign(order.begin(),
+                  order.begin() + static_cast<std::ptrdiff_t>(num_victims));
+  favored_.assign(order.begin() + static_cast<std::ptrdiff_t>(num_victims),
+                  order.end());
+  order_built_ = true;
+}
+
+AgentId AdversarialScheduler::next_from(std::vector<AgentId>& pool,
+                                        std::size_t& cursor,
+                                        EngineCore& core) {
+  while (!pool.empty()) {
+    if (cursor >= pool.size()) cursor = 0;
+    const AgentId u = pool[cursor];
+    if (!core.agent(u).done()) {
+      ++cursor;
+      return u;
+    }
+    // Done for good (the Agent contract has no way back): swap-remove so
+    // the completion tail stays amortized O(1) instead of O(pool) rescans.
+    pool[cursor] = pool.back();
+    pool.pop_back();
+  }
+  return kNoAgent;
+}
+
+void AdversarialScheduler::step(EngineCore& core) {
+  if (!order_built_) build_order(core);
+  AgentId u = next_from(favored_, favored_cursor_, core);
+  if (u == kNoAgent) u = next_from(victims_, victim_cursor_, core);
+  if (u == kNoAgent) return;  // Everyone done; the run loop exits.
+  core.sequential_activation(u);
+}
+
+SchedulerPtr make_synchronous_scheduler() {
+  return std::make_unique<SynchronousScheduler>();
+}
+
+SchedulerPtr make_sequential_scheduler() {
+  return std::make_unique<SequentialScheduler>();
+}
+
+SchedulerPtr make_partial_async_scheduler(double wake_probability) {
+  return std::make_unique<PartialAsyncScheduler>(wake_probability);
+}
+
+SchedulerPtr make_adversarial_scheduler(AdversarialConfig cfg) {
+  return std::make_unique<AdversarialScheduler>(cfg);
+}
+
+}  // namespace rfc::sim

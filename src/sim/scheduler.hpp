@@ -1,0 +1,146 @@
+// Pluggable activation policies for the unified simulation engine.
+//
+// A Scheduler owns *when* agents run — activation order and round/step
+// semantics — while EngineCore (sim/engine_core.hpp) owns *what* running
+// means (phased delivery, fault silence, message accounting).  Four
+// policies ship:
+//
+//   * SynchronousScheduler — the paper's model (Section 2): every active
+//     agent performs one operation per lock-step round.  Produces traces
+//     bit-identical to the pre-refactor synchronous Engine.
+//   * SequentialScheduler — the paper's second open problem: one uniformly
+//     random active agent wakes per step.  Reproduces the pre-refactor
+//     AsyncEngine step-for-step (same 0xA57C scheduler stream).
+//   * PartialAsyncScheduler — each round wakes an independent Bernoulli(p)
+//     subset of agents, interpolating between the two models above: p = 1
+//     recovers lock-step rounds, p ≈ 1/n approximates sequential wake-ups.
+//   * AdversarialScheduler — seeded worst-case wake orderings for
+//     robustness experiments: a seeded victim subset is starved until every
+//     other agent has finished, the rest are woken round-robin in a seeded
+//     permutation.
+//
+// All scheduler randomness derives from the engine's master seed via
+// distinct SplitMix streams, so a run stays pinned down by (config, agents,
+// fault plan) regardless of policy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/agent.hpp"
+#include "support/rng.hpp"
+
+namespace rfc::sim {
+
+class EngineCore;
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Human-readable policy name, for tables and traces.
+  virtual const char* name() const noexcept = 0;
+
+  /// Called once by the engine before any step.  The core's master seed is
+  /// the only source of randomness a policy may draw from.
+  virtual void attach(EngineCore& core);
+
+  /// Executes one unit of simulated time on the core (a round or a step,
+  /// at the policy's discretion).  The core is already started.
+  virtual void step(EngineCore& core) = 0;
+};
+
+using SchedulerPtr = std::unique_ptr<Scheduler>;
+
+/// The paper's synchronous model: every active agent acts each round.
+class SynchronousScheduler final : public Scheduler {
+ public:
+  const char* name() const noexcept override { return "synchronous"; }
+  void step(EngineCore& core) override;
+};
+
+/// One uniformly random active agent wakes per step (the sequential GOSSIP
+/// model).  Wasted activations (done agents) consume steps, as in the
+/// coupon-collector analyses.
+class SequentialScheduler final : public Scheduler {
+ public:
+  /// Stream tag of the wake-up RNG; fixed by the legacy AsyncEngine and
+  /// load-bearing for trace compatibility.
+  static constexpr std::uint64_t kStream = 0xA57Cu;
+
+  const char* name() const noexcept override { return "sequential"; }
+  void attach(EngineCore& core) override;
+  void step(EngineCore& core) override;
+
+ private:
+  rfc::support::Xoshiro256 rng_{0};
+  std::vector<AgentId> active_;  ///< Labels eligible to wake.
+  bool active_built_ = false;
+};
+
+/// Each round wakes an independent Bernoulli(p) subset of the agents and
+/// runs a synchronous phased round over that subset.
+class PartialAsyncScheduler final : public Scheduler {
+ public:
+  static constexpr std::uint64_t kStream = 0x9A27u;
+
+  /// `wake_probability` must lie in [0, 1].
+  explicit PartialAsyncScheduler(double wake_probability);
+
+  const char* name() const noexcept override { return "partial-async"; }
+  double wake_probability() const noexcept { return p_; }
+  void attach(EngineCore& core) override;
+  void step(EngineCore& core) override;
+
+ private:
+  double p_;
+  rfc::support::Xoshiro256 rng_{0};
+  std::vector<bool> awake_;  ///< Scratch mask reused across rounds.
+};
+
+struct AdversarialConfig {
+  /// Fraction of active agents starved until everyone else is done().
+  double victim_fraction = 0.25;
+  /// Stream tag mixed into the master seed for the adversary's choices;
+  /// vary it to sample different worst-case orderings at a fixed seed.
+  std::uint64_t stream = 0xADF0u;
+};
+
+/// Seeded worst-case sequential wake orderings.  A seeded permutation fixes
+/// the wake order; its first ⌈victim_fraction·active⌉ entries are starved
+/// until every non-victim reports done(), modelling a scheduler that
+/// maximally delays a coalition of agents.  With victim_fraction = 0 this
+/// degenerates to a deterministic round-robin over a seeded permutation.
+class AdversarialScheduler final : public Scheduler {
+ public:
+  explicit AdversarialScheduler(AdversarialConfig cfg = {});
+
+  const char* name() const noexcept override { return "adversarial"; }
+  const AdversarialConfig& config() const noexcept { return cfg_; }
+  void attach(EngineCore& core) override;
+  void step(EngineCore& core) override;
+
+ private:
+  void build_order(EngineCore& core);
+  /// Next not-done agent from `pool`, round-robin from `cursor`; done
+  /// agents are swap-removed as encountered (amortized O(1) per step).
+  /// kNoAgent when the pool has emptied.
+  static AgentId next_from(std::vector<AgentId>& pool, std::size_t& cursor,
+                           EngineCore& core);
+
+  AdversarialConfig cfg_;
+  rfc::support::Xoshiro256 rng_{0};
+  std::vector<AgentId> favored_;  ///< Woken while any of them is not done.
+  std::vector<AgentId> victims_;  ///< Starved until then.
+  std::size_t favored_cursor_ = 0;
+  std::size_t victim_cursor_ = 0;
+  bool order_built_ = false;
+};
+
+SchedulerPtr make_synchronous_scheduler();
+SchedulerPtr make_sequential_scheduler();
+SchedulerPtr make_partial_async_scheduler(double wake_probability);
+SchedulerPtr make_adversarial_scheduler(AdversarialConfig cfg = {});
+
+}  // namespace rfc::sim

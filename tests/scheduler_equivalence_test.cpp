@@ -1,0 +1,461 @@
+// Golden equivalence of the pluggable-scheduler engine with the
+// pre-refactor engines.
+//
+// The two classes below are frozen, verbatim copies of the synchronous
+// Engine and the AsyncEngine as they existed before the Scheduler split.
+// The tests drive a reference engine and the unified Engine through the
+// same workloads and assert *bit-identical* observable output — per-round
+// message accounting, per-agent delivery state, and step counts — across
+// multiple (n, seed, fault-plan, topology) configurations.  A smoke test
+// additionally runs gossip::RumorAgent to completion under all four
+// shipped schedulers.
+#include <gtest/gtest.h>
+
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gossip/rumor.hpp"
+#include "sim/engine.hpp"
+#include "sim/fault_model.hpp"
+#include "sim/scheduler.hpp"
+#include "support/math_util.hpp"
+
+namespace rfc::sim {
+namespace {
+
+// --------------------------------------------------------------------------
+// Reference: the pre-refactor synchronous Engine, frozen.
+// --------------------------------------------------------------------------
+class LegacySyncEngine {
+ public:
+  LegacySyncEngine(std::uint32_t n, std::uint64_t seed, TopologyPtr topology)
+      : n_(n), seed_(seed), topology_(std::move(topology)) {
+    if (n_ == 0) throw std::invalid_argument("n must be positive");
+    agents_.resize(n_);
+    faulty_.assign(n_, false);
+    rngs_.reserve(n_);
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      rngs_.emplace_back(rfc::support::derive_seed(seed_, i));
+    }
+    actions_.resize(n_);
+    pull_replies_.resize(n_);
+  }
+
+  void set_agent(AgentId id, std::unique_ptr<Agent> agent) {
+    agents_.at(id) = std::move(agent);
+  }
+  void apply_fault_plan(const std::vector<bool>& plan) {
+    for (std::uint32_t i = 0; i < n_; ++i) faulty_[i] = plan[i];
+  }
+  const Metrics& metrics() const noexcept { return metrics_; }
+  const Agent& agent(AgentId id) const { return *agents_.at(id); }
+  bool is_faulty(AgentId id) const { return faulty_.at(id); }
+  std::uint64_t round() const noexcept { return round_; }
+
+  void step() {
+    if (!started_) {
+      for (std::uint32_t i = 0; i < n_; ++i) {
+        if (!faulty_[i]) agents_[i]->on_start(make_context(i));
+      }
+      started_ = true;
+    }
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      if (faulty_[i] || agents_[i]->done()) {
+        actions_[i] = Action::idle();
+        continue;
+      }
+      actions_[i] = agents_[i]->on_round(make_context(i));
+      if (actions_[i].kind != ActionKind::kIdle) ++metrics_.active_links;
+    }
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      pull_replies_[i] = nullptr;
+      const Action& a = actions_[i];
+      if (a.kind != ActionKind::kPull) continue;
+      ++metrics_.pull_requests;
+      metrics_.note_message(rfc::support::bit_width_for_domain(n_));
+      const AgentId v = a.target;
+      if (faulty_[v]) continue;
+      PayloadPtr reply = agents_[v]->serve_pull(make_context(v), i);
+      if (reply != nullptr) {
+        ++metrics_.pull_replies;
+        metrics_.note_message(reply->bit_size());
+        pull_replies_[i] = std::move(reply);
+      }
+    }
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      const Action& a = actions_[i];
+      if (a.kind != ActionKind::kPull) continue;
+      agents_[i]->on_pull_reply(make_context(i), a.target, pull_replies_[i]);
+      pull_replies_[i] = nullptr;
+    }
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      const Action& a = actions_[i];
+      if (a.kind != ActionKind::kPush) continue;
+      ++metrics_.pushes;
+      metrics_.note_message(a.payload != nullptr ? a.payload->bit_size() : 0);
+      const AgentId v = a.target;
+      if (!faulty_[v]) agents_[v]->on_push(make_context(v), i, a.payload);
+    }
+    ++round_;
+    metrics_.rounds = round_;
+  }
+
+ private:
+  Context make_context(AgentId id) noexcept {
+    Context ctx;
+    ctx.self = id;
+    ctx.n = n_;
+    ctx.round = round_;
+    ctx.rng = &rngs_[id];
+    ctx.topology = topology_.get();
+    return ctx;
+  }
+
+  std::uint32_t n_;
+  std::uint64_t seed_;
+  TopologyPtr topology_;
+  std::vector<std::unique_ptr<Agent>> agents_;
+  std::vector<bool> faulty_;
+  std::vector<rfc::support::Xoshiro256> rngs_;
+  std::uint64_t round_ = 0;
+  bool started_ = false;
+  Metrics metrics_;
+  std::vector<Action> actions_;
+  std::vector<PayloadPtr> pull_replies_;
+};
+
+// --------------------------------------------------------------------------
+// Reference: the pre-refactor AsyncEngine (one u.a.r. wake per step), frozen.
+// --------------------------------------------------------------------------
+class LegacySequentialEngine {
+ public:
+  LegacySequentialEngine(std::uint32_t n, std::uint64_t seed,
+                         TopologyPtr topology)
+      : n_(n),
+        topology_(std::move(topology)),
+        scheduler_rng_(rfc::support::derive_seed(seed, 0xA57Cu)) {
+    agents_.resize(n_);
+    faulty_.assign(n_, false);
+    rngs_.reserve(n_);
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      rngs_.emplace_back(rfc::support::derive_seed(seed, i));
+    }
+  }
+
+  void set_agent(AgentId id, std::unique_ptr<Agent> agent) {
+    agents_.at(id) = std::move(agent);
+  }
+  void set_faulty(AgentId id) { faulty_.at(id) = true; }
+  const Metrics& metrics() const noexcept { return metrics_; }
+  const Agent& agent(AgentId id) const { return *agents_.at(id); }
+  bool is_faulty(AgentId id) const { return faulty_.at(id); }
+  std::uint64_t steps() const noexcept { return steps_; }
+
+  void step() {
+    if (!started_) {
+      active_.clear();
+      for (std::uint32_t i = 0; i < n_; ++i) {
+        if (!faulty_[i]) {
+          agents_[i]->on_start(make_context(i));
+          active_.push_back(i);
+        }
+      }
+      started_ = true;
+      if (active_.empty()) return;
+    }
+    const AgentId u = active_[scheduler_rng_.below(active_.size())];
+    ++steps_;
+    metrics_.rounds = steps_;
+    if (agents_[u]->done()) return;
+    const Action action = agents_[u]->on_round(make_context(u));
+    switch (action.kind) {
+      case ActionKind::kIdle:
+        return;
+      case ActionKind::kPull: {
+        ++metrics_.active_links;
+        ++metrics_.pull_requests;
+        metrics_.note_message(rfc::support::bit_width_for_domain(n_));
+        const AgentId v = action.target;
+        PayloadPtr reply;
+        if (!faulty_[v]) reply = agents_[v]->serve_pull(make_context(v), u);
+        if (reply != nullptr) {
+          ++metrics_.pull_replies;
+          metrics_.note_message(reply->bit_size());
+        }
+        agents_[u]->on_pull_reply(make_context(u), action.target,
+                                  std::move(reply));
+        return;
+      }
+      case ActionKind::kPush: {
+        ++metrics_.active_links;
+        ++metrics_.pushes;
+        metrics_.note_message(
+            action.payload != nullptr ? action.payload->bit_size() : 0);
+        const AgentId v = action.target;
+        if (!faulty_[v]) agents_[v]->on_push(make_context(v), u, action.payload);
+        return;
+      }
+    }
+  }
+
+ private:
+  Context make_context(AgentId id) noexcept {
+    Context ctx;
+    ctx.self = id;
+    ctx.n = n_;
+    ctx.round = steps_;
+    ctx.rng = &rngs_[id];
+    ctx.topology = topology_.get();
+    return ctx;
+  }
+
+  std::uint32_t n_;
+  TopologyPtr topology_;
+  std::vector<std::unique_ptr<Agent>> agents_;
+  std::vector<bool> faulty_;
+  std::vector<rfc::support::Xoshiro256> rngs_;
+  std::vector<AgentId> active_;
+  rfc::support::Xoshiro256 scheduler_rng_;
+  std::uint64_t steps_ = 0;
+  bool started_ = false;
+  Metrics metrics_;
+};
+
+// --------------------------------------------------------------------------
+// Harness
+// --------------------------------------------------------------------------
+
+struct EquivalenceConfig {
+  std::uint32_t n = 0;
+  std::uint64_t seed = 1;
+  gossip::Mechanism mechanism = gossip::Mechanism::kPushPull;
+  std::uint32_t num_faulty = 0;
+  FaultPlacement placement = FaultPlacement::kNone;
+  TopologyPtr topology;
+  std::uint64_t rumor_bits = 48;
+};
+
+std::vector<bool> fault_plan_for(const EquivalenceConfig& cfg) {
+  rfc::support::Xoshiro256 fault_rng(
+      rfc::support::derive_seed(cfg.seed, 0x0fau));
+  return make_fault_plan(cfg.placement, cfg.n, cfg.num_faulty, fault_rng);
+}
+
+template <typename EngineT>
+void install_rumor_agents(EngineT& engine, const EquivalenceConfig& cfg,
+                          const std::vector<bool>& plan) {
+  bool placed_source = false;
+  for (std::uint32_t i = 0; i < cfg.n; ++i) {
+    const bool informed = !plan[i] && !placed_source;
+    if (informed) placed_source = true;
+    engine.set_agent(i, std::make_unique<gossip::RumorAgent>(
+                            cfg.mechanism, informed, cfg.rumor_bits));
+  }
+}
+
+void expect_metrics_equal(const Metrics& a, const Metrics& b,
+                          std::uint64_t at_time) {
+  EXPECT_EQ(a.rounds, b.rounds) << "t=" << at_time;
+  EXPECT_EQ(a.pushes, b.pushes) << "t=" << at_time;
+  EXPECT_EQ(a.pull_requests, b.pull_requests) << "t=" << at_time;
+  EXPECT_EQ(a.pull_replies, b.pull_replies) << "t=" << at_time;
+  EXPECT_EQ(a.total_bits, b.total_bits) << "t=" << at_time;
+  EXPECT_EQ(a.max_message_bits, b.max_message_bits) << "t=" << at_time;
+  EXPECT_EQ(a.active_links, b.active_links) << "t=" << at_time;
+}
+
+template <typename ReferenceT>
+void expect_informed_equal(const ReferenceT& reference, const Engine& engine,
+                           std::uint32_t n) {
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const bool ref_informed =
+        static_cast<const gossip::RumorAgent&>(reference.agent(i)).informed();
+    const bool new_informed =
+        static_cast<const gossip::RumorAgent&>(engine.agent(i)).informed();
+    EXPECT_EQ(ref_informed, new_informed) << "agent " << i;
+  }
+}
+
+/// Drives the frozen synchronous engine and the unified Engine (default
+/// scheduler) through `rounds` lock-step rounds, comparing the full metric
+/// trace after every round and the delivery state at the end.
+void expect_synchronous_bit_identical(const EquivalenceConfig& cfg,
+                                      std::uint64_t rounds) {
+  const std::vector<bool> plan = fault_plan_for(cfg);
+
+  LegacySyncEngine reference(cfg.n, cfg.seed, cfg.topology);
+  reference.apply_fault_plan(plan);
+  install_rumor_agents(reference, cfg, plan);
+
+  Engine engine({cfg.n, cfg.seed, cfg.topology});
+  engine.apply_fault_plan(plan);
+  install_rumor_agents(engine, cfg, plan);
+
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    reference.step();
+    engine.step();
+    expect_metrics_equal(reference.metrics(), engine.metrics(), r);
+  }
+  EXPECT_EQ(reference.round(), engine.round());
+  expect_informed_equal(reference, engine, cfg.n);
+}
+
+/// Same, for the frozen AsyncEngine vs Engine + SequentialScheduler over
+/// `steps` sequential activations.
+void expect_sequential_bit_identical(const EquivalenceConfig& cfg,
+                                     std::uint64_t steps) {
+  const std::vector<bool> plan = fault_plan_for(cfg);
+
+  LegacySequentialEngine reference(cfg.n, cfg.seed, cfg.topology);
+  for (std::uint32_t i = 0; i < cfg.n; ++i) {
+    if (plan[i]) reference.set_faulty(i);
+  }
+  install_rumor_agents(reference, cfg, plan);
+
+  Engine engine(
+      {cfg.n, cfg.seed, cfg.topology, make_sequential_scheduler()});
+  engine.apply_fault_plan(plan);
+  install_rumor_agents(engine, cfg, plan);
+
+  for (std::uint64_t s = 0; s < steps; ++s) {
+    reference.step();
+    engine.step();
+    expect_metrics_equal(reference.metrics(), engine.metrics(), s);
+  }
+  EXPECT_EQ(reference.steps(), engine.steps());
+  expect_informed_equal(reference, engine, cfg.n);
+}
+
+// --------------------------------------------------------------------------
+// Configurations: at least three distinct (n, seed, fault-plan) points, one
+// with a non-complete topology.
+// --------------------------------------------------------------------------
+
+TEST(SchedulerEquivalence, SynchronousMatchesLegacyNoFaults) {
+  EquivalenceConfig cfg;
+  cfg.n = 64;
+  cfg.seed = 7;
+  cfg.mechanism = gossip::Mechanism::kPushPull;
+  expect_synchronous_bit_identical(cfg, 48);
+}
+
+TEST(SchedulerEquivalence, SynchronousMatchesLegacyRandomFaults) {
+  EquivalenceConfig cfg;
+  cfg.n = 97;
+  cfg.seed = 1234;
+  cfg.mechanism = gossip::Mechanism::kPull;
+  cfg.num_faulty = 20;
+  cfg.placement = FaultPlacement::kRandom;
+  expect_synchronous_bit_identical(cfg, 64);
+}
+
+TEST(SchedulerEquivalence, SynchronousMatchesLegacyPrefixFaultsOnRing) {
+  EquivalenceConfig cfg;
+  cfg.n = 80;
+  cfg.seed = 99;
+  cfg.mechanism = gossip::Mechanism::kPushPull;
+  cfg.num_faulty = 10;
+  cfg.placement = FaultPlacement::kPrefix;
+  cfg.topology = make_ring(80, 2);
+  expect_synchronous_bit_identical(cfg, 96);
+}
+
+TEST(SchedulerEquivalence, SequentialMatchesLegacyNoFaults) {
+  EquivalenceConfig cfg;
+  cfg.n = 64;
+  cfg.seed = 11;
+  cfg.mechanism = gossip::Mechanism::kPushPull;
+  expect_sequential_bit_identical(cfg, 4000);
+}
+
+TEST(SchedulerEquivalence, SequentialMatchesLegacyRandomFaults) {
+  EquivalenceConfig cfg;
+  cfg.n = 96;
+  cfg.seed = 2025;
+  cfg.mechanism = gossip::Mechanism::kPull;
+  cfg.num_faulty = 24;
+  cfg.placement = FaultPlacement::kRandom;
+  expect_sequential_bit_identical(cfg, 6000);
+}
+
+TEST(SchedulerEquivalence, SequentialMatchesLegacyStepCountToCompletion) {
+  // Run both engines to rumor completion under the same chunked drive loop
+  // and require the *exact* same number of steps.
+  const std::uint32_t n = 72;
+  EquivalenceConfig cfg;
+  cfg.n = n;
+  cfg.seed = 5;
+  cfg.mechanism = gossip::Mechanism::kPushPull;
+  const std::vector<bool> plan = fault_plan_for(cfg);
+
+  LegacySequentialEngine reference(n, cfg.seed, nullptr);
+  install_rumor_agents(reference, cfg, plan);
+  Engine engine({n, cfg.seed, nullptr, make_sequential_scheduler()});
+  install_rumor_agents(engine, cfg, plan);
+
+  const auto all_informed = [&](auto& eng) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (!static_cast<const gossip::RumorAgent&>(eng.agent(i)).informed()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  const std::uint64_t cap = 100'000;
+  while (reference.steps() < cap && !all_informed(reference)) {
+    reference.step();
+  }
+  while (engine.steps() < cap && !all_informed(engine)) engine.step();
+
+  ASSERT_TRUE(all_informed(reference));
+  EXPECT_EQ(reference.steps(), engine.steps());
+  expect_metrics_equal(reference.metrics(), engine.metrics(),
+                       reference.steps());
+}
+
+// --------------------------------------------------------------------------
+// Smoke: every shipped scheduler runs RumorAgent to completion.
+// --------------------------------------------------------------------------
+
+bool spread_completes(SchedulerPtr scheduler, std::uint64_t cap) {
+  const std::uint32_t n = 64;
+  Engine engine({n, 21, nullptr, std::move(scheduler)});
+  for (std::uint32_t i = 0; i < n; ++i) {
+    engine.set_agent(i, std::make_unique<gossip::RumorAgent>(
+                            gossip::Mechanism::kPushPull, i == 0, 32));
+  }
+  const auto all_informed = [&] {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (!static_cast<const gossip::RumorAgent&>(engine.agent(i))
+               .informed()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  while (engine.round() < cap && !all_informed()) engine.step();
+  return all_informed();
+}
+
+TEST(SchedulerSmoke, SynchronousRunsRumorToCompletion) {
+  EXPECT_TRUE(spread_completes(make_synchronous_scheduler(), 1'000));
+}
+
+TEST(SchedulerSmoke, SequentialRunsRumorToCompletion) {
+  EXPECT_TRUE(spread_completes(make_sequential_scheduler(), 200'000));
+}
+
+TEST(SchedulerSmoke, PartialAsyncRunsRumorToCompletion) {
+  EXPECT_TRUE(spread_completes(make_partial_async_scheduler(0.3), 10'000));
+}
+
+TEST(SchedulerSmoke, AdversarialRunsRumorToCompletion) {
+  EXPECT_TRUE(spread_completes(
+      make_adversarial_scheduler({.victim_fraction = 0.25}), 400'000));
+}
+
+}  // namespace
+}  // namespace rfc::sim

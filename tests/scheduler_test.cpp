@@ -1,0 +1,304 @@
+// Behavioural tests of the pluggable activation policies: the sequential
+// model's contracts (previously AsyncEngine's test suite) plus the two
+// scenario-opening schedulers (partial-async, adversarial).
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "gossip/min_aggregation.hpp"
+#include "gossip/rumor.hpp"
+#include "sim/engine.hpp"
+
+namespace rfc::sim {
+namespace {
+
+Engine sequential_engine(std::uint32_t n, std::uint64_t seed) {
+  return Engine({n, seed, nullptr, make_sequential_scheduler()});
+}
+
+TEST(SequentialScheduler, RejectsZeroAgents) {
+  EXPECT_THROW(Engine({0, 1, nullptr, make_sequential_scheduler()}),
+               std::invalid_argument);
+}
+
+TEST(SequentialScheduler, MissingAgentThrows) {
+  Engine engine = sequential_engine(2, 1);
+  engine.set_agent(0, std::make_unique<gossip::RumorAgent>(
+                          gossip::Mechanism::kPull, true, 8));
+  EXPECT_THROW(engine.step(), std::logic_error);
+}
+
+TEST(SequentialScheduler, FaultPlanLockedAfterStart) {
+  Engine engine = sequential_engine(2, 1);
+  for (AgentId i = 0; i < 2; ++i) {
+    engine.set_agent(i, std::make_unique<gossip::RumorAgent>(
+                            gossip::Mechanism::kPull, i == 0, 8));
+  }
+  engine.step();
+  EXPECT_THROW(engine.set_faulty(1), std::logic_error);
+}
+
+TEST(SequentialScheduler, RumorEventuallyReachesEveryone) {
+  gossip::SpreadConfig cfg;
+  cfg.n = 128;
+  cfg.mechanism = gossip::Mechanism::kPushPull;
+  cfg.seed = 3;
+  cfg.max_rounds = 100'000;
+  const auto r = gossip::run_rumor_spreading_async(cfg);
+  EXPECT_TRUE(r.complete);
+  EXPECT_GT(r.rounds, 128u);  // Needs far more steps than agents.
+}
+
+TEST(SequentialScheduler, StepsScaleAsNLogN) {
+  // Coupon-collector behaviour: steps/(n ln n) bounded for push-pull.
+  for (const std::uint32_t n : {128u, 512u}) {
+    gossip::SpreadConfig cfg;
+    cfg.n = n;
+    cfg.mechanism = gossip::Mechanism::kPushPull;
+    cfg.max_rounds = 1'000'000;
+    double mean = 0;
+    constexpr int kReps = 5;
+    for (int i = 0; i < kReps; ++i) {
+      cfg.seed = 50 + i;
+      const auto r = gossip::run_rumor_spreading_async(cfg);
+      ASSERT_TRUE(r.complete);
+      mean += static_cast<double>(r.rounds) / kReps;
+    }
+    const double normalized = mean / (n * std::log(n));
+    EXPECT_GT(normalized, 0.3) << "n=" << n;
+    EXPECT_LT(normalized, 6.0) << "n=" << n;
+  }
+}
+
+TEST(SequentialScheduler, SeedReproducible) {
+  gossip::SpreadConfig cfg;
+  cfg.n = 96;
+  cfg.mechanism = gossip::Mechanism::kPull;
+  cfg.seed = 12;
+  cfg.max_rounds = 100'000;
+  const auto a = gossip::run_rumor_spreading_async(cfg);
+  const auto b = gossip::run_rumor_spreading_async(cfg);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.metrics.total_bits, b.metrics.total_bits);
+}
+
+TEST(SequentialScheduler, FaultyAgentsNeverWake) {
+  gossip::SpreadConfig cfg;
+  cfg.n = 64;
+  cfg.num_faulty = 32;
+  cfg.placement = FaultPlacement::kPrefix;
+  cfg.mechanism = gossip::Mechanism::kPushPull;
+  cfg.seed = 7;
+  cfg.max_rounds = 200'000;
+  const auto r = gossip::run_rumor_spreading_async(cfg);
+  EXPECT_TRUE(r.complete);  // Among active agents.
+}
+
+TEST(SequentialScheduler, RespectsTopology) {
+  gossip::SpreadConfig cfg;
+  cfg.n = 64;
+  cfg.mechanism = gossip::Mechanism::kPushPull;
+  cfg.seed = 5;
+  cfg.topology = make_ring(64, 1);
+  cfg.max_rounds = 500'000;
+  const auto r = gossip::run_rumor_spreading_async(cfg);
+  EXPECT_TRUE(r.complete);
+  // Ring diameter forces ≫ n log n steps.
+  EXPECT_GT(r.rounds, 64u * 6);
+}
+
+TEST(SequentialScheduler, MetricsAccountMessages) {
+  gossip::SpreadConfig cfg;
+  cfg.n = 64;
+  cfg.mechanism = gossip::Mechanism::kPull;
+  cfg.seed = 6;
+  cfg.rumor_bits = 99;
+  cfg.max_rounds = 100'000;
+  const auto r = gossip::run_rumor_spreading_async(cfg);
+  EXPECT_GT(r.metrics.pull_requests, 0u);
+  EXPECT_GE(r.metrics.max_message_bits, 99u);
+  EXPECT_LE(r.metrics.active_links, r.rounds);
+}
+
+// --------------------------------------------------------------------------
+// PartialAsyncScheduler
+// --------------------------------------------------------------------------
+
+TEST(PartialAsyncScheduler, RejectsInvalidProbability) {
+  EXPECT_THROW(make_partial_async_scheduler(-0.1), std::invalid_argument);
+  EXPECT_THROW(make_partial_async_scheduler(1.5), std::invalid_argument);
+}
+
+TEST(PartialAsyncScheduler, SpreadsUnderPartialWakes) {
+  gossip::SpreadConfig cfg;
+  cfg.n = 128;
+  cfg.mechanism = gossip::Mechanism::kPushPull;
+  cfg.seed = 17;
+  cfg.max_rounds = 20'000;
+  const auto r = gossip::run_rumor_spreading_scheduled(
+      cfg, make_partial_async_scheduler(0.25));
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(PartialAsyncScheduler, InterpolatesBetweenModels) {
+  // Fewer awake agents per round => more rounds to completion; the sweep
+  // must be monotone-ish between full synchrony and sparse wake-ups.
+  gossip::SpreadConfig cfg;
+  cfg.n = 256;
+  cfg.mechanism = gossip::Mechanism::kPushPull;
+  cfg.seed = 23;
+  cfg.max_rounds = 200'000;
+  const auto dense = gossip::run_rumor_spreading_scheduled(
+      cfg, make_partial_async_scheduler(1.0));
+  const auto sparse = gossip::run_rumor_spreading_scheduled(
+      cfg, make_partial_async_scheduler(0.05));
+  ASSERT_TRUE(dense.complete);
+  ASSERT_TRUE(sparse.complete);
+  EXPECT_LT(dense.rounds, sparse.rounds);
+}
+
+TEST(PartialAsyncScheduler, FullProbabilityMatchesSynchronousRoundCount) {
+  // p = 1 wakes everyone every round: completion time must equal the
+  // synchronous engine's (the wake draws differ, but every agent acts).
+  gossip::SpreadConfig cfg;
+  cfg.n = 128;
+  cfg.mechanism = gossip::Mechanism::kPushPull;
+  cfg.seed = 29;
+  cfg.max_rounds = 10'000;
+  const auto sync = gossip::run_rumor_spreading(cfg);
+  const auto p1 = gossip::run_rumor_spreading_scheduled(
+      cfg, make_partial_async_scheduler(1.0));
+  ASSERT_TRUE(sync.complete);
+  ASSERT_TRUE(p1.complete);
+  EXPECT_EQ(sync.rounds, p1.rounds);
+  EXPECT_EQ(sync.metrics.total_bits, p1.metrics.total_bits);
+}
+
+TEST(PartialAsyncScheduler, SeedReproducible) {
+  gossip::SpreadConfig cfg;
+  cfg.n = 96;
+  cfg.mechanism = gossip::Mechanism::kPushPull;
+  cfg.seed = 31;
+  cfg.max_rounds = 50'000;
+  const auto a = gossip::run_rumor_spreading_scheduled(
+      cfg, make_partial_async_scheduler(0.3));
+  const auto b = gossip::run_rumor_spreading_scheduled(
+      cfg, make_partial_async_scheduler(0.3));
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.metrics.total_bits, b.metrics.total_bits);
+}
+
+// --------------------------------------------------------------------------
+// AdversarialScheduler
+// --------------------------------------------------------------------------
+
+TEST(AdversarialScheduler, RejectsInvalidFraction) {
+  EXPECT_THROW(make_adversarial_scheduler({.victim_fraction = 1.5}),
+               std::invalid_argument);
+}
+
+TEST(AdversarialScheduler, StarvedVictimsStillLearnByPush) {
+  // Victims never wake while any favored agent is unfinished, but passive
+  // receptions still reach them: push-pull spreading completes.
+  gossip::SpreadConfig cfg;
+  cfg.n = 64;
+  cfg.mechanism = gossip::Mechanism::kPushPull;
+  cfg.seed = 37;
+  cfg.max_rounds = 400'000;
+  const auto r = gossip::run_rumor_spreading_scheduled(
+      cfg, make_adversarial_scheduler({.victim_fraction = 0.25}));
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(AdversarialScheduler, StarvationBeatsUniformSchedulingForPullOnly) {
+  // Pull-only spreading needs the uninformed agent itself to wake; starving
+  // a quarter of the network must not be faster than the uniform sequential
+  // schedule at informing everyone.
+  gossip::SpreadConfig cfg;
+  cfg.n = 64;
+  cfg.mechanism = gossip::Mechanism::kPull;
+  cfg.seed = 41;
+  cfg.max_rounds = 500'000;
+  const auto uniform = gossip::run_rumor_spreading_scheduled(
+      cfg, make_sequential_scheduler(), 16);
+  const auto adversarial = gossip::run_rumor_spreading_scheduled(
+      cfg, make_adversarial_scheduler({.victim_fraction = 0.25}), 16);
+  ASSERT_TRUE(uniform.complete);
+  EXPECT_LT(uniform.rounds, cfg.max_rounds);
+  // Victims can only pull once every favored agent is done — and rumor
+  // agents never finish, so pull-only spreading cannot complete while any
+  // victim exists: the run must exhaust its full step budget.
+  EXPECT_FALSE(adversarial.complete);
+  EXPECT_EQ(adversarial.rounds, cfg.max_rounds);
+}
+
+TEST(AdversarialScheduler, ZeroFractionIsSeededRoundRobin) {
+  gossip::SpreadConfig cfg;
+  cfg.n = 96;
+  cfg.mechanism = gossip::Mechanism::kPushPull;
+  cfg.seed = 43;
+  cfg.max_rounds = 200'000;
+  const auto a = gossip::run_rumor_spreading_scheduled(
+      cfg, make_adversarial_scheduler({.victim_fraction = 0.0}), 8);
+  const auto b = gossip::run_rumor_spreading_scheduled(
+      cfg, make_adversarial_scheduler({.victim_fraction = 0.0}), 8);
+  EXPECT_TRUE(a.complete);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.metrics.total_bits, b.metrics.total_bits);
+}
+
+TEST(AdversarialScheduler, DifferentStreamsGiveDifferentOrderings) {
+  gossip::SpreadConfig cfg;
+  cfg.n = 96;
+  cfg.mechanism = gossip::Mechanism::kPushPull;
+  cfg.seed = 47;
+  cfg.max_rounds = 400'000;
+  const auto a = gossip::run_rumor_spreading_scheduled(
+      cfg, make_adversarial_scheduler({.victim_fraction = 0.25,
+                                       .stream = 0xADF0u}));
+  const auto b = gossip::run_rumor_spreading_scheduled(
+      cfg, make_adversarial_scheduler({.victim_fraction = 0.25,
+                                       .stream = 0xBEEFu}));
+  ASSERT_TRUE(a.complete);
+  ASSERT_TRUE(b.complete);
+  EXPECT_NE(a.metrics.total_bits, b.metrics.total_bits);
+}
+
+// --------------------------------------------------------------------------
+// Facade plumbing
+// --------------------------------------------------------------------------
+
+TEST(Scheduler, NamesAreStable) {
+  EXPECT_STREQ(make_synchronous_scheduler()->name(), "synchronous");
+  EXPECT_STREQ(make_sequential_scheduler()->name(), "sequential");
+  EXPECT_STREQ(make_partial_async_scheduler(0.5)->name(), "partial-async");
+  EXPECT_STREQ(make_adversarial_scheduler()->name(), "adversarial");
+}
+
+TEST(Scheduler, EngineDefaultsToSynchronous) {
+  Engine engine({4, 1});
+  EXPECT_STREQ(engine.scheduler().name(), "synchronous");
+}
+
+TEST(Scheduler, ObserverFiresUnderEveryPolicy) {
+  for (auto make : {+[] { return make_synchronous_scheduler(); },
+                    +[] { return make_sequential_scheduler(); },
+                    +[] { return make_partial_async_scheduler(0.5); },
+                    +[] { return make_adversarial_scheduler({}); }}) {
+    Engine engine({8, 2, nullptr, make()});
+    for (AgentId i = 0; i < 8; ++i) {
+      engine.set_agent(i, std::make_unique<gossip::RumorAgent>(
+                              gossip::Mechanism::kPushPull, i == 0, 8));
+    }
+    int calls = 0;
+    engine.set_round_observer([&calls](const Engine&) { ++calls; });
+    engine.run(5);
+    EXPECT_EQ(calls, 5);
+  }
+}
+
+}  // namespace
+}  // namespace rfc::sim
