@@ -1,13 +1,16 @@
 // Microbenchmarks of the GOSSIP simulation engine itself: raw round
-// throughput with idle, pushing, and pulling agents.  These bound how large
-// an n the experiment sweeps can afford.
+// throughput with idle, pushing, and pulling agents, plus per-policy
+// scheduler dispatch overhead.  These bound how large an n the experiment
+// sweeps can afford and baseline future scheduler work.
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 
 #include "gossip/rumor.hpp"
 #include "sim/agent.hpp"
 #include "sim/engine.hpp"
+#include "sim/scheduler_spec.hpp"
 
 namespace {
 
@@ -76,5 +79,32 @@ void BM_EngineRumorRound(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_EngineRumorRound)->Arg(256)->Arg(1024)->Arg(4096);
+
+// Scheduler dispatch overhead: one engine.step() of idle agents under each
+// registered policy, at fixed n.  Round-based policies pay O(n) per step
+// (one phased round), activation-based ones O(1) (one wake-up), so
+// items/sec is per *event*, not per agent — compare within a policy across
+// future scheduler changes, not across policies.  This is the baseline
+// number follow-on scheduler work (phase-aware adversary, batched
+// delivery, sharded EngineCore) must not regress.
+void BM_SchedulerDispatch(benchmark::State& state,
+                          const std::string& spec_text) {
+  const std::uint32_t n = 1024;
+  const auto spec = rfc::sim::SchedulerSpec::parse(spec_text);
+  Engine engine({n, 42, nullptr, spec.make()});
+  for (std::uint32_t i = 0; i < n; ++i) {
+    engine.set_agent(i, std::make_unique<IdleAgent>());
+  }
+  for (auto _ : state) {
+    engine.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_SchedulerDispatch, synchronous, "synchronous");
+BENCHMARK_CAPTURE(BM_SchedulerDispatch, sequential, "sequential");
+BENCHMARK_CAPTURE(BM_SchedulerDispatch, partial_async, "partial-async:p=0.5");
+BENCHMARK_CAPTURE(BM_SchedulerDispatch, adversarial,
+                  "adversarial:victim_fraction=0.25");
+BENCHMARK_CAPTURE(BM_SchedulerDispatch, poisson, "poisson");
 
 }  // namespace

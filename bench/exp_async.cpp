@@ -6,7 +6,9 @@
 // round).  Expected shape: steps/(n ln n) flat — the sequential model costs
 // a Θ(log n)-factor more activations than the synchronous one spends on a
 // broadcast, and nothing worse; this is the substrate on which an
-// asynchronous Protocol P would run.
+// asynchronous Protocol P would run.  All activation policies are selected
+// through sim::SchedulerSpec; E12d/E12e sweep the registered spectrum,
+// including the continuous-time Poisson clock.
 #include <cmath>
 
 #include "analysis/montecarlo.hpp"
@@ -14,7 +16,7 @@
 #include "core/async_protocol.hpp"
 #include "exp_util.hpp"
 #include "gossip/rumor.hpp"
-#include "sim/scheduler.hpp"
+#include "sim/scheduler_spec.hpp"
 #include "support/stats.hpp"
 
 int main(int argc, char** argv) {
@@ -46,9 +48,10 @@ int main(int argc, char** argv) {
             cfg.seed = seed;
             cfg.max_rounds = 10'000;
             const auto sync = rfc::gossip::run_rumor_spreading(cfg);
+            cfg.scheduler = rfc::sim::SchedulerSpec::sequential();
             cfg.max_rounds = 200ull * n *
                              static_cast<std::uint64_t>(std::log(n) + 1);
-            const auto async = rfc::gossip::run_rumor_spreading_async(cfg);
+            const auto async = rfc::gossip::run_rumor_spreading(cfg);
             return std::make_pair(sync, async);
           });
       for (const auto& [sync, async] : results) {
@@ -100,8 +103,10 @@ int main(int argc, char** argv) {
           const bool sync_agree =
               rfc::baseline::run_naive_election(cfg).agreement;
           cfg.gamma = 4.0;
+          cfg.scheduler = rfc::sim::SchedulerSpec::sequential();
+          cfg.budget_multiplier = mult;
           const bool async_agree =
-              rfc::baseline::run_naive_election_async(cfg, mult).agreement;
+              rfc::baseline::run_naive_election(cfg).agreement;
           return std::make_pair(async_agree, sync_agree);
         });
     for (const auto& [async_agree, sync_agree] : results) {
@@ -175,43 +180,34 @@ int main(int argc, char** argv) {
       "*equilibrium* analysis of this variant remains open, as in the "
       "paper.");
 
-  // E12d: the scheduler spectrum.  PartialAsyncScheduler interpolates
-  // between the paper's lock-step rounds (p = 1) and near-sequential
-  // wake-ups (p -> 1/n); AdversarialScheduler starves a victim subset.
-  // Broadcast cost is reported in *activations* (rounds x expected awake
-  // agents) so all policies share one axis.
+  // E12d: the scheduler spectrum, selected entirely through SchedulerSpec.
+  // PartialAsyncScheduler interpolates between the paper's lock-step rounds
+  // (p = 1) and near-sequential wake-ups (p -> 1/n); AdversarialScheduler
+  // starves a victim subset; the Poisson clock is the continuous-time
+  // asynchronous model, whose virtual time directly exposes the Θ(log n)
+  // broadcast bound.  Broadcast cost is reported in *activations* (events x
+  // expected awake agents) so all policies share one axis.
   {
     const auto sn = static_cast<std::uint32_t>(args.get_uint("n", 256));
     const auto trials4 = rfc::exputil::sweep_trials(args, 20, 100);
-    rfc::support::Table t4({"scheduler", "rounds/steps", "activations/agent",
-                            "complete"});
+    rfc::support::Table t4({"scheduler", "events", "activations/agent",
+                            "virtual time", "complete"});
     struct Policy {
-      std::string label;
-      std::function<rfc::sim::SchedulerPtr()> make;
-      double awake_per_round;  ///< Expected activations per time unit.
-      std::uint64_t check_every;
+      rfc::sim::SchedulerSpec spec;
+      double awake_per_event;  ///< Expected activations per event.
     };
     const std::vector<Policy> policies = {
-        {"synchronous", [] { return rfc::sim::SchedulerPtr(); },
-         static_cast<double>(sn), 1},
-        {"partial p=0.5",
-         [] { return rfc::sim::make_partial_async_scheduler(0.5); },
-         0.5 * sn, 1},
-        {"partial p=0.1",
-         [] { return rfc::sim::make_partial_async_scheduler(0.1); },
-         0.1 * sn, 1},
-        {"sequential", [] { return rfc::sim::make_sequential_scheduler(); },
-         1.0, 64},
-        {"adversarial f=0.25",
-         [] {
-           return rfc::sim::make_adversarial_scheduler(
-               {.victim_fraction = 0.25});
-         },
-         1.0, 64},
+        {rfc::sim::SchedulerSpec::synchronous(), static_cast<double>(sn)},
+        {rfc::sim::SchedulerSpec::partial_async(0.5), 0.5 * sn},
+        {rfc::sim::SchedulerSpec::partial_async(0.1), 0.1 * sn},
+        {rfc::sim::SchedulerSpec::sequential(), 1.0},
+        {rfc::sim::SchedulerSpec::poisson(), 1.0},
+        {rfc::sim::SchedulerSpec::adversarial({.victim_fraction = 0.25}),
+         1.0},
     };
     rfc::support::ThreadPool pool(0);  // Shared across the policy sweep.
     for (const Policy& policy : policies) {
-      rfc::support::OnlineStats time_units;
+      rfc::support::OnlineStats events, virtual_time;
       std::uint64_t complete = 0;
       const auto results =
           rfc::analysis::run_trials<rfc::gossip::SpreadResult>(
@@ -221,21 +217,23 @@ int main(int argc, char** argv) {
                 cfg.n = sn;
                 cfg.mechanism = rfc::gossip::Mechanism::kPushPull;
                 cfg.seed = seed;
+                cfg.scheduler = policy.spec;
                 cfg.max_rounds =
                     400ull * sn *
                     static_cast<std::uint64_t>(std::log(sn) + 1);
-                return rfc::gossip::run_rumor_spreading_scheduled(
-                    cfg, policy.make(), policy.check_every);
+                return rfc::gossip::run_rumor_spreading(cfg);
               });
       for (const auto& r : results) {
-        time_units.add(static_cast<double>(r.rounds));
+        events.add(static_cast<double>(r.rounds));
+        virtual_time.add(r.virtual_time);
         if (r.complete) ++complete;
       }
       t4.add_row({
-          policy.label,
-          rfc::support::Table::fmt(time_units.mean(), 0),
+          policy.spec.to_string(),
+          rfc::support::Table::fmt(events.mean(), 0),
           rfc::support::Table::fmt(
-              time_units.mean() * policy.awake_per_round / sn, 1),
+              events.mean() * policy.awake_per_event / sn, 1),
+          rfc::support::Table::fmt(virtual_time.mean(), 1),
           rfc::support::Table::fmt(
               static_cast<double>(complete) / static_cast<double>(trials4),
               2),
@@ -243,11 +241,78 @@ int main(int argc, char** argv) {
     }
     rfc::exputil::print_table(
         args, t4,
-        "One engine, four wake models: broadcast pays ~log n activations "
-        "per agent under every non-adversarial policy, while the "
-        "starvation adversary shifts the whole cost onto passive "
-        "receptions — the robustness axis the rational analysis must "
-        "eventually survive.");
+        "One engine, six wake models behind one SchedulerSpec: broadcast "
+        "pays ~log n activations per agent under every non-adversarial "
+        "policy (the Poisson clock's virtual time reads the Θ(log n) bound "
+        "off directly), while the starvation adversary shifts the whole "
+        "cost onto passive receptions — the robustness axis the rational "
+        "analysis must eventually survive.");
+  }
+
+  // E12e (ROADMAP): the guard-band async Protocol P under the scheduler
+  // spectrum — where does its completeness argument break?  The local
+  // schedule counts own activations, so round-based policies keep agents
+  // aligned (every agent wakes ~every event) while starvation desynchronizes
+  // victims by construction.
+  {
+    const auto trials5 = rfc::exputil::sweep_trials(args, 60, 300);
+    const auto pn = static_cast<std::uint32_t>(args.get_uint("n", 96));
+    const auto slack =
+        static_cast<std::uint32_t>(args.get_uint("slack", 40));
+    rfc::support::Table t5({"scheduler", "success rate",
+                            "color-1 win | success", "events/agent"});
+    const std::vector<rfc::sim::SchedulerSpec> specs = {
+        rfc::sim::SchedulerSpec::sequential(),
+        rfc::sim::SchedulerSpec::poisson(),
+        rfc::sim::SchedulerSpec::partial_async(0.5),
+        rfc::sim::SchedulerSpec::partial_async(0.1),
+        rfc::sim::SchedulerSpec::adversarial({.victim_fraction = 0.25}),
+    };
+    rfc::support::ThreadPool pool(0);
+    for (const auto& spec : specs) {
+      std::uint64_t ok = 0, wins1 = 0;
+      rfc::support::OnlineStats events;
+      const auto results =
+          rfc::analysis::run_trials<rfc::core::AsyncRunResult>(
+              pool, trials5, args.get_uint("seed", 117),
+              [&](std::uint64_t seed, std::size_t) {
+                rfc::core::AsyncRunConfig cfg;
+                cfg.n = pn;
+                cfg.gamma = 4.0;
+                cfg.slack = slack;
+                cfg.seed = seed;
+                cfg.scheduler = spec;
+                cfg.colors.assign(pn, 0);
+                for (std::uint32_t i = 0; i < pn / 2; ++i) {
+                  cfg.colors[i] = 1;
+                }
+                return rfc::core::run_async_protocol(cfg);
+              });
+      for (const auto& r : results) {
+        events.add(static_cast<double>(r.steps) / pn);
+        if (!r.failed()) {
+          ++ok;
+          if (r.winner == 1) ++wins1;
+        }
+      }
+      t5.add_row({
+          spec.to_string(),
+          rfc::support::Table::fmt(
+              static_cast<double>(ok) / static_cast<double>(trials5), 3),
+          ok ? rfc::support::Table::fmt(
+                   static_cast<double>(wins1) / static_cast<double>(ok), 3)
+             : "-",
+          rfc::support::Table::fmt(events.mean(), 0),
+      });
+    }
+    rfc::exputil::print_table(
+        args, t5,
+        "Guard bands tuned for uniformly random wake-ups survive the "
+        "Poisson clock (same wake distribution, different time axis) and "
+        "round-based policies, but targeted starvation defeats any fixed "
+        "slack: victims burn their guard band while favored agents run "
+        "ahead — the completeness argument needs scheduler-aware slack, "
+        "not more of it.");
   }
   return 0;
 }

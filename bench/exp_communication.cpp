@@ -14,6 +14,7 @@
 
 int main(int argc, char** argv) {
   const rfc::support::CliArgs args(argc, argv);
+  const auto scheduler = rfc::exputil::scheduler_spec(args);
   rfc::exputil::print_header(
       "E3: total communication — Protocol P O(n log^3 n) vs LOCAL Ω(n^2)",
       "Expected shape: P's power-law exponent ~1 (plus log factors), "
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
   const auto trials = rfc::exputil::sweep_trials(args, 16, 64);
 
   rfc::core::RunConfig base;
+  base.scheduler = scheduler;
   base.gamma = args.get_double("gamma", 4.0);
   base.seed = args.get_uint("seed", 303);
   const auto sweep = rfc::analysis::measure_scaling(base, sizes, trials);

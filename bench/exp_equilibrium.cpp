@@ -15,6 +15,7 @@
 
 int main(int argc, char** argv) {
   const rfc::support::CliArgs args(argc, argv);
+  const auto scheduler = rfc::exputil::scheduler_spec(args);
   rfc::exputil::print_header(
       "E7 (Theorem 7): w.h.p. t-strong equilibrium",
       "Expected shape: every deviation's win rate <= fair share (within CI "
@@ -34,6 +35,7 @@ int main(int argc, char** argv) {
     double honest_utility = 0.0;
     for (const auto strategy : rfc::rational::all_deviation_strategies()) {
       rfc::analysis::DeviationConfig cfg;
+      cfg.scheduler = scheduler;
       cfg.n = n;
       cfg.gamma = gamma;
       cfg.coalition_size = t;
@@ -69,6 +71,7 @@ int main(int argc, char** argv) {
         rfc::rational::DeviationStrategy::kVoteDrop}) {
     for (const bool strict : {true, false}) {
       rfc::analysis::DeviationConfig cfg;
+      cfg.scheduler = scheduler;
       cfg.n = n;
       cfg.gamma = gamma;
       cfg.coalition_size = 8;

@@ -22,6 +22,7 @@ struct Scenario {
 
 int main(int argc, char** argv) {
   const rfc::support::CliArgs args(argc, argv);
+  const auto scheduler = rfc::exputil::scheduler_spec(args);
   rfc::exputil::print_header(
       "E4 (Theorem 4): fairness — Pr[c wins] = N(A,c)/|A|",
       "Expected shape: every observed share inside its 95% CI around the "
@@ -40,6 +41,7 @@ int main(int argc, char** argv) {
 
   for (const auto& scenario : scenarios) {
     rfc::core::RunConfig cfg;
+    cfg.scheduler = scheduler;
     cfg.n = n;
     cfg.gamma = args.get_double("gamma", 4.0);
     cfg.seed = args.get_uint("seed", 404);

@@ -11,6 +11,7 @@
 
 int main(int argc, char** argv) {
   const rfc::support::CliArgs args(argc, argv);
+  const auto scheduler = rfc::exputil::scheduler_spec(args);
   rfc::exputil::print_header(
       "E5 (Lemma 3): tolerance of worst-case permanent faults",
       "Expected shape: success 1.0 once gamma >= gamma(alpha); placement "
@@ -34,6 +35,7 @@ int main(int argc, char** argv) {
       }
       for (const double gamma : gammas) {
         rfc::core::RunConfig cfg;
+        cfg.scheduler = scheduler;
         cfg.n = n;
         cfg.gamma = gamma;
         cfg.seed = args.get_uint("seed", 505);

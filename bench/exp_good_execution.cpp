@@ -14,6 +14,7 @@
 
 int main(int argc, char** argv) {
   const rfc::support::CliArgs args(argc, argv);
+  const auto scheduler = rfc::exputil::scheduler_spec(args);
   rfc::exputil::print_header(
       "E6 (Def. 2 / Def. 5): good-execution events hold w.h.p.",
       "Expected shape: all event frequencies -> 1.0 with n for coalitions "
@@ -39,6 +40,7 @@ int main(int argc, char** argv) {
          {std::pair{compliant, "o(n/log n)"},
           std::pair{oversized, "0.05 n (too big)"}}) {
       rfc::core::RunConfig cfg;
+      cfg.scheduler = scheduler;
       cfg.n = n;
       cfg.gamma = gamma;
       cfg.seed = args.get_uint("seed", 606);

@@ -11,6 +11,7 @@
 
 int main(int argc, char** argv) {
   const rfc::support::CliArgs args(argc, argv);
+  const auto scheduler = rfc::exputil::scheduler_spec(args);
   rfc::exputil::print_header(
       "E2 (Theorem 4): message size O(log^2 n) bits",
       "Expected shape: max-message-bits / log2(n)^2 flat in n; mean votes "
@@ -20,6 +21,7 @@ int main(int argc, char** argv) {
   const auto trials = rfc::exputil::sweep_trials(args, 24, 100);
 
   rfc::core::RunConfig base;
+  base.scheduler = scheduler;
   base.gamma = args.get_double("gamma", 4.0);
   base.seed = args.get_uint("seed", 202);
 

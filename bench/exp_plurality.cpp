@@ -14,6 +14,7 @@
 
 int main(int argc, char** argv) {
   const rfc::support::CliArgs args(argc, argv);
+  const auto scheduler = rfc::exputil::scheduler_spec(args);
   rfc::exputil::print_header(
       "E8b: plurality dynamics vs proportional fairness",
       "Expected shape: 3-majority win rate jumps 0 -> 1 around share 0.5; "
@@ -53,6 +54,7 @@ int main(int argc, char** argv) {
             trials, args.get_uint("seed", 111),
             [&](std::uint64_t seed, std::size_t) {
               rfc::core::RunConfig cfg;
+              cfg.scheduler = scheduler;
               cfg.n = n;
               cfg.gamma = args.get_double("gamma", 4.0);
               cfg.seed = seed;

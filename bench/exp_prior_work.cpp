@@ -13,6 +13,7 @@
 
 int main(int argc, char** argv) {
   const rfc::support::CliArgs args(argc, argv);
+  const auto scheduler = rfc::exputil::scheduler_spec(args);
   rfc::exputil::print_header(
       "E13: prior work (ADH commit-reveal, LOCAL model) vs Protocol P",
       "Expected shape: ADH fair & rationally robust but Θ(n^2) msgs and "
@@ -89,6 +90,7 @@ int main(int argc, char** argv) {
   // 8-agent forging coalition, simultaneously.
   {
     rfc::analysis::DeviationConfig cfg;
+    cfg.scheduler = scheduler;
     cfg.n = n;
     cfg.gamma = 6.0;  // gamma(0.25).
     cfg.coalition_size = 8;

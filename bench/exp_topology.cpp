@@ -41,6 +41,7 @@ rfc::sim::TopologyPtr ring2(std::uint32_t n, std::uint64_t) {
 
 int main(int argc, char** argv) {
   const rfc::support::CliArgs args(argc, argv);
+  const auto scheduler = rfc::exputil::scheduler_spec(args);
   rfc::exputil::print_header(
       "E11 (open problem #1): beyond the complete graph",
       "Expected shape: expanders match the complete graph (broadcast "
@@ -66,6 +67,7 @@ int main(int argc, char** argv) {
     rfc::support::OnlineStats broadcast_rounds;
     for (std::uint64_t i = 0; i < 20; ++i) {
       rfc::gossip::SpreadConfig sc;
+      sc.scheduler = scheduler;
       sc.n = n;
       sc.mechanism = rfc::gossip::Mechanism::kPushPull;
       sc.seed = 900 + i;
@@ -81,6 +83,7 @@ int main(int argc, char** argv) {
         trials, args.get_uint("seed", 112),
         [&](std::uint64_t seed, std::size_t index) {
           rfc::core::RunConfig cfg;
+          cfg.scheduler = scheduler;
           cfg.n = n;
           cfg.gamma = gamma;
           cfg.seed = seed;

@@ -7,21 +7,55 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "sim/scheduler_spec.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
 namespace rfc::exputil {
 
-/// Network sizes for scaling sweeps.
+/// Network sizes for scaling sweeps.  `--max-n=N` trims the sweep (CI smoke
+/// runs use it to stay in the sub-second range); `--full` extends it to the
+/// paper-scale sizes quoted in EXPERIMENTS.md.
 inline std::vector<std::uint32_t> sweep_sizes(
     const rfc::support::CliArgs& args) {
+  std::vector<std::uint32_t> sizes = {64, 128, 256, 512, 1024, 2048};
   if (args.get_bool("full")) {
-    return {64, 128, 256, 512, 1024, 2048, 4096, 8192};
+    sizes.insert(sizes.end(), {4096, 8192});
   }
-  return {64, 128, 256, 512, 1024, 2048};
+  if (args.has("max-n")) {
+    const std::uint64_t cap = args.get_uint("max-n", 0);
+    std::vector<std::uint32_t> trimmed;
+    for (const auto n : sizes) {
+      if (n <= cap) trimmed.push_back(n);
+    }
+    if (trimmed.empty()) trimmed.push_back(sizes.front());
+    sizes = std::move(trimmed);
+  }
+  return sizes;
+}
+
+/// Shared `--scheduler=SPEC` parsing (see sim/scheduler_spec.hpp for the
+/// grammar).  Every experiment accepts the flag, so each protocol runs
+/// under any registered activation policy; on a malformed spec the process
+/// exits with the parse error and the registry listing.
+inline rfc::sim::SchedulerSpec scheduler_spec(
+    const rfc::support::CliArgs& args,
+    const std::string& def = "synchronous") {
+  const std::string text = args.get("scheduler", def);
+  try {
+    const auto spec = rfc::sim::SchedulerSpec::parse(text);
+    spec.make();  // Validate parameter values up front, not mid-sweep.
+    return spec;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\nregistered schedulers:\n%s", e.what(),
+                 rfc::sim::SchedulerSpec::describe_registry().c_str());
+    std::exit(2);
+  }
 }
 
 inline std::uint64_t sweep_trials(const rfc::support::CliArgs& args,

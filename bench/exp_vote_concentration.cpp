@@ -12,6 +12,7 @@
 
 int main(int argc, char** argv) {
   const rfc::support::CliArgs args(argc, argv);
+  const auto scheduler = rfc::exputil::scheduler_spec(args);
   rfc::exputil::print_header(
       "E10 (Def. 2.1): vote-count concentration around gamma ln n",
       "Expected shape: min votes > 0 always; min/mean ratio stable in n "
@@ -24,6 +25,7 @@ int main(int argc, char** argv) {
                              "max votes", "min/ln n", "max/ln n"});
   for (const double gamma : {2.0, 4.0}) {
     rfc::core::RunConfig base;
+    base.scheduler = scheduler;
     base.gamma = gamma;
     base.seed = args.get_uint("seed", 1010);
     const auto sweep = rfc::analysis::measure_scaling(base, sizes, trials);

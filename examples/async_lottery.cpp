@@ -8,6 +8,7 @@
 // rational analysis of the async variant is the paper's open problem #2).
 //
 //   ./async_lottery [--trials=300] [--slack=40] [--gamma=4]
+//                   [--scheduler=sequential|poisson|partial-async:p=0.5|...]
 #include <cstdio>
 #include <map>
 #include <vector>
@@ -28,6 +29,8 @@ int main(int argc, char** argv) {
   config.n = total * 2;  // 200 agents.
   config.gamma = args.get_double("gamma", 4.0);
   config.slack = static_cast<std::uint32_t>(args.get_uint("slack", 40));
+  config.scheduler =
+      rfc::sim::SchedulerSpec::parse(args.get("scheduler", "sequential"));
   for (std::size_t p = 0; p < stakes.size(); ++p) {
     for (std::uint32_t t = 0; t < stakes[p] * 2; ++t) {
       config.colors.push_back(static_cast<rfc::core::Color>(p));
@@ -36,8 +39,9 @@ int main(int argc, char** argv) {
 
   const auto trials = args.get_uint("trials", 300);
   std::printf("asynchronous token lottery: n=%u agents, slack=%u, "
-              "%llu draws\n",
+              "scheduler=%s, %llu draws\n",
               config.n, config.slack,
+              config.scheduler.to_string().c_str(),
               static_cast<unsigned long long>(trials));
 
   std::map<rfc::core::Color, std::uint64_t> wins;

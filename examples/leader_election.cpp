@@ -40,12 +40,15 @@ int main(int argc, char** argv) {
   config.gamma = args.get_double("gamma", 6.0);
   config.num_faulty = static_cast<std::uint32_t>(alpha * n);
   config.placement = parse_placement(args.get("placement", "prefix"));
+  config.scheduler =
+      rfc::sim::SchedulerSpec::parse(args.get("scheduler", "synchronous"));
   // Leader election: colors default to labels.
 
   std::printf("fair leader election: n=%u, faulty=%u (%s placement), "
-              "gamma=%.1f, %llu trials\n",
+              "gamma=%.1f, scheduler=%s, %llu trials\n",
               n, config.num_faulty,
               rfc::sim::to_string(config.placement).c_str(), config.gamma,
+              config.scheduler.to_string().c_str(),
               static_cast<unsigned long long>(trials));
 
   std::map<rfc::core::Color, std::uint64_t> elected;

@@ -31,6 +31,7 @@ DeviationReport measure_deviation(const DeviationConfig& cfg,
   }
   base.coalition = coalition->members();
   base.factory = rational::make_deviating_factory(cfg.strategy, coalition);
+  base.scheduler = cfg.scheduler;
 
   DeviationReport report;
   report.strategy = cfg.strategy;

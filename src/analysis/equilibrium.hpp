@@ -15,6 +15,7 @@
 
 #include "rational/strategies.hpp"
 #include "sim/fault_model.hpp"
+#include "sim/scheduler_spec.hpp"
 #include "support/stats.hpp"
 
 namespace rfc::analysis {
@@ -30,6 +31,9 @@ struct DeviationConfig {
   /// Faults are placed at the suffix so they never overlap the (prefix)
   /// coalition and |C|, |A| stay exact.
   sim::FaultPlacement placement = sim::FaultPlacement::kSuffix;
+  /// Activation policy for every trial (default: the paper's synchronous
+  /// model, under which Theorem 7 is claimed).
+  sim::SchedulerSpec scheduler;
 };
 
 struct DeviationReport {

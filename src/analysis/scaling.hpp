@@ -38,8 +38,9 @@ struct ScalingSweep {
 };
 
 /// Runs `trials` executions of Protocol P per network size, varying only
-/// the seed; `base` supplies γ, faults, verification mode (its n and colors
-/// are replaced per point; leader-election colors are used).
+/// the seed; `base` supplies γ, faults, verification mode, and the
+/// scheduler spec (its n and colors are replaced per point;
+/// leader-election colors are used).
 ScalingSweep measure_scaling(const core::RunConfig& base,
                              const std::vector<std::uint32_t>& sizes,
                              std::uint64_t trials, std::size_t threads = 0);

@@ -68,53 +68,7 @@ void NaiveElectionAgent::on_pull_reply(const sim::Context&, sim::AgentId,
 }
 
 NaiveElectionResult run_naive_election(const NaiveElectionConfig& cfg) {
-  sim::Engine engine({cfg.n, cfg.seed});
-  rfc::support::Xoshiro256 fault_rng(
-      rfc::support::derive_seed(cfg.seed, 0x0fau));
-  engine.apply_fault_plan(
-      sim::make_fault_plan(cfg.placement, cfg.n, cfg.num_faulty, fault_rng));
-
-  const std::vector<core::Color> colors =
-      cfg.colors.empty() ? core::leader_election_colors(cfg.n) : cfg.colors;
-  const std::uint64_t m =
-      rfc::support::cube(static_cast<std::uint64_t>(cfg.n));
-  const std::uint32_t q = rfc::support::round_count(cfg.gamma, cfg.n);
-
-  for (std::uint32_t i = 0; i < cfg.n; ++i) {
-    engine.set_agent(i, std::make_unique<NaiveElectionAgent>(
-                            cfg.mode, m, q, colors.at(i), i < cfg.cheaters));
-  }
-  engine.run(q);
-
-  NaiveElectionResult result;
-  result.rounds = engine.round();
-  result.metrics = engine.metrics();
-  result.agreement = true;
-  bool first = true;
-  NaiveElectionAgent::Tuple best;
-  for (std::uint32_t i = 0; i < cfg.n; ++i) {
-    if (engine.is_faulty(i)) continue;
-    const auto& agent =
-        static_cast<const NaiveElectionAgent&>(engine.agent(i));
-    if (first) {
-      best = agent.best();
-      first = false;
-    } else if (!(agent.best().key == best.key &&
-                 agent.best().owner == best.owner)) {
-      result.agreement = false;
-    }
-  }
-  if (result.agreement && !first) {
-    result.winner = best.color;
-    result.leader = best.owner;
-  }
-  return result;
-}
-
-NaiveElectionResult run_naive_election_async(const NaiveElectionConfig& cfg,
-                                             double budget_multiplier) {
-  sim::Engine engine(
-      {cfg.n, cfg.seed, nullptr, sim::make_sequential_scheduler()});
+  sim::Engine engine({cfg.n, cfg.seed, nullptr, cfg.scheduler.make()});
   rfc::support::Xoshiro256 fault_rng(
       rfc::support::derive_seed(cfg.seed, 0x0fau));
   engine.apply_fault_plan(
@@ -125,18 +79,21 @@ NaiveElectionResult run_naive_election_async(const NaiveElectionConfig& cfg,
   const std::uint64_t m =
       rfc::support::cube(static_cast<std::uint64_t>(cfg.n));
   const auto q = static_cast<std::uint32_t>(std::ceil(
-      budget_multiplier * rfc::support::round_count(cfg.gamma, cfg.n)));
+      cfg.budget_multiplier * rfc::support::round_count(cfg.gamma, cfg.n)));
 
   for (std::uint32_t i = 0; i < cfg.n; ++i) {
     engine.set_agent(i, std::make_unique<NaiveElectionAgent>(
                             cfg.mode, m, q, colors.at(i), i < cfg.cheaters));
   }
-  // Generous step cap: every agent needs ~q activations; coupon-collector
-  // slack covers the wake-up schedule's tail.
-  engine.run(8ull * q * cfg.n);
+  // Every agent spends exactly q activations; under activation-based
+  // policies each costs ~steps_per_round events and the 8x slack covers
+  // the coupon-collector tail of the wake schedule (agents go done() when
+  // their budget is spent, so the run stops early in the common case).
+  const std::uint64_t spr = cfg.scheduler.steps_per_round(cfg.n);
+  engine.run(spr == 1 ? q : 8ull * q * spr);
 
   NaiveElectionResult result;
-  result.rounds = engine.steps();
+  result.rounds = engine.round();
   result.metrics = engine.metrics();
   result.agreement = true;
   bool first = true;

@@ -17,6 +17,7 @@
 #include "sim/agent.hpp"
 #include "sim/fault_model.hpp"
 #include "sim/metrics.hpp"
+#include "sim/scheduler_spec.hpp"
 
 namespace rfc::baseline {
 
@@ -73,26 +74,25 @@ struct NaiveElectionConfig {
   std::uint32_t cheaters = 0;        ///< First labels claim key 0.
   std::uint32_t num_faulty = 0;
   sim::FaultPlacement placement = sim::FaultPlacement::kNone;
+  /// Activation policy; the default is the paper's synchronous model.
+  /// Under activation-based policies agents spend their q pull budget
+  /// whenever they wake, finish at different (random) times, and early
+  /// finishers can freeze on a stale minimum — agreement is no longer
+  /// w.h.p. at the synchronous budget (experiment E12b).
+  sim::SchedulerSpec scheduler;
+  /// Scales the per-agent pull budget q, to explore how much extra work
+  /// buys agreement back under asynchronous schedules.
+  double budget_multiplier = 1.0;
 };
 
 struct NaiveElectionResult {
   bool agreement = false;            ///< All active agents adopted one tuple.
   core::Color winner = core::kNoColor;
   sim::AgentId leader = sim::kNoAgent;
-  std::uint64_t rounds = 0;
+  std::uint64_t rounds = 0;          ///< Scheduling events elapsed.
   sim::Metrics metrics;
 };
 
 NaiveElectionResult run_naive_election(const NaiveElectionConfig& cfg);
-
-/// The same election in the asynchronous (sequential) GOSSIP model: one
-/// random agent wakes per step and spends one of its q pull budget units.
-/// Unlike the synchronous run, agents finish their budgets at different
-/// (random) times, so early finishers can miss the global minimum —
-/// agreement is no longer w.h.p. at the synchronous budget.  The budget
-/// multiplier scales q to explore how much extra work buys agreement back
-/// (experiment E12b).
-NaiveElectionResult run_naive_election_async(const NaiveElectionConfig& cfg,
-                                             double budget_multiplier = 1.0);
 
 }  // namespace rfc::baseline

@@ -220,8 +220,7 @@ AsyncRunResult run_async_protocol(const AsyncRunConfig& cfg) {
   schedule.q = params.q;
   schedule.slack = cfg.slack;
 
-  sim::Engine engine(
-      {cfg.n, cfg.seed, nullptr, sim::make_sequential_scheduler()});
+  sim::Engine engine({cfg.n, cfg.seed, nullptr, cfg.scheduler.make()});
   rfc::support::Xoshiro256 fault_rng(
       rfc::support::derive_seed(cfg.seed, 0x0fau));
   engine.apply_fault_plan(
@@ -234,14 +233,17 @@ AsyncRunResult run_async_protocol(const AsyncRunConfig& cfg) {
                             params, schedule, colors.at(i)));
   }
 
-  // Each active agent needs ~total_activations wake-ups; coupon-collector
-  // slack covers the schedule's tail.
+  // Each active agent needs ~total_activations wake-ups, which costs
+  // ~steps_per_round scheduling events apiece under the chosen policy;
+  // coupon-collector slack covers the wake schedule's tail.
+  const std::uint64_t spr = cfg.scheduler.steps_per_round(cfg.n);
   const std::uint64_t budget =
-      8ull * schedule.total_activations() * cfg.n + 64ull * cfg.n;
+      8ull * schedule.total_activations() * spr + 64ull * spr;
   engine.run(budget);
 
   AsyncRunResult result;
   result.steps = engine.steps();
+  result.virtual_time = engine.virtual_time();
   result.metrics = engine.metrics();
 
   bool have = false;

@@ -38,6 +38,7 @@
 #include "sim/agent.hpp"
 #include "sim/fault_model.hpp"
 #include "sim/metrics.hpp"
+#include "sim/scheduler_spec.hpp"
 
 namespace rfc::core {
 
@@ -132,12 +133,18 @@ struct AsyncRunConfig {
   std::vector<Color> colors;  ///< Empty = leader election.
   std::uint32_t num_faulty = 0;
   sim::FaultPlacement placement = sim::FaultPlacement::kNone;
+  /// Activation policy; the guard-band schedule counts *local* activations,
+  /// so it is well-defined under any policy.  The default is the paper's
+  /// sequential model; adversarial/poisson runs map where the guard-band
+  /// completeness argument breaks (extends E12c/E12d).
+  sim::SchedulerSpec scheduler = sim::SchedulerSpec::sequential();
 };
 
 struct AsyncRunResult {
   Color winner = kNoColor;  ///< kNoColor = ⊥ (failure or disagreement).
   bool failed() const noexcept { return winner == kNoColor; }
-  std::uint64_t steps = 0;
+  std::uint64_t steps = 0;           ///< Scheduling events elapsed.
+  double virtual_time = 0.0;         ///< Simulated time (= steps discrete).
   sim::Metrics metrics;
   std::map<Color, std::uint32_t> active_colors;
 };

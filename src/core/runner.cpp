@@ -121,7 +121,7 @@ RunResult run_protocol(const RunConfig& cfg) {
       ProtocolParams::make(cfg.n, cfg.gamma, cfg.strict_verification);
   params.coherence_digest = cfg.coherence_digest;
 
-  sim::Engine engine({cfg.n, cfg.seed, cfg.topology});
+  sim::Engine engine({cfg.n, cfg.seed, cfg.topology, cfg.scheduler.make()});
   rfc::support::Xoshiro256 fault_rng(
       rfc::support::derive_seed(cfg.seed, 0x0fau));
   engine.apply_fault_plan(
@@ -165,7 +165,11 @@ RunResult run_protocol(const RunConfig& cfg) {
     });
   }
 
-  engine.run(params.total_rounds() + cfg.max_rounds_slack);
+  // Budget in scheduling events: one event per round under the synchronous
+  // model, ~n events per round of per-agent progress under activation-based
+  // policies.
+  engine.run((params.total_rounds() + cfg.max_rounds_slack) *
+             cfg.scheduler.steps_per_round(cfg.n));
 
   RunResult result;
   result.rounds = engine.round();

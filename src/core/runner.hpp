@@ -14,6 +14,7 @@
 #include "core/types.hpp"
 #include "sim/engine.hpp"
 #include "sim/fault_model.hpp"
+#include "sim/scheduler_spec.hpp"
 
 namespace rfc::core {
 
@@ -38,6 +39,15 @@ struct RunConfig {
   /// topologies all protocol contacts (audits, votes, broadcast) go to
   /// random *neighbors*; experiment E11 explores open problem #1.
   sim::TopologyPtr topology;
+  /// Activation policy; the default is the paper's synchronous model.
+  /// Protocol P's phase schedule reads the *global* clock, so under
+  /// activation-based policies (sequential, adversarial, poisson) agents
+  /// see only ~1/n of the schedule's rounds each and the completeness
+  /// argument is expected to break — running it anyway is how E12c/E12d
+  /// map where it breaks.  The step budget scales by
+  /// scheduler.steps_per_round(n) so every agent still observes the whole
+  /// schedule.
+  sim::SchedulerSpec scheduler;
   /// Labels that deviate (the coalition C).  Their agents come from
   /// `factory`; outcome and fairness are judged over honest agents.
   std::vector<sim::AgentId> coalition;

@@ -51,10 +51,8 @@ void RumorAgent::on_push(const sim::Context&, sim::AgentId, sim::PayloadPtr) {
   informed_ = true;
 }
 
-SpreadResult run_rumor_spreading_scheduled(const SpreadConfig& cfg,
-                                           sim::SchedulerPtr scheduler,
-                                           std::uint64_t check_every) {
-  sim::Engine engine({cfg.n, cfg.seed, cfg.topology, std::move(scheduler)});
+SpreadResult run_rumor_spreading(const SpreadConfig& cfg) {
+  sim::Engine engine({cfg.n, cfg.seed, cfg.topology, cfg.scheduler.make()});
   rfc::support::Xoshiro256 fault_rng(
       rfc::support::derive_seed(cfg.seed, 0x0fau));
   engine.apply_fault_plan(
@@ -80,7 +78,15 @@ SpreadResult run_rumor_spreading_scheduled(const SpreadConfig& cfg,
     }
     return true;
   };
-  check_every = std::max<std::uint64_t>(1, check_every);
+  // Checking the global predicate is O(n); under activation-based policies
+  // (O(1) per event) amortize it over ~n/4 events — completion time is
+  // overstated by at most that granularity.  Round-based policies already
+  // pay O(n) per event, so they check every round.
+  const std::uint64_t check_every =
+      cfg.check_every != 0 ? cfg.check_every
+      : cfg.scheduler.activation_based()
+          ? std::max<std::uint64_t>(1, cfg.n / 4)
+          : 1;
   // The all_done() exit matters for schedulers whose step() can stop
   // advancing time once every agent reports done() (e.g. adversarial):
   // without it a done-capable agent population could spin here forever.
@@ -93,20 +99,9 @@ SpreadResult run_rumor_spreading_scheduled(const SpreadConfig& cfg,
   }
   result.complete = all_informed();
   result.rounds = engine.round();
+  result.virtual_time = engine.virtual_time();
   result.metrics = engine.metrics();
   return result;
-}
-
-SpreadResult run_rumor_spreading(const SpreadConfig& cfg) {
-  return run_rumor_spreading_scheduled(cfg, nullptr, 1);
-}
-
-SpreadResult run_rumor_spreading_async(const SpreadConfig& cfg) {
-  // Checking the global predicate every step is O(n); amortize by checking
-  // every n/4 steps (completion time only overstated by that granularity).
-  return run_rumor_spreading_scheduled(
-      cfg, sim::make_sequential_scheduler(),
-      std::max<std::uint64_t>(1, cfg.n / 4));
 }
 
 }  // namespace rfc::gossip

@@ -15,7 +15,7 @@
 #include "sim/agent.hpp"
 #include "sim/engine.hpp"
 #include "sim/fault_model.hpp"
-#include "sim/scheduler.hpp"
+#include "sim/scheduler_spec.hpp"
 
 namespace rfc::gossip {
 
@@ -74,33 +74,33 @@ struct SpreadConfig {
   std::uint32_t num_faulty = 0;
   sim::FaultPlacement placement = sim::FaultPlacement::kNone;
   std::uint64_t rumor_bits = 64;
-  std::uint64_t max_rounds = 10'000;  ///< Steps, in the asynchronous model.
+  /// Activation policy; the default is the paper's synchronous model.
+  /// Under `sequential`/`poisson` expect Θ(n log n) scheduling events on
+  /// the complete graph (vs Θ(log n) synchronous rounds) — the cost gap
+  /// experiment E12 quantifies.
+  sim::SchedulerSpec scheduler;
+  /// Cap on scheduling events (rounds under round-based policies, per-agent
+  /// activations under sequential/adversarial/poisson).
+  std::uint64_t max_rounds = 10'000;
+  /// How often (in scheduling events) the O(n) completion predicate is
+  /// evaluated.  0 = auto: every round for round-based policies,
+  /// every ~n/4 activations for activation-based ones; completion time is
+  /// overstated by at most that granularity.
+  std::uint64_t check_every = 0;
   std::uint32_t initial_informed = 1;  ///< Sources, placed on active labels.
   sim::TopologyPtr topology;           ///< Null = complete graph.
 };
 
 struct SpreadResult {
   bool complete = false;        ///< Every active agent informed.
-  std::uint64_t rounds = 0;     ///< Rounds (sync) / steps (async) elapsed.
+  std::uint64_t rounds = 0;     ///< Scheduling events elapsed.
+  double virtual_time = 0.0;    ///< Simulated time (= rounds when discrete).
   sim::Metrics metrics;
 };
 
-/// Runs a full rumor-spreading execution and reports its convergence time.
+/// Runs a full rumor-spreading execution under cfg.scheduler and reports
+/// its convergence time.  This is the single entry point for every
+/// activation model; select the policy through the SchedulerSpec.
 SpreadResult run_rumor_spreading(const SpreadConfig& cfg);
-
-/// The same process in the asynchronous (sequential) GOSSIP model: one
-/// random agent wakes per step.  `rounds` in the result counts steps;
-/// expect Θ(n log n) on the complete graph (vs Θ(log n) synchronous
-/// rounds) — the cost gap experiment E12 quantifies.
-SpreadResult run_rumor_spreading_async(const SpreadConfig& cfg);
-
-/// Fully general form: the spreading process under any activation policy
-/// (null = synchronous).  `check_every` bounds how often the O(n)
-/// completion predicate is evaluated — 1 checks after every time unit,
-/// larger values amortize the scan under step-based schedulers at the cost
-/// of overstating completion time by at most that granularity.
-SpreadResult run_rumor_spreading_scheduled(const SpreadConfig& cfg,
-                                           sim::SchedulerPtr scheduler,
-                                           std::uint64_t check_every = 1);
 
 }  // namespace rfc::gossip

@@ -11,7 +11,7 @@ Engine::Engine(EngineConfig cfg)
 
 void Engine::step() {
   core_.ensure_started();
-  scheduler_->step(core_);
+  core_.advance_virtual_time(scheduler_->step(core_));
   if (observer_) observer_(*this);
 }
 

@@ -72,13 +72,14 @@ class Engine {
   std::uint32_t num_faulty() const noexcept { return core_.num_faulty(); }
   std::uint32_t num_active() const noexcept { return core_.num_active(); }
 
-  /// Executes one unit of simulated time under the installed scheduler: a
-  /// synchronous round, a sequential activation, a partial round, ...
+  /// Executes one scheduling event under the installed scheduler — a
+  /// synchronous round, a sequential activation, a partial round, a Poisson
+  /// wake-up — and accrues its virtual-time increment.
   void step();
 
-  /// Runs until every non-faulty agent reports done() or `max_time` units
+  /// Runs until every non-faulty agent reports done() or `max_time` events
   /// (rounds or steps, per the scheduler) have executed; returns the number
-  /// of units executed in total.
+  /// of events executed in total.
   std::uint64_t run(std::uint64_t max_time);
 
   /// True when every non-faulty agent reports done().
@@ -93,6 +94,9 @@ class Engine {
   std::uint64_t round() const noexcept { return core_.time(); }
   /// Alias of round() for sequential-model call sites.
   std::uint64_t steps() const noexcept { return core_.time(); }
+  /// Elapsed virtual time: equals round()/steps() under discrete policies,
+  /// the continuous Gillespie clock under PoissonClockScheduler.
+  double virtual_time() const noexcept { return core_.virtual_time(); }
   const Metrics& metrics() const noexcept { return core_.metrics(); }
 
   const Scheduler& scheduler() const noexcept { return *scheduler_; }

@@ -48,9 +48,16 @@ class EngineCore {
 
   std::uint32_t n() const noexcept { return n_; }
   std::uint64_t seed() const noexcept { return seed_; }
-  /// Elapsed simulated time: rounds under round-based schedulers, steps
+  /// Elapsed scheduling events: rounds under round-based schedulers, steps
   /// under sequential ones.
   std::uint64_t time() const noexcept { return time_; }
+  /// Elapsed *virtual* time: the sum of scheduler step() increments.
+  /// Equals time() for discrete policies; the continuous clock otherwise.
+  double virtual_time() const noexcept { return metrics_.virtual_time; }
+  /// Accumulates a scheduler-reported time increment (engine-internal).
+  void advance_virtual_time(double dt) noexcept {
+    metrics_.virtual_time += dt;
+  }
   bool started() const noexcept { return started_; }
   const Metrics& metrics() const noexcept { return metrics_; }
 

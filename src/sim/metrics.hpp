@@ -7,6 +7,10 @@ namespace rfc::sim {
 
 struct Metrics {
   std::uint64_t rounds = 0;
+  /// Simulated time accumulated from the scheduler's per-event increments:
+  /// equals `rounds` under discrete (round/step) policies; under continuous
+  /// ones (PoissonClockScheduler) it is the Gillespie clock, ~events/(λ·n).
+  double virtual_time = 0.0;
   std::uint64_t pushes = 0;          ///< Push messages delivered or dropped.
   std::uint64_t pull_requests = 0;   ///< Pull requests issued.
   std::uint64_t pull_replies = 0;    ///< Non-silent pull replies.

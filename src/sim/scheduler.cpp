@@ -1,5 +1,6 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
@@ -10,8 +11,9 @@ namespace rfc::sim {
 
 void Scheduler::attach(EngineCore& /*core*/) {}
 
-void SynchronousScheduler::step(EngineCore& core) {
+double SynchronousScheduler::step(EngineCore& core) {
   core.run_synchronous_round(nullptr);
+  return 1.0;
 }
 
 void SequentialScheduler::attach(EngineCore& core) {
@@ -19,14 +21,15 @@ void SequentialScheduler::attach(EngineCore& core) {
       rfc::support::derive_seed(core.seed(), kStream));
 }
 
-void SequentialScheduler::step(EngineCore& core) {
+double SequentialScheduler::step(EngineCore& core) {
   if (!active_built_) {
     active_ = core.active_labels();
     active_built_ = true;
   }
-  if (active_.empty()) return;
+  if (active_.empty()) return 0.0;
   const AgentId u = active_[rng_.below(active_.size())];
   core.sequential_activation(u);
+  return 1.0;
 }
 
 PartialAsyncScheduler::PartialAsyncScheduler(double wake_probability)
@@ -42,7 +45,7 @@ void PartialAsyncScheduler::attach(EngineCore& core) {
       rfc::support::derive_seed(core.seed(), kStream));
 }
 
-void PartialAsyncScheduler::step(EngineCore& core) {
+double PartialAsyncScheduler::step(EngineCore& core) {
   if (awake_.size() != core.n()) awake_.assign(core.n(), false);
   // One draw per label, faulty included, so the wake pattern of agent i is
   // independent of the fault plan (mirrors the per-agent RNG streams).
@@ -50,10 +53,11 @@ void PartialAsyncScheduler::step(EngineCore& core) {
     awake_[i] = rng_.bernoulli(p_);
   }
   core.run_synchronous_round(&awake_);
+  return 1.0;
 }
 
 AdversarialScheduler::AdversarialScheduler(AdversarialConfig cfg)
-    : cfg_(cfg) {
+    : cfg_(std::move(cfg)) {
   if (!(cfg_.victim_fraction >= 0.0 && cfg_.victim_fraction <= 1.0)) {
     throw std::invalid_argument(
         "AdversarialScheduler: victim fraction must be in [0, 1]");
@@ -67,6 +71,26 @@ void AdversarialScheduler::attach(EngineCore& core) {
 
 void AdversarialScheduler::build_order(EngineCore& core) {
   std::vector<AgentId> order = core.active_labels();
+  if (!cfg_.victim_ids.empty()) {
+    // Explicit victim set: pin exactly these labels.  A faulty or
+    // out-of-range victim is skipped rather than rejected — it never wakes,
+    // i.e. it is already maximally delayed — so one victim list works
+    // across a sweep over n.  Favored agents still wake in a seeded
+    // permutation.
+    victims_.clear();
+    favored_.clear();
+    for (AgentId u : order) {
+      const bool is_victim =
+          std::find(cfg_.victim_ids.begin(), cfg_.victim_ids.end(), u) !=
+          cfg_.victim_ids.end();
+      (is_victim ? victims_ : favored_).push_back(u);
+    }
+    for (std::size_t i = favored_.size(); i > 1; --i) {
+      std::swap(favored_[i - 1], favored_[rng_.below(i)]);
+    }
+    order_built_ = true;
+    return;
+  }
   for (std::size_t i = order.size(); i > 1; --i) {
     std::swap(order[i - 1], order[rng_.below(i)]);
   }
@@ -97,12 +121,43 @@ AgentId AdversarialScheduler::next_from(std::vector<AgentId>& pool,
   return kNoAgent;
 }
 
-void AdversarialScheduler::step(EngineCore& core) {
+double AdversarialScheduler::step(EngineCore& core) {
   if (!order_built_) build_order(core);
   AgentId u = next_from(favored_, favored_cursor_, core);
   if (u == kNoAgent) u = next_from(victims_, victim_cursor_, core);
-  if (u == kNoAgent) return;  // Everyone done; the run loop exits.
+  if (u == kNoAgent) return 0.0;  // Everyone done; the run loop exits.
   core.sequential_activation(u);
+  return 1.0;
+}
+
+PoissonClockScheduler::PoissonClockScheduler(double rate) : rate_(rate) {
+  if (!(rate_ > 0.0)) {
+    throw std::invalid_argument(
+        "PoissonClockScheduler: clock rate must be positive");
+  }
+}
+
+void PoissonClockScheduler::attach(EngineCore& core) {
+  rng_ = rfc::support::Xoshiro256(
+      rfc::support::derive_seed(core.seed(), kStream));
+}
+
+double PoissonClockScheduler::step(EngineCore& core) {
+  if (!active_built_) {
+    active_ = core.active_labels();
+    active_built_ = true;
+  }
+  if (active_.empty()) return 0.0;
+  // Superposition of |active| independent rate-λ clocks: the next tick is
+  // uniform over agents and Exp(λ·|active|)-distributed in time.  Agent
+  // first, time second — the pinned draw order.
+  const AgentId u = active_[rng_.below(active_.size())];
+  const double aggregate_rate =
+      rate_ * static_cast<double>(active_.size());
+  // uniform01() ∈ [0, 1), so the argument of log1p stays in (-1, 0].
+  const double dt = -std::log1p(-rng_.uniform01()) / aggregate_rate;
+  core.sequential_activation(u);
+  return dt;
 }
 
 SchedulerPtr make_synchronous_scheduler() {
@@ -118,7 +173,11 @@ SchedulerPtr make_partial_async_scheduler(double wake_probability) {
 }
 
 SchedulerPtr make_adversarial_scheduler(AdversarialConfig cfg) {
-  return std::make_unique<AdversarialScheduler>(cfg);
+  return std::make_unique<AdversarialScheduler>(std::move(cfg));
+}
+
+SchedulerPtr make_poisson_clock_scheduler(double rate) {
+  return std::make_unique<PoissonClockScheduler>(rate);
 }
 
 }  // namespace rfc::sim

@@ -1,8 +1,8 @@
 // Pluggable activation policies for the unified simulation engine.
 //
-// A Scheduler owns *when* agents run — activation order and round/step
-// semantics — while EngineCore (sim/engine_core.hpp) owns *what* running
-// means (phased delivery, fault silence, message accounting).  Four
+// A Scheduler owns *when* agents run — activation order and the passage of
+// simulated time — while EngineCore (sim/engine_core.hpp) owns *what*
+// running means (phased delivery, fault silence, message accounting).  Five
 // policies ship:
 //
 //   * SynchronousScheduler — the paper's model (Section 2): every active
@@ -15,13 +15,27 @@
 //     subset of agents, interpolating between the two models above: p = 1
 //     recovers lock-step rounds, p ≈ 1/n approximates sequential wake-ups.
 //   * AdversarialScheduler — seeded worst-case wake orderings for
-//     robustness experiments: a seeded victim subset is starved until every
-//     other agent has finished, the rest are woken round-robin in a seeded
-//     permutation.
+//     robustness experiments: a victim subset (seeded, or pinned via
+//     victim_ids) is starved until every other agent has finished, the rest
+//     are woken round-robin in a seeded permutation.
+//   * PoissonClockScheduler — the literature's standard continuous-time
+//     asynchronous model: every active agent carries an independent rate-λ
+//     Poisson clock, so wake-ups are a rate-λ·|active| process (simulated
+//     Gillespie-style: exponential inter-event times, uniform wake choice).
+//
+// Time is *virtual*: step() executes one scheduling event on the core and
+// returns the simulated-time increment it represents.  Round- and
+// step-counting policies return 1.0 per event; the Poisson clock returns
+// Exp(λ·|active|) increments, so virtual time advances by ~1/λ per
+// per-agent activation and a broadcast's Θ(log n) virtual-time bound can be
+// read off directly.  The engine accumulates the increments into
+// Metrics::virtual_time next to the discrete event count.
 //
 // All scheduler randomness derives from the engine's master seed via
 // distinct SplitMix streams, so a run stays pinned down by (config, agents,
-// fault plan) regardless of policy.
+// fault plan) regardless of policy.  Prefer selecting policies by value
+// through sim::SchedulerSpec (sim/scheduler_spec.hpp), which adds a string
+// round-trip and a registry; the factories below are the low-level API.
 #pragma once
 
 #include <cstdint>
@@ -46,9 +60,12 @@ class Scheduler {
   /// the only source of randomness a policy may draw from.
   virtual void attach(EngineCore& core);
 
-  /// Executes one unit of simulated time on the core (a round or a step,
-  /// at the policy's discretion).  The core is already started.
-  virtual void step(EngineCore& core) = 0;
+  /// Executes one scheduling event on the core (a round or an activation,
+  /// at the policy's discretion; the core is already started) and returns
+  /// the simulated-time increment the event represents.  Discrete policies
+  /// return 1.0; continuous-time policies return a positive real; a policy
+  /// that had nothing left to schedule returns 0.0.
+  virtual double step(EngineCore& core) = 0;
 };
 
 using SchedulerPtr = std::unique_ptr<Scheduler>;
@@ -57,7 +74,7 @@ using SchedulerPtr = std::unique_ptr<Scheduler>;
 class SynchronousScheduler final : public Scheduler {
  public:
   const char* name() const noexcept override { return "synchronous"; }
-  void step(EngineCore& core) override;
+  double step(EngineCore& core) override;
 };
 
 /// One uniformly random active agent wakes per step (the sequential GOSSIP
@@ -71,7 +88,7 @@ class SequentialScheduler final : public Scheduler {
 
   const char* name() const noexcept override { return "sequential"; }
   void attach(EngineCore& core) override;
-  void step(EngineCore& core) override;
+  double step(EngineCore& core) override;
 
  private:
   rfc::support::Xoshiro256 rng_{0};
@@ -91,7 +108,7 @@ class PartialAsyncScheduler final : public Scheduler {
   const char* name() const noexcept override { return "partial-async"; }
   double wake_probability() const noexcept { return p_; }
   void attach(EngineCore& core) override;
-  void step(EngineCore& core) override;
+  double step(EngineCore& core) override;
 
  private:
   double p_;
@@ -101,17 +118,24 @@ class PartialAsyncScheduler final : public Scheduler {
 
 struct AdversarialConfig {
   /// Fraction of active agents starved until everyone else is done().
+  /// Ignored when `victim_ids` is non-empty.
   double victim_fraction = 0.25;
+  /// Explicit victim set; overrides `victim_fraction` when non-empty.
+  /// Faulty or out-of-range labels in the set are skipped (they never wake
+  /// anyway), so one list works across a sweep over n.  Groundwork for
+  /// phase-aware adversaries that must pin specific agents.
+  std::vector<AgentId> victim_ids = {};
   /// Stream tag mixed into the master seed for the adversary's choices;
   /// vary it to sample different worst-case orderings at a fixed seed.
   std::uint64_t stream = 0xADF0u;
 };
 
 /// Seeded worst-case sequential wake orderings.  A seeded permutation fixes
-/// the wake order; its first ⌈victim_fraction·active⌉ entries are starved
-/// until every non-victim reports done(), modelling a scheduler that
-/// maximally delays a coalition of agents.  With victim_fraction = 0 this
-/// degenerates to a deterministic round-robin over a seeded permutation.
+/// the wake order; its first ⌈victim_fraction·active⌉ entries (or the
+/// explicit victim_ids set) are starved until every non-victim reports
+/// done(), modelling a scheduler that maximally delays a coalition of
+/// agents.  With an empty victim set this degenerates to a deterministic
+/// round-robin over a seeded permutation.
 class AdversarialScheduler final : public Scheduler {
  public:
   explicit AdversarialScheduler(AdversarialConfig cfg = {});
@@ -119,7 +143,7 @@ class AdversarialScheduler final : public Scheduler {
   const char* name() const noexcept override { return "adversarial"; }
   const AdversarialConfig& config() const noexcept { return cfg_; }
   void attach(EngineCore& core) override;
-  void step(EngineCore& core) override;
+  double step(EngineCore& core) override;
 
  private:
   void build_order(EngineCore& core);
@@ -138,9 +162,37 @@ class AdversarialScheduler final : public Scheduler {
   bool order_built_ = false;
 };
 
+/// Continuous-time asynchronous gossip: each active agent wakes at the
+/// ticks of an independent rate-`rate` Poisson clock.  Simulated in the
+/// Gillespie style — per event, one uniformly random active agent wakes
+/// (drawn first) and virtual time advances by Exp(rate·|active|) (drawn
+/// second); the draw order is part of the pinned trace contract.  The
+/// discrete event count matches the sequential model's step count in
+/// distribution of wake choices, so step budgets transfer; only the time
+/// axis changes.
+class PoissonClockScheduler final : public Scheduler {
+ public:
+  static constexpr std::uint64_t kStream = 0x9015u;
+
+  /// `rate` is each agent's clock rate λ; must be positive.
+  explicit PoissonClockScheduler(double rate = 1.0);
+
+  const char* name() const noexcept override { return "poisson"; }
+  double rate() const noexcept { return rate_; }
+  void attach(EngineCore& core) override;
+  double step(EngineCore& core) override;
+
+ private:
+  double rate_;
+  rfc::support::Xoshiro256 rng_{0};
+  std::vector<AgentId> active_;  ///< Labels eligible to wake.
+  bool active_built_ = false;
+};
+
 SchedulerPtr make_synchronous_scheduler();
 SchedulerPtr make_sequential_scheduler();
 SchedulerPtr make_partial_async_scheduler(double wake_probability);
 SchedulerPtr make_adversarial_scheduler(AdversarialConfig cfg = {});
+SchedulerPtr make_poisson_clock_scheduler(double rate = 1.0);
 
 }  // namespace rfc::sim

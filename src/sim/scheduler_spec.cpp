@@ -1,0 +1,312 @@
+#include "sim/scheduler_spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "support/parse.hpp"
+
+namespace rfc::sim {
+
+namespace {
+
+using Registry = std::map<std::string, SchedulerSpec::Policy>;
+
+std::uint64_t activation_steps(std::uint32_t n, const SchedulerSpec&) {
+  return std::max<std::uint32_t>(n, 1);
+}
+
+std::uint64_t round_steps(std::uint32_t, const SchedulerSpec&) { return 1; }
+
+Registry make_builtin_registry() {
+  Registry reg;
+  reg["synchronous"] = {
+      [](const SchedulerSpec&) { return make_synchronous_scheduler(); },
+      round_steps,
+      {},
+      "the paper's lock-step rounds (default)"};
+  reg["sequential"] = {
+      [](const SchedulerSpec&) { return make_sequential_scheduler(); },
+      activation_steps,
+      {},
+      "one u.a.r. active agent wakes per step",
+      /*activation_based=*/true};
+  reg["partial-async"] = {
+      [](const SchedulerSpec& spec) {
+        return make_partial_async_scheduler(spec.param_double("p", 0.5));
+      },
+      [](std::uint32_t n, const SchedulerSpec& spec) -> std::uint64_t {
+        const double p = spec.param_double("p", 0.5);
+        if (p >= 1.0) return 1;
+        if (p <= 0.0) return std::max<std::uint32_t>(n, 1);
+        return static_cast<std::uint64_t>(std::ceil(1.0 / p));
+      },
+      {"p"},
+      "each round wakes an independent Bernoulli(p) subset (p=0.5)"};
+  reg["adversarial"] = {
+      [](const SchedulerSpec& spec) {
+        AdversarialConfig cfg;
+        cfg.victim_fraction = spec.param_double("victim_fraction", 0.25);
+        cfg.stream = spec.param_uint("stream", cfg.stream);
+        cfg.victim_ids = spec.param_agent_list("victims");
+        return make_adversarial_scheduler(std::move(cfg));
+      },
+      activation_steps,
+      {"victim_fraction", "stream", "victims"},
+      "seeded starvation orderings (victim_fraction=0.25 or victims=a+b+c)",
+      /*activation_based=*/true};
+  reg["poisson"] = {
+      [](const SchedulerSpec& spec) {
+        return make_poisson_clock_scheduler(spec.param_double("rate", 1.0));
+      },
+      activation_steps,
+      {"rate"},
+      "continuous-time rate-λ Poisson clocks, Gillespie-style (rate=1)",
+      /*activation_based=*/true};
+  return reg;
+}
+
+Registry& registry() {
+  static Registry reg = make_builtin_registry();
+  return reg;
+}
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+// Returns by value: the registry can be amended at runtime, and make() is
+// called from Monte-Carlo worker threads, so callers must not hold
+// references into the map beyond the lock.
+SchedulerSpec::Policy find_policy(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = registry().find(name);
+  if (it == registry().end()) {
+    std::string known;
+    for (const auto& [n, p] : registry()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw std::invalid_argument("SchedulerSpec: unknown policy \"" + name +
+                                "\" (registered: " + known + ")");
+  }
+  return it->second;
+}
+
+[[noreturn]] void bad_value(const std::string& policy, const std::string& key,
+                            const std::string& value, const char* expected) {
+  throw std::invalid_argument("SchedulerSpec: " + policy + ":" + key + "=\"" +
+                              value + "\" is not " + expected);
+}
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+std::string format_param_double(double value) {
+  char buf[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+SchedulerSpec::SchedulerSpec() : policy_("synchronous") {}
+
+SchedulerSpec::SchedulerSpec(std::string policy, Params params)
+    : policy_(std::move(policy)), params_(std::move(params)) {}
+
+SchedulerSpec SchedulerSpec::parse(const std::string& text) {
+  const auto colon = text.find(':');
+  const std::string name = trim(text.substr(0, colon));
+  if (name.empty()) {
+    throw std::invalid_argument("SchedulerSpec: empty policy name in \"" +
+                                text + "\"");
+  }
+  find_policy(name);  // Fail fast on unknown policies.
+
+  Params params;
+  if (colon != std::string::npos) {
+    std::string rest = text.substr(colon + 1);
+    std::size_t pos = 0;
+    while (pos <= rest.size()) {
+      const auto comma = rest.find(',', pos);
+      const std::string item = trim(
+          rest.substr(pos, comma == std::string::npos ? std::string::npos
+                                                      : comma - pos));
+      if (item.empty()) {
+        throw std::invalid_argument(
+            "SchedulerSpec: empty parameter in \"" + text + "\"");
+      }
+      const auto eq = item.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        throw std::invalid_argument("SchedulerSpec: expected key=value, got \"" +
+                                    item + "\" in \"" + text + "\"");
+      }
+      const std::string key = trim(item.substr(0, eq));
+      if (!params.emplace(key, trim(item.substr(eq + 1))).second) {
+        throw std::invalid_argument("SchedulerSpec: duplicate parameter \"" +
+                                    key + "\" in \"" + text + "\"");
+      }
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  return SchedulerSpec(name, std::move(params));
+}
+
+std::string SchedulerSpec::to_string() const {
+  std::string out = policy_;
+  char sep = ':';
+  for (const auto& [key, value] : params_) {
+    out += sep;
+    out += key;
+    out += '=';
+    out += value;
+    sep = ',';
+  }
+  return out;
+}
+
+SchedulerPtr SchedulerSpec::make() const {
+  const Policy policy = find_policy(policy_);
+  for (const auto& [key, value] : params_) {
+    if (std::find(policy.keys.begin(), policy.keys.end(), key) ==
+        policy.keys.end()) {
+      throw std::invalid_argument("SchedulerSpec: policy \"" + policy_ +
+                                  "\" has no parameter \"" + key + "\"");
+    }
+  }
+  return policy.factory(*this);
+}
+
+std::uint64_t SchedulerSpec::steps_per_round(std::uint32_t n) const {
+  return find_policy(policy_).steps_per_round(n, *this);
+}
+
+bool SchedulerSpec::activation_based() const {
+  return find_policy(policy_).activation_based;
+}
+
+bool SchedulerSpec::has_param(const std::string& key) const {
+  return params_.count(key) > 0;
+}
+
+double SchedulerSpec::param_double(const std::string& key, double def) const {
+  const auto it = params_.find(key);
+  if (it == params_.end()) return def;
+  double value = 0.0;
+  if (!rfc::support::parse_number(it->second, value)) {
+    bad_value(policy_, key, it->second, "a number");
+  }
+  return value;
+}
+
+std::uint64_t SchedulerSpec::param_uint(const std::string& key,
+                                        std::uint64_t def) const {
+  const auto it = params_.find(key);
+  if (it == params_.end()) return def;
+  std::uint64_t value = 0;
+  if (!rfc::support::parse_uint64(it->second, value)) {
+    bad_value(policy_, key, it->second, "a non-negative integer");
+  }
+  return value;
+}
+
+std::vector<AgentId> SchedulerSpec::param_agent_list(
+    const std::string& key) const {
+  const auto it = params_.find(key);
+  if (it == params_.end()) return {};
+  std::vector<AgentId> ids;
+  const std::string& text = it->second;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const auto plus = text.find('+', pos);
+    const std::string item =
+        text.substr(pos, plus == std::string::npos ? std::string::npos
+                                                   : plus - pos);
+    std::uint64_t value = 0;
+    if (!rfc::support::parse_uint64(item, value) || value > 0xFFFFFFFFull) {
+      bad_value(policy_, key, text, "a +-separated agent-label list");
+    }
+    ids.push_back(static_cast<AgentId>(value));
+    if (plus == std::string::npos) break;
+    pos = plus + 1;
+  }
+  return ids;
+}
+
+SchedulerSpec SchedulerSpec::synchronous() { return SchedulerSpec(); }
+
+SchedulerSpec SchedulerSpec::sequential() {
+  return SchedulerSpec("sequential", {});
+}
+
+SchedulerSpec SchedulerSpec::partial_async(double wake_probability) {
+  return SchedulerSpec("partial-async",
+                       {{"p", format_param_double(wake_probability)}});
+}
+
+SchedulerSpec SchedulerSpec::adversarial(const AdversarialConfig& cfg) {
+  Params params;
+  if (cfg.victim_ids.empty()) {
+    params["victim_fraction"] = format_param_double(cfg.victim_fraction);
+  } else {
+    std::string list;
+    for (AgentId id : cfg.victim_ids) {
+      if (!list.empty()) list += '+';
+      list += std::to_string(id);
+    }
+    params["victims"] = std::move(list);
+  }
+  if (cfg.stream != AdversarialConfig{}.stream) {
+    params["stream"] = std::to_string(cfg.stream);
+  }
+  return SchedulerSpec("adversarial", std::move(params));
+}
+
+SchedulerSpec SchedulerSpec::poisson(double rate) {
+  Params params;
+  if (rate != 1.0) params["rate"] = format_param_double(rate);
+  return SchedulerSpec("poisson", std::move(params));
+}
+
+void SchedulerSpec::register_policy(const std::string& name, Policy policy) {
+  if (name.empty() || name.find(':') != std::string::npos ||
+      name.find(',') != std::string::npos) {
+    throw std::invalid_argument(
+        "SchedulerSpec: policy names must be non-empty and free of ':'/','");
+  }
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry()[name] = std::move(policy);
+}
+
+std::vector<std::string> SchedulerSpec::registered_policies() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, policy] : registry()) names.push_back(name);
+  return names;
+}
+
+std::string SchedulerSpec::describe_registry() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  std::string out;
+  for (const auto& [name, policy] : registry()) {
+    out += "  " + name + " — " + policy.summary + "\n";
+  }
+  return out;
+}
+
+}  // namespace rfc::sim

@@ -1,8 +1,21 @@
 #include "support/cli.hpp"
 
-#include <cstdlib>
+#include <stdexcept>
+
+#include "support/parse.hpp"
 
 namespace rfc::support {
+
+namespace {
+
+[[noreturn]] void bad_numeric(const std::string& name,
+                              const std::string& value,
+                              const char* expected) {
+  throw std::invalid_argument("--" + name + ": expected " + expected +
+                              ", got \"" + value + "\"");
+}
+
+}  // namespace
 
 CliArgs::CliArgs(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -36,19 +49,33 @@ std::string CliArgs::get(const std::string& name,
 std::int64_t CliArgs::get_int(const std::string& name,
                               std::int64_t def) const {
   const auto it = flags_.find(name);
-  return it == flags_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+  if (it == flags_.end()) return def;
+  std::int64_t value = 0;
+  if (!parse_int64(it->second, value)) {
+    bad_numeric(name, it->second, "an integer");
+  }
+  return value;
 }
 
 std::uint64_t CliArgs::get_uint(const std::string& name,
                                 std::uint64_t def) const {
   const auto it = flags_.find(name);
-  return it == flags_.end() ? def
-                            : std::strtoull(it->second.c_str(), nullptr, 10);
+  if (it == flags_.end()) return def;
+  std::uint64_t value = 0;
+  if (!parse_uint64(it->second, value)) {
+    bad_numeric(name, it->second, "a non-negative integer");
+  }
+  return value;
 }
 
 double CliArgs::get_double(const std::string& name, double def) const {
   const auto it = flags_.find(name);
-  return it == flags_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+  if (it == flags_.end()) return def;
+  double value = 0.0;
+  if (!parse_number(it->second, value)) {
+    bad_numeric(name, it->second, "a number");
+  }
+  return value;
 }
 
 bool CliArgs::get_bool(const std::string& name, bool def) const {

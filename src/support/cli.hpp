@@ -15,6 +15,11 @@ class CliArgs {
 
   bool has(const std::string& name) const;
   std::string get(const std::string& name, const std::string& def) const;
+  /// Numeric getters return `def` when the flag is absent and throw
+  /// std::invalid_argument naming the flag and the offending text when the
+  /// value is present but malformed (`--n=abc`, `--n=`, trailing junk,
+  /// a negative value for get_uint) — a typo must not silently run the
+  /// experiment with defaults.
   std::int64_t get_int(const std::string& name, std::int64_t def) const;
   std::uint64_t get_uint(const std::string& name, std::uint64_t def) const;
   double get_double(const std::string& name, double def) const;

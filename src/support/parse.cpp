@@ -1,0 +1,42 @@
+#include "support/parse.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace rfc::support {
+
+bool parse_int64(const std::string& text, std::int64_t& out) noexcept {
+  const char* c = text.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const std::int64_t value = std::strtoll(c, &end, 10);
+  if (end == c || *end != '\0' || errno == ERANGE) return false;
+  out = value;
+  return true;
+}
+
+bool parse_uint64(const std::string& text, std::uint64_t& out) noexcept {
+  const char* c = text.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const std::uint64_t value = std::strtoull(c, &end, 10);
+  // strtoull silently wraps negative input; reject it explicitly.
+  if (end == c || *end != '\0' || errno == ERANGE ||
+      text.find('-') != std::string::npos) {
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+bool parse_number(const std::string& text, double& out) noexcept {
+  const char* c = text.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(c, &end);
+  if (end == c || *end != '\0' || errno == ERANGE) return false;
+  out = value;
+  return true;
+}
+
+}  // namespace rfc::support

@@ -1,0 +1,21 @@
+// Strict full-string numeric parsing, shared by every layer that turns
+// user-supplied text into numbers (support::CliArgs flags,
+// sim::SchedulerSpec parameters).  One rule set everywhere: base-10 only,
+// the whole string must be consumed, out-of-range fails, and get_uint-style
+// callers reject negative input instead of letting strtoull wrap it — so
+// the same text can never parse differently on two paths, and a typo is
+// reported rather than silently replaced by a default.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rfc::support {
+
+/// Each returns false (leaving `out` untouched) unless `text` is a
+/// well-formed, in-range, fully-consumed base-10 literal.
+bool parse_int64(const std::string& text, std::int64_t& out) noexcept;
+bool parse_uint64(const std::string& text, std::uint64_t& out) noexcept;
+bool parse_number(const std::string& text, double& out) noexcept;
+
+}  // namespace rfc::support

@@ -135,10 +135,12 @@ TEST(NaiveElectionAsync, AgreesWithGenerousBudget) {
   NaiveElectionConfig cfg;
   cfg.n = 128;
   cfg.gamma = 4.0;
+  cfg.scheduler = sim::SchedulerSpec::sequential();
+  cfg.budget_multiplier = 4.0;
   int agreements = 0;
   for (std::uint64_t seed = 1; seed <= 20; ++seed) {
     cfg.seed = seed;
-    if (run_naive_election_async(cfg, 4.0).agreement) ++agreements;
+    if (run_naive_election(cfg).agreement) ++agreements;
   }
   EXPECT_GE(agreements, 19);
 }
@@ -147,11 +149,14 @@ TEST(NaiveElectionAsync, StarvedBudgetLosesAgreement) {
   NaiveElectionConfig cfg;
   cfg.n = 128;
   cfg.gamma = 4.0;
+  cfg.scheduler = sim::SchedulerSpec::sequential();
   int starved = 0, generous = 0;
   for (std::uint64_t seed = 1; seed <= 20; ++seed) {
     cfg.seed = seed;
-    if (run_naive_election_async(cfg, 0.25).agreement) ++starved;
-    if (run_naive_election_async(cfg, 4.0).agreement) ++generous;
+    cfg.budget_multiplier = 0.25;
+    if (run_naive_election(cfg).agreement) ++starved;
+    cfg.budget_multiplier = 4.0;
+    if (run_naive_election(cfg).agreement) ++generous;
   }
   EXPECT_LT(starved, generous);
 }
@@ -164,10 +169,12 @@ TEST(NaiveElectionAsync, CheaterStillWins) {
   cfg.cheaters = 1;
   cfg.colors.assign(64, 0);
   cfg.colors[0] = 1;
+  cfg.scheduler = sim::SchedulerSpec::sequential();
+  cfg.budget_multiplier = 4.0;
   int cheater_wins = 0;
   for (std::uint64_t seed = 1; seed <= 10; ++seed) {
     cfg.seed = seed;
-    const auto r = run_naive_election_async(cfg, 4.0);
+    const auto r = run_naive_election(cfg);
     if (r.agreement && r.winner == 1) ++cheater_wins;
   }
   EXPECT_GE(cheater_wins, 9);

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 namespace rfc::support {
 namespace {
 
@@ -62,6 +65,49 @@ TEST(CliArgs, FlagFollowedByFlagIsBoolean) {
   const auto args = make({"--a", "--b=2"});
   EXPECT_TRUE(args.get_bool("a"));
   EXPECT_EQ(args.get_uint("b", 0), 2u);
+}
+
+TEST(CliArgs, MalformedIntThrowsInsteadOfDefaulting) {
+  // A typo must not silently run the experiment with the default value.
+  EXPECT_THROW(make({"--n=abc"}).get_int("n", 7), std::invalid_argument);
+  EXPECT_THROW(make({"--n="}).get_int("n", 7), std::invalid_argument);
+  EXPECT_THROW(make({"--n=12x"}).get_int("n", 7), std::invalid_argument);
+  EXPECT_THROW(make({"--n=99999999999999999999"}).get_int("n", 7),
+               std::invalid_argument);
+}
+
+TEST(CliArgs, MalformedUintThrowsInsteadOfDefaulting) {
+  EXPECT_THROW(make({"--n=abc"}).get_uint("n", 7), std::invalid_argument);
+  EXPECT_THROW(make({"--n=1.5"}).get_uint("n", 7), std::invalid_argument);
+  // strtoull would silently wrap a negative value; we must not.
+  EXPECT_THROW(make({"--n=-3"}).get_uint("n", 7), std::invalid_argument);
+}
+
+TEST(CliArgs, MalformedDoubleThrowsInsteadOfDefaulting) {
+  EXPECT_THROW(make({"--gamma=abc"}).get_double("gamma", 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(make({"--gamma=1.5x"}).get_double("gamma", 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(make({"--gamma="}).get_double("gamma", 1.0),
+               std::invalid_argument);
+}
+
+TEST(CliArgs, MalformedErrorNamesFlagAndValue) {
+  try {
+    make({"--n=abc"}).get_uint("n", 7);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--n"), std::string::npos);
+    EXPECT_NE(what.find("abc"), std::string::npos);
+  }
+}
+
+TEST(CliArgs, WellFormedNumericValuesStillParse) {
+  const auto args = make({"--a=-5", "--b=0", "--c=2.5e3"});
+  EXPECT_EQ(args.get_int("a", 0), -5);
+  EXPECT_EQ(args.get_uint("b", 9), 0u);
+  EXPECT_DOUBLE_EQ(args.get_double("c", 0), 2500.0);
 }
 
 }  // namespace
