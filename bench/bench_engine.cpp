@@ -23,9 +23,8 @@ using rfc::sim::Engine;
 class IdleAgent final : public Agent {
  public:
   Action on_round(const Context&) override { return Action::idle(); }
-  rfc::sim::PayloadPtr serve_pull(const Context&,
-                                  rfc::sim::AgentId) override {
-    return nullptr;
+  rfc::sim::Payload serve_pull(const Context&, rfc::sim::AgentId) override {
+    return {};
   }
   bool done() const override { return false; }
 };
@@ -36,9 +35,8 @@ class PullAgent final : public Agent {
   Action on_round(const Context& ctx) override {
     return Action::pull(ctx.random_peer());
   }
-  rfc::sim::PayloadPtr serve_pull(const Context&,
-                                  rfc::sim::AgentId) override {
-    return nullptr;
+  rfc::sim::Payload serve_pull(const Context&, rfc::sim::AgentId) override {
+    return {};
   }
   bool done() const override { return false; }
 };
@@ -79,6 +77,34 @@ void BM_EngineRumorRound(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_EngineRumorRound)->Arg(256)->Arg(1024)->Arg(4096);
+
+// The sharded synchronous round (sim/sharding.hpp) on the same push-pull
+// rumor workload as BM_EngineRumorRound: args are (n, shards, threads), so
+// {n, 1, 1} is the serial engine via the executor's delegation path and the
+// speedup of {n, S, T} over it is the sharding win at equal semantics
+// (results are bit-identical by construction).  Thread counts beyond the
+// machine's cores measure oversubscription, not speedup.
+void BM_ShardedRound(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto shards = static_cast<std::uint32_t>(state.range(1));
+  const auto threads = static_cast<std::uint32_t>(state.range(2));
+  Engine engine({n, 42, nullptr,
+                 rfc::sim::make_synchronous_scheduler({shards, threads})});
+  for (std::uint32_t i = 0; i < n; ++i) {
+    engine.set_agent(i, std::make_unique<rfc::gossip::RumorAgent>(
+                            rfc::gossip::Mechanism::kPushPull, i == 0, 64));
+  }
+  for (auto _ : state) {
+    engine.step();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ShardedRound)
+    ->Args({4096, 1, 1})
+    ->Args({4096, 4, 2})
+    ->Args({4096, 4, 4})
+    ->Args({16384, 4, 4})
+    ->Args({65536, 8, 4});
 
 // Scheduler dispatch overhead: one engine.step() of idle agents under each
 // registered policy, at fixed n.  Round-based policies pay O(n) per step

@@ -43,11 +43,36 @@ inline std::vector<std::uint32_t> sweep_sizes(
 /// grammar).  Every experiment accepts the flag, so each protocol runs
 /// under any registered activation policy; on a malformed spec the process
 /// exits with the parse error and the registry listing.
+///
+/// `--shards=S` (and optionally `--shard-threads=T`) fold into the spec as
+/// its shards=/threads= parameters, so `--shards=4` parallelizes the
+/// synchronous round of any experiment — runs are bit-identical to the
+/// serial engine for every S/T.  Policies without a sharded round
+/// (sequential, adversarial, poisson) reject the flag with the usual
+/// unknown-parameter error.
 inline rfc::sim::SchedulerSpec scheduler_spec(
     const rfc::support::CliArgs& args,
     const std::string& def = "synchronous") {
-  const std::string text = args.get("scheduler", def);
+  std::string text = args.get("scheduler", def);
   try {
+    const auto fold_param = [&text](const std::string& key,
+                                    std::uint64_t value) {
+      text += text.find(':') == std::string::npos ? ':' : ',';
+      text += key + "=" + std::to_string(value);
+    };
+    if (args.has("shards")) {
+      fold_param("shards", args.get_uint("shards", 1));
+    }
+    if (args.has("shard-threads")) {
+      if (!args.has("shards")) {
+        // Alone it would fold threads= into a shards=1 spec, which never
+        // builds a pool — refuse rather than silently run serial.
+        throw std::invalid_argument(
+            "--shard-threads requires --shards=N (a lone thread count "
+            "would leave the run serial)");
+      }
+      fold_param("threads", args.get_uint("shard-threads", 0));
+    }
     const auto spec = rfc::sim::SchedulerSpec::parse(text);
     spec.make();  // Validate parameter values up front, not mid-sweep.
     return spec;

@@ -11,21 +11,24 @@
 namespace rfc::baseline {
 namespace {
 
-/// (key, owner, color) on the wire.
-class TuplePayload final : public sim::Payload {
- public:
-  TuplePayload(NaiveElectionAgent::Tuple tuple, std::uint64_t m,
-               std::uint32_t n) noexcept
-      : tuple_(tuple),
-        bits_(rfc::support::bit_width_for_domain(m) +
-              2ull * rfc::support::bit_width_for_domain(n)) {}
-  const NaiveElectionAgent::Tuple& tuple() const noexcept { return tuple_; }
-  std::uint64_t bit_size() const noexcept override { return bits_; }
+/// Tag of the (key, owner, color) tuple (baseline range 0x30..0x3F).
+constexpr sim::PayloadTag kTuplePayloadTag = 0x30;
 
- private:
-  NaiveElectionAgent::Tuple tuple_;
-  std::uint64_t bits_;
-};
+/// (key, owner, color) on the wire, inline as three words (the color is a
+/// signed Color round-tripped through static_cast).
+sim::Payload make_tuple_payload(const NaiveElectionAgent::Tuple& tuple,
+                                std::uint64_t m, std::uint32_t n) noexcept {
+  return sim::Payload::inline_words(
+      kTuplePayloadTag,
+      rfc::support::bit_width_for_domain(m) +
+          2ull * rfc::support::bit_width_for_domain(n),
+      tuple.key, tuple.owner, static_cast<std::uint64_t>(tuple.color));
+}
+
+NaiveElectionAgent::Tuple tuple_in(const sim::Payload& p) noexcept {
+  return {p.word(0), static_cast<sim::AgentId>(p.word(1)),
+          static_cast<core::Color>(p.word(2))};
+}
 
 }  // namespace
 
@@ -55,16 +58,16 @@ sim::Action NaiveElectionAgent::on_round(const sim::Context& ctx) {
   return sim::Action::pull(ctx.random_peer());
 }
 
-sim::PayloadPtr NaiveElectionAgent::serve_pull(const sim::Context& ctx,
-                                               sim::AgentId) {
-  return std::make_shared<TuplePayload>(best_, m_, ctx.n);
+sim::Payload NaiveElectionAgent::serve_pull(const sim::Context& ctx,
+                                            sim::AgentId) {
+  return make_tuple_payload(best_, m_, ctx.n);
 }
 
 void NaiveElectionAgent::on_pull_reply(const sim::Context&, sim::AgentId,
-                                       sim::PayloadPtr reply) {
-  if (reply == nullptr) return;
-  const auto& payload = static_cast<const TuplePayload&>(*reply);
-  if (payload.tuple().less_than(best_)) best_ = payload.tuple();
+                                       const sim::Payload& reply) {
+  if (reply.empty()) return;
+  const Tuple tuple = tuple_in(reply);
+  if (tuple.less_than(best_)) best_ = tuple;
 }
 
 NaiveElectionResult run_naive_election(const NaiveElectionConfig& cfg) {

@@ -50,10 +50,10 @@ class NaiveElectionAgent final : public sim::Agent {
 
   void on_start(const sim::Context& ctx) override;
   sim::Action on_round(const sim::Context& ctx) override;
-  sim::PayloadPtr serve_pull(const sim::Context& ctx,
-                             sim::AgentId requester) override;
+  sim::Payload serve_pull(const sim::Context& ctx,
+                          sim::AgentId requester) override;
   void on_pull_reply(const sim::Context& ctx, sim::AgentId target,
-                     sim::PayloadPtr reply) override;
+                     const sim::Payload& reply) override;
   bool done() const override { return rounds_left_ == 0; }
 
  private:

@@ -11,52 +11,45 @@
 namespace rfc::core {
 namespace {
 
-/// A vote in the sequential model carries its own voting-round index: the
-/// receiver has no global clock to infer it from.
-class AsyncVotePayload final : public sim::Payload {
- public:
-  AsyncVotePayload(std::uint64_t value, std::uint32_t round_index,
-                   const ProtocolParams& params) noexcept
-      : value_(value), round_index_(round_index),
-        bits_(params.value_bits() + params.round_bits()) {}
-  std::uint64_t value() const noexcept { return value_; }
-  std::uint32_t round_index() const noexcept { return round_index_; }
-  std::uint64_t bit_size() const noexcept override { return bits_; }
-
- private:
-  std::uint64_t value_;
-  std::uint32_t round_index_;
-  std::uint64_t bits_;
-};
+/// A vote in the sequential model carries its own voting-round index (the
+/// receiver has no global clock to infer it from); travels inline as
+/// (value, round_index).
+sim::Payload make_async_vote_payload(std::uint64_t value,
+                                     std::uint32_t round_index,
+                                     const ProtocolParams& params) noexcept {
+  return sim::Payload::inline_words(
+      kAsyncVotePayloadTag,
+      static_cast<std::uint64_t>(params.value_bits()) + params.round_bits(),
+      value, round_index);
+}
 
 /// Composite pull reply: the servee cannot know whether the puller is
 /// auditing (wants H) or broadcasting (wants CE_min), so it sends both.
 /// This costs a constant-factor message inflation over the synchronous
 /// protocol — part of the price of the sequential model.
-class AsyncReplyPayload final : public sim::Payload {
- public:
-  AsyncReplyPayload(const VoteIntention& intention,
-                    const Certificate* min_cert,
-                    const ProtocolParams& params)
-      : intention_(intention),
-        has_cert_(min_cert != nullptr),
-        cert_(min_cert != nullptr ? *min_cert : Certificate{}),
-        bits_(intention.size() * (static_cast<std::uint64_t>(
-                                      params.value_bits()) +
-                                  params.label_bits()) +
-              1 + (has_cert_ ? cert_.bit_size(params) : 0)) {}
-
-  const VoteIntention& intention() const noexcept { return intention_; }
-  bool has_cert() const noexcept { return has_cert_; }
-  const Certificate& cert() const noexcept { return cert_; }
-  std::uint64_t bit_size() const noexcept override { return bits_; }
-
- private:
-  VoteIntention intention_;
-  bool has_cert_;
-  Certificate cert_;
-  std::uint64_t bits_;
+struct AsyncReply {
+  VoteIntention intention;
+  bool has_cert = false;
+  Certificate cert;
 };
+
+sim::Payload make_async_reply_payload(const VoteIntention& intention,
+                                      const Certificate* min_cert,
+                                      const ProtocolParams& params) {
+  const bool has_cert = min_cert != nullptr;
+  const std::uint64_t bits =
+      intention.size() * (static_cast<std::uint64_t>(params.value_bits()) +
+                          params.label_bits()) +
+      1 + (has_cert ? min_cert->bit_size(params) : 0);
+  return sim::Payload::make_boxed<AsyncReply>(
+      kAsyncReplyPayloadTag, bits,
+      AsyncReply{intention, has_cert,
+                 has_cert ? *min_cert : Certificate{}});
+}
+
+const AsyncReply* async_reply_in(const sim::Payload& p) noexcept {
+  return p.boxed_as<AsyncReply>(kAsyncReplyPayloadTag);
+}
 
 }  // namespace
 
@@ -99,8 +92,7 @@ sim::Action AsyncProtocolAgent::on_round(const sim::Context& ctx) {
       const std::uint32_t i = schedule_.index_of(a);
       const VoteEntry& vote = intention_.at(i);
       return sim::Action::push(
-          vote.target,
-          std::make_shared<AsyncVotePayload>(vote.value, i, params_));
+          vote.target, make_async_vote_payload(vote.value, i, params_));
     }
     case AsyncSchedule::LocalPhase::kFindMin:
       if (!own_cert_built_) {
@@ -116,8 +108,7 @@ sim::Action AsyncProtocolAgent::on_round(const sim::Context& ctx) {
     case AsyncSchedule::LocalPhase::kCoherence:
       in_coherence_ = true;
       return sim::Action::push(
-          ctx.random_peer(),
-          std::make_shared<CertificatePayload>(min_cert_, params_));
+          ctx.random_peer(), make_certificate_payload(min_cert_, params_));
     case AsyncSchedule::LocalPhase::kFinished:
       finalize();
       return sim::Action::idle();
@@ -127,29 +118,29 @@ sim::Action AsyncProtocolAgent::on_round(const sim::Context& ctx) {
   return sim::Action::idle();
 }
 
-sim::PayloadPtr AsyncProtocolAgent::serve_pull(const sim::Context&,
-                                               sim::AgentId) {
-  if (failed_) return nullptr;  // Invalid state: quiescent.
+sim::Payload AsyncProtocolAgent::serve_pull(const sim::Context&,
+                                            sim::AgentId) {
+  if (failed_) return {};  // Invalid state: quiescent.
   // Decided agents keep serving: in the sequential model fast agents finish
   // while slow auditors are still working, and refusing them would make
   // honest agents look faulty.
-  return std::make_shared<AsyncReplyPayload>(
+  return make_async_reply_payload(
       intention_, has_min_cert_ ? &min_cert_ : nullptr, params_);
 }
 
 void AsyncProtocolAgent::on_pull_reply(const sim::Context&,
                                        sim::AgentId target,
-                                       sim::PayloadPtr reply) {
+                                       const sim::Payload& reply) {
   if (done()) return;
-  const auto* payload = dynamic_cast<const AsyncReplyPayload*>(reply.get());
+  const AsyncReply* payload = async_reply_in(reply);
   const auto phase = schedule_.phase_of(activations_ - 1);
   if (phase == AsyncSchedule::LocalPhase::kCommitment) {
     if (collected_.contains(target)) return;  // First declaration wins.
     CommitmentRecord record;
     record.marked_faulty = true;
-    if (payload != nullptr && payload->intention().size() == params_.q) {
+    if (payload != nullptr && payload->intention.size() == params_.q) {
       bool well_formed = true;
-      for (const VoteEntry& e : payload->intention()) {
+      for (const VoteEntry& e : payload->intention) {
         if (e.value >= params_.m || e.target >= params_.n) {
           well_formed = false;
           break;
@@ -157,44 +148,42 @@ void AsyncProtocolAgent::on_pull_reply(const sim::Context&,
       }
       if (well_formed) {
         record.marked_faulty = false;
-        record.intention = payload->intention();
+        record.intention = payload->intention;
       }
     }
     collected_.emplace(target, std::move(record));
   } else if (phase == AsyncSchedule::LocalPhase::kFindMin) {
-    if (payload != nullptr && payload->has_cert() &&
-        payload->cert().less_than(min_cert_)) {
-      min_cert_ = payload->cert();
+    if (payload != nullptr && payload->has_cert &&
+        payload->cert.less_than(min_cert_)) {
+      min_cert_ = payload->cert;
     }
   }
 }
 
 void AsyncProtocolAgent::on_push(const sim::Context&, sim::AgentId sender,
-                                 sim::PayloadPtr payload) {
-  if (done() || payload == nullptr) return;
-  if (const auto* vote =
-          dynamic_cast<const AsyncVotePayload*>(payload.get())) {
+                                 const sim::Payload& payload) {
+  if (done() || payload.empty()) return;
+  if (payload.tag() == kAsyncVotePayloadTag) {
     // Votes landing after the certificate is sealed are lost — the
     // misalignment the guard bands exist to make unlikely.
     if (!own_cert_built_) {
-      received_votes_.push_back(
-          ReceivedVote{sender, vote->round_index(), vote->value()});
+      received_votes_.push_back(ReceivedVote{
+          sender, static_cast<std::uint32_t>(payload.word(1)),
+          payload.word(0)});
     }
     return;
   }
-  if (const auto* cert =
-          dynamic_cast<const CertificatePayload*>(payload.get())) {
+  if (const Certificate* cert = certificate_in(payload)) {
     if (in_coherence_) {
       // Algorithm 1's Coherence rule: any disagreement is fatal.
-      if (!(cert->certificate() == min_cert_)) {
+      if (!(*cert == min_cert_)) {
         failed_ = true;
         failed_in_coherence_ = true;
       }
-    } else if (!has_min_cert_ ||
-               cert->certificate().less_than(min_cert_)) {
+    } else if (!has_min_cert_ || cert->less_than(min_cert_)) {
       // An early coherence push from a fast peer doubles as Find-Min
       // information.
-      min_cert_ = cert->certificate();
+      min_cert_ = *cert;
       has_min_cert_ = true;
     }
   }

@@ -94,12 +94,12 @@ class AsyncProtocolAgent final : public sim::Agent {
 
   void on_start(const sim::Context& ctx) override;
   sim::Action on_round(const sim::Context& ctx) override;
-  sim::PayloadPtr serve_pull(const sim::Context& ctx,
-                             sim::AgentId requester) override;
+  sim::Payload serve_pull(const sim::Context& ctx,
+                          sim::AgentId requester) override;
   void on_pull_reply(const sim::Context& ctx, sim::AgentId target,
-                     sim::PayloadPtr reply) override;
+                     const sim::Payload& reply) override;
   void on_push(const sim::Context& ctx, sim::AgentId sender,
-               sim::PayloadPtr payload) override;
+               const sim::Payload& payload) override;
   bool done() const override { return decided_ || failed_; }
 
  private:

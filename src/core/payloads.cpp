@@ -1,20 +1,33 @@
 #include "core/payloads.hpp"
 
+#include <utility>
+
 namespace rfc::core {
 
-IntentionPayload::IntentionPayload(VoteIntention intention,
-                                   const ProtocolParams& params)
-    : intention_(std::move(intention)),
-      bits_(intention_.size() *
-            (static_cast<std::uint64_t>(params.value_bits()) +
-             params.label_bits())) {}
+sim::Payload make_intention_payload(VoteIntention intention,
+                                    const ProtocolParams& params) {
+  const std::uint64_t bits =
+      intention.size() * (static_cast<std::uint64_t>(params.value_bits()) +
+                          params.label_bits());
+  return sim::Payload::make_boxed<VoteIntention>(kIntentionPayloadTag, bits,
+                                                 std::move(intention));
+}
 
-VotePayload::VotePayload(std::uint64_t value, const ProtocolParams& params)
-    : value_(value), bits_(params.value_bits()) {}
+sim::Payload make_vote_payload(std::uint64_t value,
+                               const ProtocolParams& params) {
+  return sim::Payload::inline_words(kVotePayloadTag, params.value_bits(),
+                                    value);
+}
 
-CertificatePayload::CertificatePayload(Certificate certificate,
-                                       const ProtocolParams& params)
-    : certificate_(std::move(certificate)),
-      bits_(certificate_.bit_size(params)) {}
+sim::Payload make_certificate_payload(Certificate certificate,
+                                      const ProtocolParams& params) {
+  const std::uint64_t bits = certificate.bit_size(params);
+  return sim::Payload::make_boxed<Certificate>(kCertificatePayloadTag, bits,
+                                               std::move(certificate));
+}
+
+sim::Payload make_digest_payload(std::uint64_t digest) noexcept {
+  return sim::Payload::inline_words(kDigestPayloadTag, 64, digest);
+}
 
 }  // namespace rfc::core

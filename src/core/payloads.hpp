@@ -1,7 +1,14 @@
 // Concrete message payloads of Protocol P, with exact bit accounting.
+//
+// Payloads are flat sim::Payload values (sim/payload.hpp): votes and
+// digests travel inline (no allocation per message), certificates and vote
+// intentions are boxed — one immutable shared object per distinct value, so
+// serving Θ(log n) Find-Min pulls from one allocation still works, but the
+// handle moves by value through the engine.
+//
+// This header owns the core tag range (0x20..0x2F).  Each boxed tag maps to
+// exactly one C++ type, which is what makes the typed accessors below safe.
 #pragma once
-
-#include <memory>
 
 #include "core/certificate.hpp"
 #include "core/params.hpp"
@@ -10,53 +17,57 @@
 
 namespace rfc::core {
 
-/// Commitment-phase reply: a full copy of the sender's vote intention H.
-class IntentionPayload final : public sim::Payload {
- public:
-  IntentionPayload(VoteIntention intention, const ProtocolParams& params);
-  const VoteIntention& intention() const noexcept { return intention_; }
-  std::uint64_t bit_size() const noexcept override { return bits_; }
+// --- Tags (core range 0x20..0x2F; see sim/payload.hpp) --------------------
+inline constexpr sim::PayloadTag kVotePayloadTag = 0x20;        // inline
+inline constexpr sim::PayloadTag kDigestPayloadTag = 0x21;      // inline
+inline constexpr sim::PayloadTag kIntentionPayloadTag = 0x22;   // VoteIntention
+inline constexpr sim::PayloadTag kCertificatePayloadTag = 0x23; // Certificate
+// Sequential-model payloads (factories local to core/async_protocol.cpp;
+// the tags live here so the core tag space has one registry).
+inline constexpr sim::PayloadTag kAsyncVotePayloadTag = 0x28;   // inline
+inline constexpr sim::PayloadTag kAsyncReplyPayloadTag = 0x29;  // AsyncReply
 
- private:
-  VoteIntention intention_;
-  std::uint64_t bits_;
-};
+// --- Factories ------------------------------------------------------------
+
+/// Commitment-phase reply: a full copy of the sender's vote intention H.
+sim::Payload make_intention_payload(VoteIntention intention,
+                                    const ProtocolParams& params);
 
 /// Voting-phase push: a single vote value h (the voting round is implied by
 /// synchrony; the voter label travels in the authenticated channel header).
-class VotePayload final : public sim::Payload {
- public:
-  VotePayload(std::uint64_t value, const ProtocolParams& params);
-  std::uint64_t value() const noexcept { return value_; }
-  std::uint64_t bit_size() const noexcept override { return bits_; }
-
- private:
-  std::uint64_t value_;
-  std::uint64_t bits_;
-};
+sim::Payload make_vote_payload(std::uint64_t value,
+                               const ProtocolParams& params);
 
 /// Find-Min reply / Coherence push: a full certificate.
-class CertificatePayload final : public sim::Payload {
- public:
-  CertificatePayload(Certificate certificate, const ProtocolParams& params);
-  const Certificate& certificate() const noexcept { return certificate_; }
-  std::uint64_t bit_size() const noexcept override { return bits_; }
-
- private:
-  Certificate certificate_;
-  std::uint64_t bits_;
-};
+sim::Payload make_certificate_payload(Certificate certificate,
+                                      const ProtocolParams& params);
 
 /// Coherence push under the digest optimization: a 64-bit certificate
 /// fingerprint instead of the full certificate.
-class DigestPayload final : public sim::Payload {
- public:
-  explicit DigestPayload(std::uint64_t digest) noexcept : digest_(digest) {}
-  std::uint64_t digest() const noexcept { return digest_; }
-  std::uint64_t bit_size() const noexcept override { return 64; }
+sim::Payload make_digest_payload(std::uint64_t digest) noexcept;
 
- private:
-  std::uint64_t digest_;
-};
+// --- Typed accessors (null / false on tag mismatch or empty payload) ------
+
+inline const VoteIntention* intention_in(const sim::Payload& p) noexcept {
+  return p.boxed_as<VoteIntention>(kIntentionPayloadTag);
+}
+
+inline const Certificate* certificate_in(const sim::Payload& p) noexcept {
+  return p.boxed_as<Certificate>(kCertificatePayloadTag);
+}
+
+inline bool is_vote(const sim::Payload& p) noexcept {
+  return p.tag() == kVotePayloadTag;
+}
+inline std::uint64_t vote_value_in(const sim::Payload& p) noexcept {
+  return p.word(0);
+}
+
+inline bool is_digest(const sim::Payload& p) noexcept {
+  return p.tag() == kDigestPayloadTag;
+}
+inline std::uint64_t digest_in(const sim::Payload& p) noexcept {
+  return p.word(0);
+}
 
 }  // namespace rfc::core

@@ -28,11 +28,10 @@ sim::Action ProtocolAgent::commitment_action(const sim::Context& ctx) {
   return sim::Action::pull(ctx.random_peer());
 }
 
-sim::PayloadPtr ProtocolAgent::commitment_reply(const sim::Context&,
-                                                sim::AgentId) {
-  if (cached_intention_payload_ == nullptr) {
-    cached_intention_payload_ =
-        std::make_shared<IntentionPayload>(intention_, params_);
+sim::Payload ProtocolAgent::commitment_reply(const sim::Context&,
+                                             sim::AgentId) {
+  if (cached_intention_payload_.empty()) {
+    cached_intention_payload_ = make_intention_payload(intention_, params_);
   }
   return cached_intention_payload_;
 }
@@ -49,31 +48,29 @@ Certificate ProtocolAgent::build_own_certificate(const sim::Context& ctx) {
 void ProtocolAgent::consider_certificate(const Certificate& certificate) {
   if (certificate.less_than(min_cert_)) {
     min_cert_ = certificate;
-    cached_min_cert_payload_ = nullptr;
+    cached_min_cert_payload_ = {};
   }
 }
 
-sim::PayloadPtr ProtocolAgent::min_cert_payload() {
-  if (!has_min_certificate_) return nullptr;
-  if (cached_min_cert_payload_ == nullptr) {
-    cached_min_cert_payload_ =
-        std::make_shared<CertificatePayload>(min_cert_, params_);
+sim::Payload ProtocolAgent::min_cert_payload() {
+  if (!has_min_certificate_) return {};
+  if (cached_min_cert_payload_.empty()) {
+    cached_min_cert_payload_ = make_certificate_payload(min_cert_, params_);
   }
   return cached_min_cert_payload_;
 }
 
-sim::PayloadPtr ProtocolAgent::find_min_reply(const sim::Context&,
-                                              sim::AgentId) {
-  return min_cert_payload();
-}
-
 sim::Action ProtocolAgent::coherence_action(const sim::Context& ctx) {
   if (params_.coherence_digest) {
-    return sim::Action::push(
-        ctx.random_peer(),
-        std::make_shared<DigestPayload>(min_cert_.digest()));
+    return sim::Action::push(ctx.random_peer(),
+                             make_digest_payload(min_cert_.digest()));
   }
   return sim::Action::push(ctx.random_peer(), min_cert_payload());
+}
+
+sim::Payload ProtocolAgent::find_min_reply(const sim::Context&,
+                                           sim::AgentId) {
+  return min_cert_payload();
 }
 
 void ProtocolAgent::on_coherence_certificate(const Certificate& certificate) {
@@ -121,8 +118,7 @@ sim::Action ProtocolAgent::on_round(const sim::Context& ctx) {
       const std::uint32_t i = params_.round_in_phase(ctx.round);
       const VoteEntry vote = vote_for_round(ctx, i);
       return sim::Action::push(
-          vote.target,
-          std::make_shared<VotePayload>(vote.value % params_.m, params_));
+          vote.target, make_vote_payload(vote.value % params_.m, params_));
     }
     case Phase::kFindMin:
       if (ctx.round == params_.find_min_begin()) {
@@ -130,7 +126,7 @@ sim::Action ProtocolAgent::on_round(const sim::Context& ctx) {
         has_own_certificate_ = true;
         min_cert_ = own_cert_;
         has_min_certificate_ = true;
-        cached_min_cert_payload_ = nullptr;
+        cached_min_cert_payload_ = {};
       }
       return sim::Action::pull(ctx.random_peer());
     case Phase::kCoherence:
@@ -142,9 +138,9 @@ sim::Action ProtocolAgent::on_round(const sim::Context& ctx) {
   return sim::Action::idle();
 }
 
-sim::PayloadPtr ProtocolAgent::serve_pull(const sim::Context& ctx,
-                                          sim::AgentId requester) {
-  if (done()) return nullptr;  // Failed/terminated agents are quiescent.
+sim::Payload ProtocolAgent::serve_pull(const sim::Context& ctx,
+                                       sim::AgentId requester) {
+  if (done()) return {};  // Failed/terminated agents are quiescent.
   switch (params_.phase_of_round(ctx.round)) {
     case Phase::kCommitment:
       commitment_pullers_.push_back(requester);
@@ -154,35 +150,31 @@ sim::PayloadPtr ProtocolAgent::serve_pull(const sim::Context& ctx,
     default:
       // The protocol defines no pulls in other phases; an honest agent
       // answers unexpected (necessarily deviant) requests with silence.
-      return nullptr;
+      return {};
   }
 }
 
 void ProtocolAgent::record_commitment_reply(sim::AgentId target,
-                                            const sim::PayloadPtr& reply) {
+                                            const sim::Payload& reply) {
   // First declaration wins: if we already hold a record for `target`
   // (pulled it twice), the original stands.
   if (collected_.contains(target)) return;
   CommitmentRecord record;
   record.marked_faulty = true;
-  if (reply != nullptr) {
-    if (const auto* payload =
-            dynamic_cast<const IntentionPayload*>(reply.get())) {
-      const VoteIntention& h = payload->intention();
-      // "Replies in an unexpected way" (footnote 4): wrong length or
-      // out-of-domain entries also mark the peer faulty.
-      if (h.size() == params_.q) {
-        bool well_formed = true;
-        for (const VoteEntry& e : h) {
-          if (e.value >= params_.m || e.target >= params_.n) {
-            well_formed = false;
-            break;
-          }
+  if (const VoteIntention* h = intention_in(reply)) {
+    // "Replies in an unexpected way" (footnote 4): wrong length or
+    // out-of-domain entries also mark the peer faulty.
+    if (h->size() == params_.q) {
+      bool well_formed = true;
+      for (const VoteEntry& e : *h) {
+        if (e.value >= params_.m || e.target >= params_.n) {
+          well_formed = false;
+          break;
         }
-        if (well_formed) {
-          record.marked_faulty = false;
-          record.intention = h;
-        }
+      }
+      if (well_formed) {
+        record.marked_faulty = false;
+        record.intention = *h;
       }
     }
   }
@@ -190,18 +182,15 @@ void ProtocolAgent::record_commitment_reply(sim::AgentId target,
 }
 
 void ProtocolAgent::on_pull_reply(const sim::Context& ctx, sim::AgentId target,
-                                  sim::PayloadPtr reply) {
+                                  const sim::Payload& reply) {
   if (done()) return;
   switch (params_.phase_of_round(ctx.round)) {
     case Phase::kCommitment:
       record_commitment_reply(target, reply);
       break;
     case Phase::kFindMin:
-      if (reply != nullptr) {
-        if (const auto* payload =
-                dynamic_cast<const CertificatePayload*>(reply.get())) {
-          consider_certificate(payload->certificate());
-        }
+      if (const Certificate* cert = certificate_in(reply)) {
+        consider_certificate(*cert);
       }
       break;
     default:
@@ -210,22 +199,21 @@ void ProtocolAgent::on_pull_reply(const sim::Context& ctx, sim::AgentId target,
 }
 
 void ProtocolAgent::on_push(const sim::Context& ctx, sim::AgentId sender,
-                            sim::PayloadPtr payload) {
-  if (done() || payload == nullptr) return;
+                            const sim::Payload& payload) {
+  if (done() || payload.empty()) return;
   switch (params_.phase_of_round(ctx.round)) {
     case Phase::kVoting:
-      if (const auto* vote = dynamic_cast<const VotePayload*>(payload.get())) {
+      if (is_vote(payload)) {
         received_votes_.push_back(ReceivedVote{
-            sender, params_.round_in_phase(ctx.round), vote->value()});
+            sender, params_.round_in_phase(ctx.round),
+            vote_value_in(payload)});
       }
       break;
     case Phase::kCoherence:
-      if (const auto* cert =
-              dynamic_cast<const CertificatePayload*>(payload.get())) {
-        on_coherence_certificate(cert->certificate());
-      } else if (const auto* digest =
-                     dynamic_cast<const DigestPayload*>(payload.get())) {
-        on_coherence_digest(digest->digest());
+      if (const Certificate* cert = certificate_in(payload)) {
+        on_coherence_certificate(*cert);
+      } else if (is_digest(payload)) {
+        on_coherence_digest(digest_in(payload));
       }
       break;
     default:

@@ -67,12 +67,12 @@ class ProtocolAgent : public sim::Agent {
   // ---- sim::Agent ------------------------------------------------------
   void on_start(const sim::Context& ctx) override;
   sim::Action on_round(const sim::Context& ctx) override;
-  sim::PayloadPtr serve_pull(const sim::Context& ctx,
-                             sim::AgentId requester) override;
+  sim::Payload serve_pull(const sim::Context& ctx,
+                          sim::AgentId requester) override;
   void on_pull_reply(const sim::Context& ctx, sim::AgentId target,
-                     sim::PayloadPtr reply) override;
+                     const sim::Payload& reply) override;
   void on_push(const sim::Context& ctx, sim::AgentId sender,
-               sim::PayloadPtr payload) override;
+               const sim::Payload& payload) override;
   bool done() const override { return decided_ || failed_; }
 
  protected:
@@ -85,9 +85,9 @@ class ProtocolAgent : public sim::Agent {
   virtual sim::Action commitment_action(const sim::Context& ctx);
 
   /// Reply served to a Commitment pull (default: our full intention; a
-  /// deviator may equivocate or stay silent by returning null).
-  virtual sim::PayloadPtr commitment_reply(const sim::Context& ctx,
-                                           sim::AgentId requester);
+  /// deviator may equivocate or stay silent by returning an empty payload).
+  virtual sim::Payload commitment_reply(const sim::Context& ctx,
+                                        sim::AgentId requester);
 
   /// The vote pushed in voting round i (default: H_u[i], as declared).
   virtual VoteEntry vote_for_round(const sim::Context& ctx, std::uint32_t i);
@@ -100,8 +100,8 @@ class ProtocolAgent : public sim::Agent {
   virtual void consider_certificate(const Certificate& certificate);
 
   /// Reply served to a Find-Min pull (default: current minimal certificate).
-  virtual sim::PayloadPtr find_min_reply(const sim::Context& ctx,
-                                         sim::AgentId requester);
+  virtual sim::Payload find_min_reply(const sim::Context& ctx,
+                                      sim::AgentId requester);
 
   /// Coherence-phase active operation (default: push CE_min to u.a.r peer).
   virtual sim::Action coherence_action(const sim::Context& ctx);
@@ -125,9 +125,9 @@ class ProtocolAgent : public sim::Agent {
   }
 
   /// Shared payload wrapping min_cert_, rebuilt only when it changes.
-  /// Serving Θ(log n) pulls per Find-Min round from one allocation keeps
-  /// the simulator's constant factors down.
-  sim::PayloadPtr min_cert_payload();
+  /// Serving Θ(log n) pulls per Find-Min round from one boxed allocation
+  /// keeps the simulator's constant factors down.
+  sim::Payload min_cert_payload();
 
   void decide(Color c) noexcept {
     final_color_ = c;
@@ -151,10 +151,11 @@ class ProtocolAgent : public sim::Agent {
   std::vector<sim::AgentId> commitment_pullers_;
 
  private:
-  void record_commitment_reply(sim::AgentId target, const sim::PayloadPtr& reply);
+  void record_commitment_reply(sim::AgentId target,
+                               const sim::Payload& reply);
 
-  sim::PayloadPtr cached_intention_payload_;
-  sim::PayloadPtr cached_min_cert_payload_;
+  sim::Payload cached_intention_payload_;
+  sim::Payload cached_min_cert_payload_;
 };
 
 }  // namespace rfc::core

@@ -46,7 +46,10 @@ struct RunConfig {
   /// argument is expected to break — running it anyway is how E12c/E12d
   /// map where it breaks.  The step budget scales by
   /// scheduler.steps_per_round(n) so every agent still observes the whole
-  /// schedule.
+  /// schedule.  `synchronous:shards=S,threads=T` runs the phased round
+  /// sharded on a thread pool (sim/sharding.hpp), bit-identical to the
+  /// serial engine; deviation factories that share a Coalition blackboard
+  /// across labels are not shard-safe, so keep shards=1 with a coalition.
   sim::SchedulerSpec scheduler;
   /// Labels that deviate (the coalition C).  Their agents come from
   /// `factory`; outcome and fairness are judged over honest agents.

@@ -15,16 +15,16 @@ sim::Action MinAggregationAgent::on_round(const sim::Context& ctx) {
   return sim::Action::pull(ctx.random_peer());
 }
 
-sim::PayloadPtr MinAggregationAgent::serve_pull(const sim::Context&,
-                                                sim::AgentId) {
-  return std::make_shared<RumorPayload>(value_, value_bits_);
+sim::Payload MinAggregationAgent::serve_pull(const sim::Context&,
+                                             sim::AgentId) {
+  return make_rumor_payload(value_, value_bits_);
 }
 
 void MinAggregationAgent::on_pull_reply(const sim::Context&, sim::AgentId,
-                                        sim::PayloadPtr reply) {
-  if (reply == nullptr) return;
-  const auto& payload = static_cast<const RumorPayload&>(*reply);
-  if (payload.value() < value_) value_ = payload.value();
+                                        const sim::Payload& reply) {
+  if (reply.empty()) return;
+  const std::uint64_t value = rumor_value_in(reply);
+  if (value < value_) value_ = value;
 }
 
 MinAggResult run_min_aggregation(const MinAggConfig& cfg) {

@@ -27,10 +27,10 @@ class MinAggregationAgent final : public sim::Agent {
   std::uint64_t value() const noexcept { return value_; }
 
   sim::Action on_round(const sim::Context& ctx) override;
-  sim::PayloadPtr serve_pull(const sim::Context& ctx,
-                             sim::AgentId requester) override;
+  sim::Payload serve_pull(const sim::Context& ctx,
+                          sim::AgentId requester) override;
   void on_pull_reply(const sim::Context& ctx, sim::AgentId target,
-                     sim::PayloadPtr reply) override;
+                     const sim::Payload& reply) override;
   bool done() const override { return rounds_left_ == 0; }
 
  private:

@@ -27,9 +27,8 @@ sim::Action RumorAgent::on_round(const sim::Context& ctx) {
   const bool may_pull =
       mech_ == Mechanism::kPull || mech_ == Mechanism::kPushPull;
   if (informed_ && may_push) {
-    return sim::Action::push(
-        ctx.random_peer(),
-        std::make_shared<RumorPayload>(1, rumor_bits_));
+    return sim::Action::push(ctx.random_peer(),
+                             make_rumor_payload(1, rumor_bits_));
   }
   if (!informed_ && may_pull) {
     return sim::Action::pull(ctx.random_peer());
@@ -37,17 +36,18 @@ sim::Action RumorAgent::on_round(const sim::Context& ctx) {
   return sim::Action::idle();
 }
 
-sim::PayloadPtr RumorAgent::serve_pull(const sim::Context&, sim::AgentId) {
-  if (!informed_) return nullptr;  // Nothing to share yet.
-  return std::make_shared<RumorPayload>(1, rumor_bits_);
+sim::Payload RumorAgent::serve_pull(const sim::Context&, sim::AgentId) {
+  if (!informed_) return {};  // Nothing to share yet.
+  return make_rumor_payload(1, rumor_bits_);
 }
 
 void RumorAgent::on_pull_reply(const sim::Context&, sim::AgentId,
-                               sim::PayloadPtr reply) {
-  if (reply != nullptr) informed_ = true;
+                               const sim::Payload& reply) {
+  if (!reply.empty()) informed_ = true;
 }
 
-void RumorAgent::on_push(const sim::Context&, sim::AgentId, sim::PayloadPtr) {
+void RumorAgent::on_push(const sim::Context&, sim::AgentId,
+                         const sim::Payload&) {
   informed_ = true;
 }
 

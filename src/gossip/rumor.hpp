@@ -28,19 +28,22 @@ enum class Mechanism : std::uint8_t {
 const std::vector<Mechanism>& all_mechanisms();
 std::string to_string(Mechanism m);
 
-/// A rumor value travelling the network; bit size is configurable so
-/// experiments can model payloads of any width.
-class RumorPayload final : public sim::Payload {
- public:
-  RumorPayload(std::uint64_t value, std::uint64_t bits) noexcept
-      : value_(value), bits_(bits) {}
-  std::uint64_t value() const noexcept { return value_; }
-  std::uint64_t bit_size() const noexcept override { return bits_; }
+/// Tag of the rumor payload (gossip range 0x10..0x1F; see sim/payload.hpp).
+/// Shared with gossip::MinAggregationAgent, whose messages are the same
+/// "one value of configurable width" wire shape.
+inline constexpr sim::PayloadTag kRumorPayloadTag = 0x10;
 
- private:
-  std::uint64_t value_;
-  std::uint64_t bits_;
-};
+/// A rumor value travelling the network, inline (no allocation); bit size
+/// is configurable so experiments can model payloads of any width.
+inline sim::Payload make_rumor_payload(std::uint64_t value,
+                                       std::uint64_t bits) noexcept {
+  return sim::Payload::inline_words(kRumorPayloadTag, bits, value);
+}
+
+/// The value carried by a rumor payload (word 0; callers gate on the tag).
+inline std::uint64_t rumor_value_in(const sim::Payload& p) noexcept {
+  return p.word(0);
+}
 
 /// One node of the rumor-spreading process.
 class RumorAgent final : public sim::Agent {
@@ -51,12 +54,12 @@ class RumorAgent final : public sim::Agent {
   bool informed() const noexcept { return informed_; }
 
   sim::Action on_round(const sim::Context& ctx) override;
-  sim::PayloadPtr serve_pull(const sim::Context& ctx,
-                             sim::AgentId requester) override;
+  sim::Payload serve_pull(const sim::Context& ctx,
+                          sim::AgentId requester) override;
   void on_pull_reply(const sim::Context& ctx, sim::AgentId target,
-                     sim::PayloadPtr reply) override;
+                     const sim::Payload& reply) override;
   void on_push(const sim::Context& ctx, sim::AgentId sender,
-               sim::PayloadPtr payload) override;
+               const sim::Payload& payload) override;
   /// Rumor agents never self-terminate: completion ("everyone informed") is
   /// a global property the driver below observes from outside.
   bool done() const override { return false; }
@@ -77,7 +80,9 @@ struct SpreadConfig {
   /// Activation policy; the default is the paper's synchronous model.
   /// Under `sequential`/`poisson` expect Θ(n log n) scheduling events on
   /// the complete graph (vs Θ(log n) synchronous rounds) — the cost gap
-  /// experiment E12 quantifies.
+  /// experiment E12 quantifies.  `synchronous:shards=S,threads=T` runs the
+  /// round sharded on a thread pool (sim/sharding.hpp), bit-identical to
+  /// the serial engine — how large-n sweeps use multicore hardware.
   sim::SchedulerSpec scheduler;
   /// Cap on scheduling events (rounds under round-based policies, per-agent
   /// activations under sequential/adversarial/poisson).

@@ -171,15 +171,15 @@ core::Certificate VoteDropAgent::build_own_certificate(
 // kEquivocate
 // ---------------------------------------------------------------------------
 
-sim::PayloadPtr EquivocatingAgent::commitment_reply(const sim::Context& ctx,
-                                                    sim::AgentId) {
+sim::Payload EquivocatingAgent::commitment_reply(const sim::Context& ctx,
+                                                 sim::AgentId) {
   // A fresh lie for every auditor.
   core::VoteIntention fake(params_.q);
   for (core::VoteEntry& e : fake) {
     e.value = ctx.rng->below(params_.m);
     e.target = static_cast<sim::AgentId>(ctx.rng->below(params_.n));
   }
-  return std::make_shared<core::IntentionPayload>(std::move(fake), params_);
+  return core::make_intention_payload(std::move(fake), params_);
 }
 
 // ---------------------------------------------------------------------------
@@ -192,20 +192,20 @@ core::VoteIntention PlayDeadAgent::choose_intention(const sim::Context& ctx) {
   return h;
 }
 
-sim::PayloadPtr PlayDeadAgent::commitment_reply(const sim::Context&,
-                                                sim::AgentId) {
-  return nullptr;  // Pretend to be faulty; auditors pin us to h* = 0.
+sim::Payload PlayDeadAgent::commitment_reply(const sim::Context&,
+                                             sim::AgentId) {
+  return {};  // Pretend to be faulty; auditors pin us to h* = 0.
 }
 
 // ---------------------------------------------------------------------------
 // kFindMinSuppress
 // ---------------------------------------------------------------------------
 
-sim::PayloadPtr FindMinSuppressAgent::find_min_reply(const sim::Context&,
-                                                     sim::AgentId) {
-  if (!has_own_certificate_) return nullptr;
+sim::Payload FindMinSuppressAgent::find_min_reply(const sim::Context&,
+                                                  sim::AgentId) {
+  if (!has_own_certificate_) return {};
   // Serve our own certificate, never the smaller ones we have seen.
-  return std::make_shared<core::CertificatePayload>(own_cert_, params_);
+  return core::make_certificate_payload(own_cert_, params_);
 }
 
 // ---------------------------------------------------------------------------
@@ -250,7 +250,7 @@ core::VoteEntry AdaptiveVoteAgent::vote_for_round(const sim::Context& ctx,
 }
 
 void AdaptiveVoteAgent::on_push(const sim::Context& ctx, sim::AgentId sender,
-                                sim::PayloadPtr payload) {
+                                const sim::Payload& payload) {
   core::ProtocolAgent::on_push(ctx, sender, payload);
   if (ctx.self == coalition_->beneficiary()) {
     std::uint64_t sum = 0;

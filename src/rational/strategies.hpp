@@ -135,8 +135,8 @@ class EquivocatingAgent final : public CoalitionAgent {
   using CoalitionAgent::CoalitionAgent;
 
  protected:
-  sim::PayloadPtr commitment_reply(const sim::Context& ctx,
-                                   sim::AgentId requester) override;
+  sim::Payload commitment_reply(const sim::Context& ctx,
+                                sim::AgentId requester) override;
 };
 
 /// kPlayDead: silent during Commitment, votes (0, beneficiary) anyway.
@@ -146,8 +146,8 @@ class PlayDeadAgent final : public CoalitionAgent {
 
  protected:
   core::VoteIntention choose_intention(const sim::Context& ctx) override;
-  sim::PayloadPtr commitment_reply(const sim::Context& ctx,
-                                   sim::AgentId requester) override;
+  sim::Payload commitment_reply(const sim::Context& ctx,
+                                sim::AgentId requester) override;
 };
 
 /// kFindMinSuppress: serves its *own* certificate to every Find-Min pull
@@ -157,8 +157,8 @@ class FindMinSuppressAgent final : public CoalitionAgent {
   using CoalitionAgent::CoalitionAgent;
 
  protected:
-  sim::PayloadPtr find_min_reply(const sim::Context& ctx,
-                                 sim::AgentId requester) override;
+  sim::Payload find_min_reply(const sim::Context& ctx,
+                              sim::AgentId requester) override;
 };
 
 /// kStubbornCert: only adopts coalition-owned certificates and pushes its
@@ -185,7 +185,7 @@ class AdaptiveVoteAgent final : public CoalitionAgent {
   core::VoteEntry vote_for_round(const sim::Context& ctx,
                                  std::uint32_t i) override;
   void on_push(const sim::Context& ctx, sim::AgentId sender,
-               sim::PayloadPtr payload) override;
+               const sim::Payload& payload) override;
 };
 
 /// kSkipVerification: never fails in Coherence and adopts CE_min's color

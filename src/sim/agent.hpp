@@ -50,18 +50,20 @@ struct Context {
 
 enum class ActionKind : std::uint8_t { kIdle, kPush, kPull };
 
-/// The single active operation an agent performs in a round.
+/// The single active operation an agent performs in a round.  Carried by
+/// value: the payload is a flat tagged union (sim/payload.hpp), so the
+/// engine's per-round Action buffers involve no per-message allocation.
 struct Action {
   ActionKind kind = ActionKind::kIdle;
   AgentId target = kNoAgent;  ///< Peer contacted (push destination / pullee).
-  PayloadPtr payload;         ///< Pushed payload (null for pull/idle).
+  Payload payload;            ///< Pushed payload (empty for pull/idle).
 
   static Action idle() noexcept { return {}; }
-  static Action push(AgentId to, PayloadPtr p) noexcept {
+  static Action push(AgentId to, Payload p) noexcept {
     return {ActionKind::kPush, to, std::move(p)};
   }
   static Action pull(AgentId from) noexcept {
-    return {ActionKind::kPull, from, nullptr};
+    return {ActionKind::kPull, from, Payload{}};
   }
 };
 
@@ -75,19 +77,19 @@ class Agent {
   /// Returns this agent's active operation for the round.
   virtual Action on_round(const Context& ctx) = 0;
 
-  /// Serves a pull request from `requester`.  Returning null models
-  /// "no reply" — the requester will observe silence exactly as it would
-  /// from a faulty node.  Must answer from round-start state.
-  virtual PayloadPtr serve_pull(const Context& ctx, AgentId requester) = 0;
+  /// Serves a pull request from `requester`.  Returning an empty payload
+  /// models "no reply" — the requester will observe silence exactly as it
+  /// would from a faulty node.  Must answer from round-start state.
+  virtual Payload serve_pull(const Context& ctx, AgentId requester) = 0;
 
-  /// Delivers the reply to this agent's own pull.  `reply` is null when the
-  /// pulled peer was faulty, quiescent, or chose not to answer.
+  /// Delivers the reply to this agent's own pull.  `reply` is empty when
+  /// the pulled peer was faulty, quiescent, or chose not to answer.
   virtual void on_pull_reply(const Context& /*ctx*/, AgentId /*target*/,
-                             PayloadPtr /*reply*/) {}
+                             const Payload& /*reply*/) {}
 
   /// Delivers a payload pushed by `sender` this round.
   virtual void on_push(const Context& /*ctx*/, AgentId /*sender*/,
-                       PayloadPtr /*payload*/) {}
+                       const Payload& /*payload*/) {}
 
   /// True once the agent has reached a final state.  The engine stops when
   /// every non-faulty agent is done.

@@ -88,25 +88,26 @@ void EngineCore::ensure_started() {
   started_ = true;
 }
 
-void EngineCore::charge_pull_request() {
-  ++metrics_.pull_requests;
-  metrics_.note_message(pull_request_bits());
+void EngineCore::charge_pull_request(Metrics& metrics) {
+  ++metrics.pull_requests;
+  metrics.note_message(pull_request_bits());
 }
 
-PayloadPtr EngineCore::serve_and_charge_pull(AgentId v, AgentId requester) {
-  if (faulty_[v]) return nullptr;  // Silence: the puller observes no reply.
-  PayloadPtr reply = agents_[v]->serve_pull(make_context(v), requester);
-  if (reply != nullptr) {
-    ++metrics_.pull_replies;
-    metrics_.note_message(reply->bit_size());
+Payload EngineCore::serve_and_charge_pull(AgentId v, AgentId requester,
+                                          Metrics& metrics) {
+  if (faulty_[v]) return {};  // Silence: the puller observes no reply.
+  Payload reply = agents_[v]->serve_pull(make_context(v), requester);
+  if (!reply.empty()) {
+    ++metrics.pull_replies;
+    metrics.note_message(reply.bit_size());
   }
   return reply;
 }
 
-void EngineCore::execute_push(AgentId sender, const Action& action) {
-  ++metrics_.pushes;
-  metrics_.note_message(
-      action.payload != nullptr ? action.payload->bit_size() : 0);
+void EngineCore::execute_push(AgentId sender, const Action& action,
+                              Metrics& metrics) {
+  ++metrics.pushes;
+  metrics.note_message(action.payload.bit_size());
   const AgentId v = action.target;
   if (!faulty_[v]) {
     agents_[v]->on_push(make_context(v), sender, action.payload);
@@ -117,6 +118,8 @@ void EngineCore::run_synchronous_round(const std::vector<bool>* awake_mask) {
   ensure_started();
 
   // Phase A: collect each awake agent's single active operation.
+  std::uint32_t num_pulls = 0;
+  std::uint32_t num_pushes = 0;
   for (std::uint32_t i = 0; i < n_; ++i) {
     if (faulty_[i] || agents_[i]->done() ||
         (awake_mask != nullptr && !(*awake_mask)[i])) {
@@ -124,34 +127,45 @@ void EngineCore::run_synchronous_round(const std::vector<bool>* awake_mask) {
       continue;
     }
     actions_[i] = agents_[i]->on_round(make_context(i));
-    if (actions_[i].kind != ActionKind::kIdle) {
+    const ActionKind kind = actions_[i].kind;
+    if (kind != ActionKind::kIdle) {
       assert(actions_[i].target < n_);
       ++metrics_.active_links;
+      if (kind == ActionKind::kPull) ++num_pulls;
+      else ++num_pushes;
     }
   }
 
-  // Phase B: serve all pull requests from round-start state.
-  for (std::uint32_t i = 0; i < n_; ++i) {
-    pull_replies_[i] = nullptr;
-    const Action& a = actions_[i];
-    if (a.kind != ActionKind::kPull) continue;
-    charge_pull_request();
-    pull_replies_[i] = serve_and_charge_pull(a.target, i);
-  }
+  // A phase with no work is skipped outright — pull-free rounds (e.g. the
+  // push steady state of a spread) drop two O(n) scans.  pull_replies_
+  // slots are only ever written in phase B and cleared again in phase C,
+  // so every slot is empty at round start (which is also why neither this
+  // path nor the sharded one pre-clears them).
+  if (num_pulls != 0) {
+    // Phase B: serve all pull requests from round-start state.
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      const Action& a = actions_[i];
+      if (a.kind != ActionKind::kPull) continue;
+      charge_pull_request(metrics_);
+      pull_replies_[i] = serve_and_charge_pull(a.target, i, metrics_);
+    }
 
-  // Phase C: deliver pull replies in puller-label order.
-  for (std::uint32_t i = 0; i < n_; ++i) {
-    const Action& a = actions_[i];
-    if (a.kind != ActionKind::kPull) continue;
-    agents_[i]->on_pull_reply(make_context(i), a.target, pull_replies_[i]);
-    pull_replies_[i] = nullptr;
+    // Phase C: deliver pull replies in puller-label order.
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      const Action& a = actions_[i];
+      if (a.kind != ActionKind::kPull) continue;
+      agents_[i]->on_pull_reply(make_context(i), a.target, pull_replies_[i]);
+      pull_replies_[i] = {};
+    }
   }
 
   // Phase D: deliver pushes in sender-label order.
-  for (std::uint32_t i = 0; i < n_; ++i) {
-    const Action& a = actions_[i];
-    if (a.kind != ActionKind::kPush) continue;
-    execute_push(i, a);
+  if (num_pushes != 0) {
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      const Action& a = actions_[i];
+      if (a.kind != ActionKind::kPush) continue;
+      execute_push(i, a, metrics_);
+    }
   }
 
   ++time_;
@@ -170,19 +184,19 @@ void EngineCore::sequential_activation(AgentId u) {
       return;
     case ActionKind::kPull: {
       ++metrics_.active_links;
-      charge_pull_request();
+      charge_pull_request(metrics_);
       // Done agents are still asked: in the sequential model a fast agent
       // finishes while slow ones are mid-audit, and whether a terminated
       // agent keeps serving is the agent's own policy (as in the
       // synchronous round).
-      PayloadPtr reply = serve_and_charge_pull(action.target, u);
-      agents_[u]->on_pull_reply(make_context(u), action.target,
-                                std::move(reply));
+      const Payload reply =
+          serve_and_charge_pull(action.target, u, metrics_);
+      agents_[u]->on_pull_reply(make_context(u), action.target, reply);
       return;
     }
     case ActionKind::kPush: {
       ++metrics_.active_links;
-      execute_push(u, action);
+      execute_push(u, action, metrics_);
       return;
     }
   }

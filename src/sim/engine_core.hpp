@@ -12,10 +12,14 @@
 //
 // *When* agents run — activation order and round/step semantics — is a
 // Scheduler policy (sim/scheduler.hpp).  The Engine facade
-// (sim/engine.hpp) binds the two.  EngineCore is single-threaded and fully
-// deterministic given (n, seed, topology, fault plan, agents): Monte-Carlo
-// parallelism lives one level up (analysis::MonteCarlo) and runs
-// independent cores on independent seeds.
+// (sim/engine.hpp) binds the two.  EngineCore itself is single-threaded and
+// fully deterministic given (n, seed, topology, fault plan, agents):
+// Monte-Carlo parallelism lives one level up (analysis::MonteCarlo) and
+// runs independent cores on independent seeds.  For parallelism *inside*
+// one engine, sim/sharding.hpp runs the synchronous phased round over
+// label shards on a thread pool, bit-identical to the serial round by
+// construction (ShardedRoundExecutor is a friend so the two
+// implementations share buffers and accounting).
 #pragma once
 
 #include <cstdint>
@@ -95,18 +99,23 @@ class EngineCore {
   Context make_context(AgentId id) noexcept;
 
  private:
-  // Shared accounting/delivery between the synchronous phases and the
-  // sequential activation path — one definition keeps the two execution
-  // models' metrics bit-identical by construction.
-  void charge_pull_request();
+  friend class ShardedRoundExecutor;  // sim/sharding.hpp
+
+  // Shared accounting/delivery between the synchronous phases, the
+  // sequential activation path, and the sharded round — one definition
+  // keeps every execution model's metrics bit-identical by construction.
+  // `metrics` is metrics_ on the serial paths and a per-shard delta on the
+  // sharded one (merged after the round).
+  void charge_pull_request(Metrics& metrics);
   /// Serves `requester`'s pull on `v` (silence if `v` is faulty), charging
   /// the reply if any.  Delivery to the requester is the caller's job:
   /// the synchronous round defers it to phase C, the sequential path
   /// delivers immediately.
-  PayloadPtr serve_and_charge_pull(AgentId v, AgentId requester);
+  Payload serve_and_charge_pull(AgentId v, AgentId requester,
+                                Metrics& metrics);
   /// Charges `sender`'s push and delivers it unless the target is faulty
   /// (the message still travels, and is charged, either way).
-  void execute_push(AgentId sender, const Action& action);
+  void execute_push(AgentId sender, const Action& action, Metrics& metrics);
   std::uint32_t n_;
   std::uint64_t seed_;
   TopologyPtr topology_;
@@ -118,9 +127,10 @@ class EngineCore {
   bool started_ = false;
   Metrics metrics_;
 
-  // Scratch buffers reused across rounds to avoid per-round allocation.
+  // Scratch buffers reused across rounds to avoid per-round allocation;
+  // both carry payloads by value (no per-message heap traffic).
   std::vector<Action> actions_;
-  std::vector<PayloadPtr> pull_replies_;
+  std::vector<Payload> pull_replies_;
 };
 
 }  // namespace rfc::sim

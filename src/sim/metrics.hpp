@@ -28,6 +28,33 @@ struct Metrics {
     total_bits += bits;
     if (bits > max_message_bits) max_message_bits = bits;
   }
+
+  /// Folds another Metrics in: counters add, max_message_bits maxes.  Used
+  /// to merge per-shard round deltas (sim/sharding.hpp), where both
+  /// operations are merge-order independent — which is what makes sharded
+  /// totals equal the serial interleaving's.  Lives here so a new field
+  /// cannot be added without deciding how it merges (see the size guard
+  /// below).
+  void merge_from(const Metrics& other) noexcept {
+    rounds += other.rounds;
+    virtual_time += other.virtual_time;
+    pushes += other.pushes;
+    pull_requests += other.pull_requests;
+    pull_replies += other.pull_replies;
+    total_bits += other.total_bits;
+    if (other.max_message_bits > max_message_bits) {
+      max_message_bits = other.max_message_bits;
+    }
+    active_links += other.active_links;
+  }
 };
+
+// Bumping this on a layout change is the reminder to extend merge_from
+// (and the field-by-field comparisons in the equivalence tests) in the
+// same commit: a field missing from the merge silently vanishes from
+// sharded runs' totals.
+static_assert(sizeof(Metrics) == 8 * sizeof(std::uint64_t),
+              "Metrics changed: update Metrics::merge_from to cover every "
+              "field, then adjust this guard");
 
 }  // namespace rfc::sim

@@ -1,26 +1,149 @@
 // Message payloads exchanged over the simulated GOSSIP network.
 //
-// Payloads are immutable and shared: a push to k recipients or a reply served
-// to many pullers shares one allocation.  Every payload reports its size in
-// bits so the engine can account communication complexity exactly — this is
-// how the O(log^2 n) message-size and O(n log^3 n) total-communication claims
-// of the paper are measured rather than asserted.
+// Payload is a *value* type: a tagged union of
+//
+//   * empty           — "no message" (a silent pull reply, an idle action);
+//   * inline words    — up to three 64-bit words stored in place, covering
+//     every fixed-size message of the shipped protocols (rumor bits, votes,
+//     digests, election tuples) with zero heap traffic;
+//   * boxed object    — one immutable, shared heap object for the
+//     variable-size messages (certificates, vote intentions).  A push to k
+//     recipients or a reply served to many pullers shares one allocation,
+//     exactly like the former shared_ptr<const Payload> hierarchy, but the
+//     handle itself travels by value.
+//
+// This replaces the old virtual `Payload` class: the simulation hot path
+// (Action buffers, pull-reply scratch, per-message delivery) now moves
+// 48-byte values instead of allocating one control block per message, which
+// is what lifts the single-thread n ceiling of the engine.
+//
+// Every payload reports its size in bits so the engine can account
+// communication complexity exactly — this is how the O(log^2 n) message-size
+// and O(n log^3 n) total-communication claims of the paper are measured
+// rather than asserted.  The producing layer computes the bit size under the
+// paper's encoding model (values in [m] cost ceil(log2 m) bits, labels
+// ceil(log2 n)) and stamps it on the payload at construction.
+//
+// Tags.  A PayloadTag identifies the application-level message kind — what
+// dynamic_cast over payload subclasses used to do, now a 16-bit compare.
+// Each layer owns a tag range and, for boxed payloads, each tag maps to
+// exactly one C++ type (the contract behind `boxed_as`):
+//
+//   0x00        untagged / reserved (sim)
+//   0x10..0x1F  gossip   (gossip/rumor.hpp)
+//   0x20..0x2F  core     (core/payloads.hpp)
+//   0x30..0x3F  baseline (baseline/naive_election.cpp)
+//   0xF0..      tests
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
+#include <utility>
+#include <variant>
 
 namespace rfc::sim {
 
+/// Application-level message-kind discriminator (see the tag-range table
+/// above).  For boxed payloads a tag also pins the boxed C++ type.
+using PayloadTag = std::uint16_t;
+
+inline constexpr PayloadTag kUntaggedPayload = 0;
+
 class Payload {
  public:
-  virtual ~Payload() = default;
+  /// Words an inline payload can carry (the widest shipped message, the
+  /// naive-election (key, owner, color) tuple, needs three).
+  static constexpr std::size_t kInlineWords = 3;
+
+  /// Default-constructed payload is empty — the "no message" value.
+  Payload() = default;
+
+  bool empty() const noexcept {
+    return std::holds_alternative<std::monostate>(data_);
+  }
+  /// True when a message is present (mirrors the old `ptr != nullptr`).
+  bool has_value() const noexcept { return !empty(); }
+  explicit operator bool() const noexcept { return !empty(); }
 
   /// Size of this payload on the wire, in bits, under the paper's encoding
-  /// model (values in [m] cost ceil(log2 m) bits, labels cost ceil(log2 n)).
-  virtual std::uint64_t bit_size() const noexcept = 0;
-};
+  /// model; 0 when empty.
+  std::uint64_t bit_size() const noexcept {
+    if (const Inline* in = std::get_if<Inline>(&data_)) return in->bits;
+    if (const Boxed* bx = std::get_if<Boxed>(&data_)) return bx->bits;
+    return 0;
+  }
 
-using PayloadPtr = std::shared_ptr<const Payload>;
+  /// The message-kind tag; kUntaggedPayload when empty.
+  PayloadTag tag() const noexcept {
+    if (const Inline* in = std::get_if<Inline>(&data_)) return in->tag;
+    if (const Boxed* bx = std::get_if<Boxed>(&data_)) return bx->tag;
+    return kUntaggedPayload;
+  }
+
+  // --- Inline payloads ----------------------------------------------------
+
+  /// An allocation-free payload of up to kInlineWords 64-bit words.  Signed
+  /// fields round-trip via static_cast (two's complement).
+  static Payload inline_words(PayloadTag tag, std::uint64_t bits,
+                              std::uint64_t w0, std::uint64_t w1 = 0,
+                              std::uint64_t w2 = 0) noexcept {
+    Payload p;
+    p.data_.emplace<Inline>(Inline{{w0, w1, w2}, bits, tag});
+    return p;
+  }
+
+  /// Word `i` of an inline payload; 0 for boxed/empty payloads or i out of
+  /// range.  Callers gate on tag(), which pins the word layout.
+  std::uint64_t word(std::size_t i) const noexcept {
+    const Inline* in = std::get_if<Inline>(&data_);
+    return in != nullptr && i < kInlineWords ? in->words[i] : 0;
+  }
+
+  // --- Boxed payloads -----------------------------------------------------
+
+  /// Wraps an existing immutable shared object.  `tag` must be the unique
+  /// tag registered for type T.
+  template <typename T>
+  static Payload boxed(PayloadTag tag, std::uint64_t bits,
+                       std::shared_ptr<const T> object) noexcept {
+    Payload p;
+    p.data_.emplace<Boxed>(Boxed{std::move(object), bits, tag});
+    return p;
+  }
+
+  /// Constructs the boxed object in place (one allocation, shared by every
+  /// copy of the returned payload).
+  template <typename T, typename... Args>
+  static Payload make_boxed(PayloadTag tag, std::uint64_t bits,
+                            Args&&... args) {
+    return boxed<T>(tag, bits,
+                    std::make_shared<const T>(std::forward<Args>(args)...));
+  }
+
+  /// The boxed object, or null unless this payload is boxed AND carries
+  /// `expected_tag`.  Replaces dynamic_cast over payload subclasses; safe
+  /// because a tag maps to exactly one boxed type (see header comment).
+  template <typename T>
+  const T* boxed_as(PayloadTag expected_tag) const noexcept {
+    const Boxed* bx = std::get_if<Boxed>(&data_);
+    if (bx == nullptr || bx->tag != expected_tag) return nullptr;
+    return static_cast<const T*>(bx->object.get());
+  }
+
+ private:
+  struct Inline {
+    std::array<std::uint64_t, kInlineWords> words{};
+    std::uint64_t bits = 0;
+    PayloadTag tag = kUntaggedPayload;
+  };
+  struct Boxed {
+    std::shared_ptr<const void> object;
+    std::uint64_t bits = 0;
+    PayloadTag tag = kUntaggedPayload;
+  };
+
+  std::variant<std::monostate, Inline, Boxed> data_;
+};
 
 }  // namespace rfc::sim

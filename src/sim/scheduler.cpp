@@ -11,8 +11,11 @@ namespace rfc::sim {
 
 void Scheduler::attach(EngineCore& /*core*/) {}
 
+SynchronousScheduler::SynchronousScheduler(ShardingConfig sharding)
+    : executor_(sharding) {}
+
 double SynchronousScheduler::step(EngineCore& core) {
-  core.run_synchronous_round(nullptr);
+  executor_.run_round(core, nullptr);
   return 1.0;
 }
 
@@ -32,8 +35,9 @@ double SequentialScheduler::step(EngineCore& core) {
   return 1.0;
 }
 
-PartialAsyncScheduler::PartialAsyncScheduler(double wake_probability)
-    : p_(wake_probability) {
+PartialAsyncScheduler::PartialAsyncScheduler(double wake_probability,
+                                             ShardingConfig sharding)
+    : p_(wake_probability), executor_(sharding) {
   if (!(p_ >= 0.0 && p_ <= 1.0)) {
     throw std::invalid_argument(
         "PartialAsyncScheduler: wake probability must be in [0, 1]");
@@ -52,7 +56,7 @@ double PartialAsyncScheduler::step(EngineCore& core) {
   for (std::uint32_t i = 0; i < core.n(); ++i) {
     awake_[i] = rng_.bernoulli(p_);
   }
-  core.run_synchronous_round(&awake_);
+  executor_.run_round(core, &awake_);
   return 1.0;
 }
 
@@ -160,16 +164,17 @@ double PoissonClockScheduler::step(EngineCore& core) {
   return dt;
 }
 
-SchedulerPtr make_synchronous_scheduler() {
-  return std::make_unique<SynchronousScheduler>();
+SchedulerPtr make_synchronous_scheduler(ShardingConfig sharding) {
+  return std::make_unique<SynchronousScheduler>(sharding);
 }
 
 SchedulerPtr make_sequential_scheduler() {
   return std::make_unique<SequentialScheduler>();
 }
 
-SchedulerPtr make_partial_async_scheduler(double wake_probability) {
-  return std::make_unique<PartialAsyncScheduler>(wake_probability);
+SchedulerPtr make_partial_async_scheduler(double wake_probability,
+                                          ShardingConfig sharding) {
+  return std::make_unique<PartialAsyncScheduler>(wake_probability, sharding);
 }
 
 SchedulerPtr make_adversarial_scheduler(AdversarialConfig cfg) {

@@ -43,11 +43,10 @@
 #include <vector>
 
 #include "sim/agent.hpp"
+#include "sim/sharding.hpp"
 #include "support/rng.hpp"
 
 namespace rfc::sim {
-
-class EngineCore;
 
 class Scheduler {
  public:
@@ -71,10 +70,21 @@ class Scheduler {
 using SchedulerPtr = std::unique_ptr<Scheduler>;
 
 /// The paper's synchronous model: every active agent acts each round.
+/// With sharding.shards > 1 the phased round runs over label shards on a
+/// thread pool (sim/sharding.hpp), bit-identical to the serial round for
+/// every (shards, threads) — S=1 *is* the serial engine.
 class SynchronousScheduler final : public Scheduler {
  public:
+  explicit SynchronousScheduler(ShardingConfig sharding = {});
+
   const char* name() const noexcept override { return "synchronous"; }
+  const ShardingConfig& sharding() const noexcept {
+    return executor_.config();
+  }
   double step(EngineCore& core) override;
+
+ private:
+  ShardedRoundExecutor executor_;  ///< Delegates to the serial round at S=1.
 };
 
 /// One uniformly random active agent wakes per step (the sequential GOSSIP
@@ -97,16 +107,22 @@ class SequentialScheduler final : public Scheduler {
 };
 
 /// Each round wakes an independent Bernoulli(p) subset of the agents and
-/// runs a synchronous phased round over that subset.
+/// runs a synchronous phased round over that subset.  Accepts the same
+/// sharding configuration as SynchronousScheduler (the masked round shards
+/// identically).
 class PartialAsyncScheduler final : public Scheduler {
  public:
   static constexpr std::uint64_t kStream = 0x9A27u;
 
   /// `wake_probability` must lie in [0, 1].
-  explicit PartialAsyncScheduler(double wake_probability);
+  explicit PartialAsyncScheduler(double wake_probability,
+                                 ShardingConfig sharding = {});
 
   const char* name() const noexcept override { return "partial-async"; }
   double wake_probability() const noexcept { return p_; }
+  const ShardingConfig& sharding() const noexcept {
+    return executor_.config();
+  }
   void attach(EngineCore& core) override;
   double step(EngineCore& core) override;
 
@@ -114,6 +130,7 @@ class PartialAsyncScheduler final : public Scheduler {
   double p_;
   rfc::support::Xoshiro256 rng_{0};
   std::vector<bool> awake_;  ///< Scratch mask reused across rounds.
+  ShardedRoundExecutor executor_;  ///< Delegates to the serial round at S=1.
 };
 
 struct AdversarialConfig {
@@ -189,9 +206,10 @@ class PoissonClockScheduler final : public Scheduler {
   bool active_built_ = false;
 };
 
-SchedulerPtr make_synchronous_scheduler();
+SchedulerPtr make_synchronous_scheduler(ShardingConfig sharding = {});
 SchedulerPtr make_sequential_scheduler();
-SchedulerPtr make_partial_async_scheduler(double wake_probability);
+SchedulerPtr make_partial_async_scheduler(double wake_probability,
+                                          ShardingConfig sharding = {});
 SchedulerPtr make_adversarial_scheduler(AdversarialConfig cfg = {});
 SchedulerPtr make_poisson_clock_scheduler(double rate = 1.0);
 

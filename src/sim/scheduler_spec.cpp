@@ -22,13 +22,34 @@ std::uint64_t activation_steps(std::uint32_t n, const SchedulerSpec&) {
 
 std::uint64_t round_steps(std::uint32_t, const SchedulerSpec&) { return 1; }
 
+/// Shared shards=/threads= parameters of the round-based policies.
+ShardingConfig sharding_from(const SchedulerSpec& spec) {
+  ShardingConfig cfg;
+  const std::uint64_t shards = spec.param_uint("shards", 1);
+  if (shards == 0 || shards > 0xFFFFFFFFull) {
+    throw std::invalid_argument("SchedulerSpec: " + spec.policy() +
+                                ":shards must be a positive 32-bit count");
+  }
+  cfg.shards = static_cast<std::uint32_t>(shards);
+  const std::uint64_t threads = spec.param_uint("threads", 0);
+  if (threads > 0xFFFFFFFFull) {
+    throw std::invalid_argument("SchedulerSpec: " + spec.policy() +
+                                ":threads must be a 32-bit count");
+  }
+  cfg.threads = static_cast<std::uint32_t>(threads);
+  return cfg;
+}
+
 Registry make_builtin_registry() {
   Registry reg;
   reg["synchronous"] = {
-      [](const SchedulerSpec&) { return make_synchronous_scheduler(); },
+      [](const SchedulerSpec& spec) {
+        return make_synchronous_scheduler(sharding_from(spec));
+      },
       round_steps,
-      {},
-      "the paper's lock-step rounds (default)"};
+      {"shards", "threads"},
+      "the paper's lock-step rounds (default; shards=S,threads=T to "
+      "parallelize the round, bit-identical for any S/T)"};
   reg["sequential"] = {
       [](const SchedulerSpec&) { return make_sequential_scheduler(); },
       activation_steps,
@@ -37,7 +58,8 @@ Registry make_builtin_registry() {
       /*activation_based=*/true};
   reg["partial-async"] = {
       [](const SchedulerSpec& spec) {
-        return make_partial_async_scheduler(spec.param_double("p", 0.5));
+        return make_partial_async_scheduler(spec.param_double("p", 0.5),
+                                            sharding_from(spec));
       },
       [](std::uint32_t n, const SchedulerSpec& spec) -> std::uint64_t {
         const double p = spec.param_double("p", 0.5);
@@ -45,7 +67,7 @@ Registry make_builtin_registry() {
         if (p <= 0.0) return std::max<std::uint32_t>(n, 1);
         return static_cast<std::uint64_t>(std::ceil(1.0 / p));
       },
-      {"p"},
+      {"p", "shards", "threads"},
       "each round wakes an independent Bernoulli(p) subset (p=0.5)"};
   reg["adversarial"] = {
       [](const SchedulerSpec& spec) {
@@ -248,6 +270,17 @@ std::vector<AgentId> SchedulerSpec::param_agent_list(
 }
 
 SchedulerSpec SchedulerSpec::synchronous() { return SchedulerSpec(); }
+
+SchedulerSpec SchedulerSpec::synchronous(const ShardingConfig& sharding) {
+  Params params;
+  if (sharding.shards > 1) {
+    params["shards"] = std::to_string(sharding.shards);
+    if (sharding.threads != 0) {
+      params["threads"] = std::to_string(sharding.threads);
+    }
+  }
+  return SchedulerSpec("synchronous", std::move(params));
+}
 
 SchedulerSpec SchedulerSpec::sequential() {
   return SchedulerSpec("sequential", {});

@@ -86,6 +86,9 @@ class SchedulerSpec {
 
   // --- Named constructors for the shipped policies. ---
   static SchedulerSpec synchronous();
+  /// Sharded synchronous rounds (sim/sharding.hpp): shards=1 collapses to
+  /// the plain spec, so one call site covers serial and parallel runs.
+  static SchedulerSpec synchronous(const ShardingConfig& sharding);
   static SchedulerSpec sequential();
   static SchedulerSpec partial_async(double wake_probability);
   static SchedulerSpec adversarial(const AdversarialConfig& cfg);

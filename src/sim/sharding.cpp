@@ -1,0 +1,170 @@
+#include "sim/sharding.hpp"
+
+#include <cassert>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/engine_core.hpp"
+#include "support/thread_pool.hpp"
+
+namespace rfc::sim {
+
+ShardedRoundExecutor::ShardedRoundExecutor(ShardingConfig cfg) : cfg_(cfg) {
+  if (cfg_.shards == 0) {
+    throw std::invalid_argument(
+        "ShardedRoundExecutor: shards must be positive");
+  }
+}
+
+ShardedRoundExecutor::~ShardedRoundExecutor() = default;
+
+void ShardedRoundExecutor::bind(EngineCore& core) {
+  if (bound_n_ == core.n()) return;
+  bound_n_ = core.n();
+  // More shards than labels would only add empty tasks.
+  shards_ = cfg_.shards < bound_n_ ? cfg_.shards : bound_n_;
+  shard_begin_.resize(shards_ + 1);
+  for (std::uint32_t s = 0; s <= shards_; ++s) {
+    shard_begin_[s] = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(bound_n_) * s / shards_);
+  }
+  shard_of_.resize(bound_n_);
+  for (std::uint32_t s = 0; s < shards_; ++s) {
+    for (std::uint32_t i = shard_begin_[s]; i < shard_begin_[s + 1]; ++i) {
+      shard_of_[i] = s;
+    }
+  }
+  shard_metrics_.assign(shards_, Metrics{});
+  pull_queues_.assign(static_cast<std::size_t>(shards_) * shards_, {});
+  push_queues_.assign(static_cast<std::size_t>(shards_) * shards_, {});
+  if (pool_ == nullptr && shards_ > 1) {
+    pool_ = std::make_unique<rfc::support::ThreadPool>(cfg_.threads);
+  }
+}
+
+void ShardedRoundExecutor::parallel_phase(
+    const std::function<void(std::uint32_t)>& fn) {
+  // An exception from an agent callback must reach the caller exactly as
+  // on the serial path (where it unwinds out of Engine::step), not
+  // std::terminate the process from a pool worker.  First one wins; the
+  // round's state is partially applied either way, as with serial throws.
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  for (std::uint32_t s = 0; s < shards_; ++s) {
+    pool_->submit([&, s] {
+      try {
+        fn(s);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error == nullptr) first_error = std::current_exception();
+      }
+    });
+  }
+  pool_->wait_idle();  // Barrier: phases never overlap.
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+void ShardedRoundExecutor::run_round(EngineCore& core,
+                                     const std::vector<bool>* awake_mask) {
+  // Degenerate cases are exactly the serial engine: an unsharded config
+  // never even binds (the default scheduler pays nothing for owning an
+  // executor), and a shard count the label space cannot fill collapses
+  // after bind().
+  if (cfg_.shards <= 1) {
+    core.run_synchronous_round(awake_mask);
+    return;
+  }
+  core.ensure_started();
+  bind(core);
+  if (shards_ <= 1) {
+    core.run_synchronous_round(awake_mask);
+    return;
+  }
+  const std::uint32_t S = shards_;
+  for (Metrics& m : shard_metrics_) m = Metrics{};
+  for (auto& q : pull_queues_) q.clear();
+  for (auto& q : push_queues_) q.clear();
+
+  // Phase A: collect each awake agent's single active operation (by
+  // self-shard) and route it to its destination shard.
+  parallel_phase([&](std::uint32_t s) {
+    Metrics& m = shard_metrics_[s];
+    for (std::uint32_t i = shard_begin_[s]; i < shard_begin_[s + 1]; ++i) {
+      if (core.faulty_[i] || core.agents_[i]->done() ||
+          (awake_mask != nullptr && !(*awake_mask)[i])) {
+        core.actions_[i] = Action::idle();
+        continue;
+      }
+      core.actions_[i] = core.agents_[i]->on_round(core.make_context(i));
+      const Action& a = core.actions_[i];
+      if (a.kind == ActionKind::kIdle) continue;
+      assert(a.target < core.n_);
+      ++m.active_links;
+      if (a.kind == ActionKind::kPull) {
+        // The request header is charged at the requester, as in phase B of
+        // the serial round (sums are merge-order independent).
+        core.charge_pull_request(m);
+        pull_queues_[static_cast<std::size_t>(s) * S + shard_of_[a.target]]
+            .push_back(PullItem{i, a.target});
+      } else {
+        push_queues_[static_cast<std::size_t>(s) * S + shard_of_[a.target]]
+            .push_back(i);
+      }
+    }
+  });
+
+  // Empty phases are skipped, as in the serial round.
+  bool any_pull = false;
+  bool any_push = false;
+  for (const auto& q : pull_queues_) any_pull = any_pull || !q.empty();
+  for (const auto& q : push_queues_) any_push = any_push || !q.empty();
+
+  // Phase B: serve pulls from round-start state, by server-shard.  Queues
+  // drain in source-shard order; contiguous shards make that the global
+  // requester-label order per server.
+  if (any_pull) parallel_phase([&](std::uint32_t d) {
+    Metrics& m = shard_metrics_[d];
+    for (std::uint32_t s = 0; s < S; ++s) {
+      for (const PullItem& item :
+           pull_queues_[static_cast<std::size_t>(s) * S + d]) {
+        // Each requester pulls at most once per round, so this slot is
+        // written by exactly one shard.
+        core.pull_replies_[item.requester] =
+            core.serve_and_charge_pull(item.server, item.requester, m);
+      }
+    }
+  });
+
+  // Phase C: deliver pull replies in puller-label order, by puller-shard.
+  if (any_pull) parallel_phase([&](std::uint32_t s) {
+    for (std::uint32_t i = shard_begin_[s]; i < shard_begin_[s + 1]; ++i) {
+      const Action& a = core.actions_[i];
+      if (a.kind != ActionKind::kPull) continue;
+      core.agents_[i]->on_pull_reply(core.make_context(i), a.target,
+                                     core.pull_replies_[i]);
+      core.pull_replies_[i] = {};
+    }
+  });
+
+  // Phase D: deliver pushes by target-shard; the source-shard merge yields
+  // global sender-label order at every receiver.
+  if (any_push) parallel_phase([&](std::uint32_t d) {
+    Metrics& m = shard_metrics_[d];
+    for (std::uint32_t s = 0; s < S; ++s) {
+      for (const AgentId sender :
+           push_queues_[static_cast<std::size_t>(s) * S + d]) {
+        core.execute_push(sender, core.actions_[sender], m);
+      }
+    }
+  });
+
+  // Shard deltas carry no rounds/virtual_time (the scheduler owns those),
+  // so the general merge is exact here.
+  for (const Metrics& m : shard_metrics_) core.metrics_.merge_from(m);
+  ++core.time_;
+  core.metrics_.rounds = core.time_;
+}
+
+}  // namespace rfc::sim

@@ -88,26 +88,44 @@ TEST(Certificate, BitSizeGrowsWithVotes) {
 TEST(CertificatePayload, ReportsCertificateSize) {
   const auto p = params();
   const Certificate ce = make_certificate(p, 1, 0, {{2, 0, 10}});
-  const CertificatePayload payload(ce, p);
+  const sim::Payload payload = make_certificate_payload(ce, p);
   EXPECT_EQ(payload.bit_size(), ce.bit_size(p));
-  EXPECT_EQ(payload.certificate(), ce);
+  ASSERT_NE(certificate_in(payload), nullptr);
+  EXPECT_EQ(*certificate_in(payload), ce);
 }
 
 TEST(IntentionPayload, SizeIsPerEntry) {
   const auto p = params();
   VoteIntention h(p.q, {1, 2});
-  const IntentionPayload payload(h, p);
+  const sim::Payload payload = make_intention_payload(h, p);
   EXPECT_EQ(payload.bit_size(),
             static_cast<std::uint64_t>(p.q) *
                 (p.value_bits() + p.label_bits()));
-  EXPECT_EQ(payload.intention().size(), p.q);
+  ASSERT_NE(intention_in(payload), nullptr);
+  EXPECT_EQ(intention_in(payload)->size(), p.q);
 }
 
 TEST(VotePayload, SizeIsValueWidth) {
   const auto p = params();
-  const VotePayload payload(123, p);
+  const sim::Payload payload = make_vote_payload(123, p);
   EXPECT_EQ(payload.bit_size(), p.value_bits());
-  EXPECT_EQ(payload.value(), 123u);
+  ASSERT_TRUE(is_vote(payload));
+  EXPECT_EQ(vote_value_in(payload), 123u);
+}
+
+TEST(Payload, TagMismatchYieldsNull) {
+  const auto p = params();
+  // A boxed accessor refuses payloads of any other kind — the typed-access
+  // contract that replaced dynamic_cast.
+  const sim::Payload vote = make_vote_payload(1, p);
+  EXPECT_EQ(certificate_in(vote), nullptr);
+  EXPECT_EQ(intention_in(vote), nullptr);
+  const sim::Payload cert =
+      make_certificate_payload(make_certificate(p, 1, 0, {}), p);
+  EXPECT_EQ(intention_in(cert), nullptr);
+  EXPECT_FALSE(is_vote(cert));
+  EXPECT_EQ(sim::Payload{}.bit_size(), 0u);
+  EXPECT_TRUE(sim::Payload{}.empty());
 }
 
 }  // namespace

@@ -11,14 +11,11 @@
 namespace rfc::sim {
 namespace {
 
-class ChaosPayload final : public Payload {
- public:
-  explicit ChaosPayload(std::uint64_t bits) : bits_(bits) {}
-  std::uint64_t bit_size() const noexcept override { return bits_; }
+constexpr PayloadTag kChaosTag = 0xF1;
 
- private:
-  std::uint64_t bits_;
-};
+Payload chaos_payload(std::uint64_t bits) {
+  return Payload::inline_words(kChaosTag, bits, /*w0=*/0);
+}
 
 /// Acts uniformly at random each round: idle / push / pull, random targets
 /// (possibly self), random payload sizes, randomly refuses to serve pulls,
@@ -32,18 +29,17 @@ class ChaosAgent final : public Agent {
       case 1:
         return Action::push(ctx.random_peer(),
                             ctx.rng->bernoulli(0.2)
-                                ? nullptr  // Even null payloads.
-                                : std::make_shared<ChaosPayload>(
-                                      ctx.rng->below(512)));
+                                ? Payload{}  // Even empty payloads.
+                                : chaos_payload(ctx.rng->below(512)));
       default: return Action::pull(ctx.random_peer());
     }
   }
-  PayloadPtr serve_pull(const Context& ctx, AgentId) override {
-    if (ctx.rng->bernoulli(0.3)) return nullptr;
-    return std::make_shared<ChaosPayload>(ctx.rng->below(256));
+  Payload serve_pull(const Context& ctx, AgentId) override {
+    if (ctx.rng->bernoulli(0.3)) return {};
+    return chaos_payload(ctx.rng->below(256));
   }
-  void on_pull_reply(const Context&, AgentId, PayloadPtr) override {}
-  void on_push(const Context&, AgentId, PayloadPtr) override {}
+  void on_pull_reply(const Context&, AgentId, const Payload&) override {}
+  void on_push(const Context&, AgentId, const Payload&) override {}
   bool done() const override { return done_; }
 
  private:

@@ -10,16 +10,11 @@
 namespace rfc::sim {
 namespace {
 
-class NumberPayload final : public Payload {
- public:
-  explicit NumberPayload(std::uint64_t v, std::uint64_t bits = 32)
-      : value(v), bits_(bits) {}
-  std::uint64_t value;
-  std::uint64_t bit_size() const noexcept override { return bits_; }
+constexpr PayloadTag kNumberTag = 0xF0;
 
- private:
-  std::uint64_t bits_;
-};
+Payload number_payload(std::uint64_t v, std::uint64_t bits = 32) {
+  return Payload::inline_words(kNumberTag, bits, v);
+}
 
 /// Scripted agent: performs a fixed list of actions, records every event.
 class ScriptedAgent final : public Agent {
@@ -35,21 +30,18 @@ class ScriptedAgent final : public Agent {
     if (ctx.round < script.size()) return script[ctx.round];
     return Action::idle();
   }
-  PayloadPtr serve_pull(const Context&, AgentId requester) override {
+  Payload serve_pull(const Context&, AgentId requester) override {
     pull_requesters_seen.push_back(requester);
-    return std::make_shared<NumberPayload>(counter_value);
+    return number_payload(counter_value);
   }
   void on_pull_reply(const Context&, AgentId target,
-                     PayloadPtr reply) override {
-    pull_replies_seen.emplace_back(target, reply != nullptr);
-    if (reply != nullptr) {
-      counter_value =
-          static_cast<const NumberPayload&>(*reply).value + 100;
-    }
+                     const Payload& reply) override {
+    pull_replies_seen.emplace_back(target, !reply.empty());
+    if (!reply.empty()) counter_value = reply.word(0) + 100;
   }
-  void on_push(const Context&, AgentId sender, PayloadPtr payload) override {
-    pushes_seen.emplace_back(
-        sender, static_cast<const NumberPayload&>(*payload).value);
+  void on_push(const Context&, AgentId sender,
+               const Payload& payload) override {
+    pushes_seen.emplace_back(sender, payload.word(0));
   }
   bool done() const override { return is_done; }
 };
@@ -69,7 +61,7 @@ TEST(Engine, PushIsDeliveredSameRound) {
   Engine engine({2, 1});
   auto* a = install(engine, 0);
   auto* b = install(engine, 1);
-  a->script = {Action::push(1, std::make_shared<NumberPayload>(7))};
+  a->script = {Action::push(1, number_payload(7))};
   engine.step();
   ASSERT_EQ(b->pushes_seen.size(), 1u);
   EXPECT_EQ(b->pushes_seen[0], (std::pair<AgentId, std::uint64_t>{0, 7}));
@@ -112,8 +104,7 @@ TEST(Engine, FaultyAgentsAreSilentAndReceiveNothing) {
   auto* a = install(engine, 0);
   auto* b = install(engine, 1);
   engine.set_faulty(1);
-  a->script = {Action::pull(1),
-               Action::push(1, std::make_shared<NumberPayload>(3))};
+  a->script = {Action::pull(1), Action::push(1, number_payload(3))};
   engine.step();
   ASSERT_EQ(a->pull_replies_seen.size(), 1u);
   EXPECT_FALSE(a->pull_replies_seen[0].second);  // Silence.
@@ -149,8 +140,7 @@ TEST(Engine, MessageAccountingExact) {
   Engine engine({2, 1});
   auto* a = install(engine, 0);
   install(engine, 1);
-  a->script = {Action::push(1, std::make_shared<NumberPayload>(1, 128)),
-               Action::pull(1)};
+  a->script = {Action::push(1, number_payload(1, 128)), Action::pull(1)};
   engine.step();
   EXPECT_EQ(engine.metrics().pushes, 1u);
   EXPECT_EQ(engine.metrics().total_bits, 128u);

@@ -181,7 +181,7 @@ TEST(ProtocolAgent, ServesNothingOutsideProtocolPhases) {
   ctx.round = w.params.q + 1;  // Voting.
   rfc::support::Xoshiro256 rng(1);
   ctx.rng = &rng;
-  EXPECT_EQ(w.agents[0]->serve_pull(ctx, 5), nullptr);
+  EXPECT_TRUE(w.agents[0]->serve_pull(ctx, 5).empty());
 }
 
 TEST(ProtocolAgent, DoneAgentIsQuiescent) {
@@ -194,7 +194,7 @@ TEST(ProtocolAgent, DoneAgentIsQuiescent) {
   ctx.round = 0;  // Even a Commitment-phase pull gets silence now.
   rfc::support::Xoshiro256 rng(1);
   ctx.rng = &rng;
-  EXPECT_EQ(w.agents[0]->serve_pull(ctx, 3), nullptr);
+  EXPECT_TRUE(w.agents[0]->serve_pull(ctx, 3).empty());
   EXPECT_EQ(w.agents[0]->on_round(ctx).kind, sim::ActionKind::kIdle);
 }
 

@@ -71,17 +71,17 @@ class LegacySyncEngine {
       if (actions_[i].kind != ActionKind::kIdle) ++metrics_.active_links;
     }
     for (std::uint32_t i = 0; i < n_; ++i) {
-      pull_replies_[i] = nullptr;
+      pull_replies_[i] = {};
       const Action& a = actions_[i];
       if (a.kind != ActionKind::kPull) continue;
       ++metrics_.pull_requests;
       metrics_.note_message(rfc::support::bit_width_for_domain(n_));
       const AgentId v = a.target;
       if (faulty_[v]) continue;
-      PayloadPtr reply = agents_[v]->serve_pull(make_context(v), i);
-      if (reply != nullptr) {
+      Payload reply = agents_[v]->serve_pull(make_context(v), i);
+      if (!reply.empty()) {
         ++metrics_.pull_replies;
-        metrics_.note_message(reply->bit_size());
+        metrics_.note_message(reply.bit_size());
         pull_replies_[i] = std::move(reply);
       }
     }
@@ -89,13 +89,13 @@ class LegacySyncEngine {
       const Action& a = actions_[i];
       if (a.kind != ActionKind::kPull) continue;
       agents_[i]->on_pull_reply(make_context(i), a.target, pull_replies_[i]);
-      pull_replies_[i] = nullptr;
+      pull_replies_[i] = {};
     }
     for (std::uint32_t i = 0; i < n_; ++i) {
       const Action& a = actions_[i];
       if (a.kind != ActionKind::kPush) continue;
       ++metrics_.pushes;
-      metrics_.note_message(a.payload != nullptr ? a.payload->bit_size() : 0);
+      metrics_.note_message(a.payload.bit_size());
       const AgentId v = a.target;
       if (!faulty_[v]) agents_[v]->on_push(make_context(v), i, a.payload);
     }
@@ -124,7 +124,7 @@ class LegacySyncEngine {
   bool started_ = false;
   Metrics metrics_;
   std::vector<Action> actions_;
-  std::vector<PayloadPtr> pull_replies_;
+  std::vector<Payload> pull_replies_;
 };
 
 // --------------------------------------------------------------------------
@@ -179,21 +179,19 @@ class LegacySequentialEngine {
         ++metrics_.pull_requests;
         metrics_.note_message(rfc::support::bit_width_for_domain(n_));
         const AgentId v = action.target;
-        PayloadPtr reply;
+        Payload reply;
         if (!faulty_[v]) reply = agents_[v]->serve_pull(make_context(v), u);
-        if (reply != nullptr) {
+        if (!reply.empty()) {
           ++metrics_.pull_replies;
-          metrics_.note_message(reply->bit_size());
+          metrics_.note_message(reply.bit_size());
         }
-        agents_[u]->on_pull_reply(make_context(u), action.target,
-                                  std::move(reply));
+        agents_[u]->on_pull_reply(make_context(u), action.target, reply);
         return;
       }
       case ActionKind::kPush: {
         ++metrics_.active_links;
         ++metrics_.pushes;
-        metrics_.note_message(
-            action.payload != nullptr ? action.payload->bit_size() : 0);
+        metrics_.note_message(action.payload.bit_size());
         const AgentId v = action.target;
         if (!faulty_[v]) agents_[v]->on_push(make_context(v), u, action.payload);
         return;

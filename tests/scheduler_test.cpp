@@ -40,7 +40,7 @@ class CountingAgent final : public Agent {
     if (trace_ != nullptr) trace_->push_back(ctx.self);
     return Action::idle();
   }
-  PayloadPtr serve_pull(const Context&, AgentId) override { return nullptr; }
+  Payload serve_pull(const Context&, AgentId) override { return {}; }
   bool done() const override { return false; }
 
  private:

@@ -1,0 +1,220 @@
+// Byte-identical equivalence of the sharded synchronous round with the
+// serial engine, for every tested (shards, threads) combination.
+//
+// The sharded EngineCore path (sim/sharding.hpp) promises bit-identical
+// metrics and agent state for ANY shard count and ANY thread count —
+// including shards that do not divide n, shards exceeding n, and more
+// threads than cores.  These tests pin that promise over the two workloads
+// the acceptance bar names: epidemic rumor spreading and Protocol P, each
+// compared field-by-field against the unsharded engine (S ∈ {1, 2, 7, 64}
+// × threads ∈ {1, 4}), plus the masked round of PartialAsyncScheduler.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "gossip/rumor.hpp"
+#include "sim/engine.hpp"
+#include "sim/fault_model.hpp"
+#include "sim/scheduler_spec.hpp"
+
+namespace rfc::sim {
+namespace {
+
+struct ShardCase {
+  std::uint32_t shards;
+  std::uint32_t threads;
+};
+
+const std::vector<ShardCase>& shard_cases() {
+  // 2 divides the test sizes, 7 does not, 64 equals/exceeds some of them;
+  // 4 threads oversubscribe a small CI box on purpose — scheduling order
+  // must not matter.
+  static const std::vector<ShardCase> kCases = {
+      {1, 1}, {1, 4}, {2, 1}, {2, 4}, {7, 1}, {7, 4}, {64, 1}, {64, 4}};
+  return kCases;
+}
+
+std::string case_name(const ShardCase& c) {
+  return "shards=" + std::to_string(c.shards) +
+         ",threads=" + std::to_string(c.threads);
+}
+
+SchedulerSpec sharded_spec(const ShardCase& c) {
+  return SchedulerSpec::parse("synchronous:" + case_name(c));
+}
+
+void expect_metrics_identical(const Metrics& a, const Metrics& b,
+                              const std::string& label) {
+  EXPECT_EQ(a.rounds, b.rounds) << label;
+  EXPECT_EQ(a.virtual_time, b.virtual_time) << label;
+  EXPECT_EQ(a.pushes, b.pushes) << label;
+  EXPECT_EQ(a.pull_requests, b.pull_requests) << label;
+  EXPECT_EQ(a.pull_replies, b.pull_replies) << label;
+  EXPECT_EQ(a.total_bits, b.total_bits) << label;
+  EXPECT_EQ(a.max_message_bits, b.max_message_bits) << label;
+  EXPECT_EQ(a.active_links, b.active_links) << label;
+}
+
+// --------------------------------------------------------------------------
+// Rumor spreading: full run via the public entry point, plus a
+// direct engine drive comparing per-agent final state.
+// --------------------------------------------------------------------------
+
+gossip::SpreadResult run_spread(const SchedulerSpec& spec) {
+  gossip::SpreadConfig cfg;
+  cfg.n = 96;
+  cfg.mechanism = gossip::Mechanism::kPushPull;
+  cfg.seed = 20260726;
+  cfg.num_faulty = 24;
+  cfg.placement = FaultPlacement::kRandom;
+  cfg.scheduler = spec;
+  return gossip::run_rumor_spreading(cfg);
+}
+
+TEST(ShardedEquivalence, RumorSpreadingIdenticalAcrossShardsAndThreads) {
+  const gossip::SpreadResult base = run_spread(SchedulerSpec::synchronous());
+  ASSERT_TRUE(base.complete);
+  for (const ShardCase& c : shard_cases()) {
+    const gossip::SpreadResult sharded = run_spread(sharded_spec(c));
+    EXPECT_EQ(base.complete, sharded.complete) << case_name(c);
+    EXPECT_EQ(base.rounds, sharded.rounds) << case_name(c);
+    EXPECT_EQ(base.virtual_time, sharded.virtual_time) << case_name(c);
+    expect_metrics_identical(base.metrics, sharded.metrics, case_name(c));
+  }
+}
+
+TEST(ShardedEquivalence, RumorAgentStateIdenticalMidRun) {
+  // Drive engines a fixed number of rounds (mid-spread, where per-round
+  // deliveries are dense) and compare every agent's informed flag plus the
+  // metric trace after every round.
+  const std::uint32_t n = 96;
+  const std::uint64_t kRounds = 8;
+  const auto build = [n](SchedulerPtr scheduler) {
+    auto engine =
+        std::make_unique<Engine>(EngineConfig{n, 77, nullptr,
+                                              std::move(scheduler)});
+    for (std::uint32_t i = 0; i < n; ++i) {
+      engine->set_agent(i, std::make_unique<gossip::RumorAgent>(
+                               gossip::Mechanism::kPushPull, i == 0, 64));
+    }
+    return engine;
+  };
+  const auto base = build(make_synchronous_scheduler());
+  for (const ShardCase& c : shard_cases()) {
+    const auto sharded = build(sharded_spec(c).make());
+    for (std::uint64_t r = 0; r < kRounds; ++r) sharded->step();
+    while (base->round() < sharded->round()) base->step();
+    expect_metrics_identical(base->metrics(), sharded->metrics(),
+                             case_name(c));
+    for (std::uint32_t i = 0; i < n; ++i) {
+      EXPECT_EQ(
+          static_cast<const gossip::RumorAgent&>(base->agent(i)).informed(),
+          static_cast<const gossip::RumorAgent&>(sharded->agent(i))
+              .informed())
+          << case_name(c) << " agent " << i;
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Protocol P: full consensus runs through core::run_protocol, comparing the
+// outcome, the good-execution events, and per-agent decisions.
+// --------------------------------------------------------------------------
+
+core::RunResult run_p(const SchedulerSpec& spec, std::uint32_t num_faulty) {
+  core::RunConfig cfg;
+  cfg.n = 48;
+  cfg.gamma = 3.0;
+  cfg.seed = 987654321;
+  cfg.num_faulty = num_faulty;
+  cfg.placement =
+      num_faulty > 0 ? FaultPlacement::kRandom : FaultPlacement::kNone;
+  cfg.scheduler = spec;
+  return core::run_protocol(cfg);
+}
+
+void expect_run_identical(const core::RunResult& a, const core::RunResult& b,
+                          const std::string& label) {
+  EXPECT_EQ(a.winner, b.winner) << label;
+  EXPECT_EQ(a.winner_agent, b.winner_agent) << label;
+  EXPECT_EQ(a.rounds, b.rounds) << label;
+  EXPECT_EQ(a.num_active, b.num_active) << label;
+  EXPECT_EQ(a.honest_failures, b.honest_failures) << label;
+  EXPECT_EQ(a.max_local_memory_bits, b.max_local_memory_bits) << label;
+  expect_metrics_identical(a.metrics, b.metrics, label);
+  EXPECT_EQ(a.events.min_votes, b.events.min_votes) << label;
+  EXPECT_EQ(a.events.max_votes, b.events.max_votes) << label;
+  EXPECT_EQ(a.events.k_values_distinct, b.events.k_values_distinct) << label;
+  EXPECT_EQ(a.events.find_min_agreement, b.events.find_min_agreement)
+      << label;
+  EXPECT_EQ(a.events.every_agent_audited, b.events.every_agent_audited)
+      << label;
+  EXPECT_EQ(a.events.every_agent_cleanly_voted,
+            b.events.every_agent_cleanly_voted)
+      << label;
+  EXPECT_EQ(a.active_colors, b.active_colors) << label;
+}
+
+TEST(ShardedEquivalence, ProtocolPIdenticalAcrossShardsAndThreads) {
+  const core::RunResult base = run_p(SchedulerSpec::synchronous(), 0);
+  EXPECT_NE(base.winner, core::kNoColor);
+  for (const ShardCase& c : shard_cases()) {
+    expect_run_identical(base, run_p(sharded_spec(c), 0), case_name(c));
+  }
+}
+
+TEST(ShardedEquivalence, ProtocolPWithFaultsIdentical) {
+  const core::RunResult base = run_p(SchedulerSpec::synchronous(), 12);
+  for (const ShardCase& c : shard_cases()) {
+    expect_run_identical(base, run_p(sharded_spec(c), 12), case_name(c));
+  }
+}
+
+// --------------------------------------------------------------------------
+// The masked round (PartialAsyncScheduler) shards identically too.
+// --------------------------------------------------------------------------
+
+TEST(ShardedEquivalence, PartialAsyncMaskedRoundIdentical) {
+  const auto run = [](const std::string& spec_text) {
+    gossip::SpreadConfig cfg;
+    cfg.n = 80;
+    cfg.mechanism = gossip::Mechanism::kPushPull;
+    cfg.seed = 4242;
+    cfg.scheduler = SchedulerSpec::parse(spec_text);
+    return gossip::run_rumor_spreading(cfg);
+  };
+  const gossip::SpreadResult base = run("partial-async:p=0.4");
+  for (const ShardCase& c : shard_cases()) {
+    const gossip::SpreadResult sharded =
+        run("partial-async:p=0.4," + case_name(c));
+    EXPECT_EQ(base.complete, sharded.complete) << case_name(c);
+    EXPECT_EQ(base.rounds, sharded.rounds) << case_name(c);
+    expect_metrics_identical(base.metrics, sharded.metrics, case_name(c));
+  }
+}
+
+// --------------------------------------------------------------------------
+// Spec plumbing: round-trip and validation of the sharding parameters.
+// --------------------------------------------------------------------------
+
+TEST(ShardedEquivalence, SpecRoundTripAndValidation) {
+  const SchedulerSpec spec =
+      SchedulerSpec::synchronous(ShardingConfig{8, 4});
+  EXPECT_EQ(spec.to_string(), "synchronous:shards=8,threads=4");
+  EXPECT_EQ(SchedulerSpec::parse(spec.to_string()), spec);
+  // shards=1 collapses to the canonical plain spec.
+  EXPECT_EQ(SchedulerSpec::synchronous(ShardingConfig{1, 4}).to_string(),
+            "synchronous");
+  EXPECT_THROW(SchedulerSpec::parse("synchronous:shards=0").make(),
+               std::invalid_argument);
+  // Activation-based policies have no sharded round.
+  EXPECT_THROW(SchedulerSpec::parse("sequential:shards=4").make(),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rfc::sim

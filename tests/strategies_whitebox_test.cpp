@@ -49,7 +49,7 @@ TEST(PlayDeadWhitebox, SilentInCommitmentButVotes) {
   PlayDeadAgent agent(h.params, 1, h.coalition);
   agent.on_start(h.ctx(3));
   // Commitment pull gets silence.
-  EXPECT_EQ(agent.serve_pull(h.ctx(3, 0), 9), nullptr);
+  EXPECT_TRUE(agent.serve_pull(h.ctx(3, 0), 9).empty());
   // Yet the voting action is a real push at the beneficiary.
   const sim::Action a = agent.on_round(h.ctx(3, h.params.q));
   EXPECT_EQ(a.kind, sim::ActionKind::kPush);
@@ -62,12 +62,10 @@ TEST(EquivocateWhitebox, FreshLiePerAuditor) {
   agent.on_start(h.ctx(2));
   const auto r1 = agent.serve_pull(h.ctx(2, 0), 10);
   const auto r2 = agent.serve_pull(h.ctx(2, 0), 11);
-  ASSERT_NE(r1, nullptr);
-  ASSERT_NE(r2, nullptr);
-  const auto& h1 =
-      static_cast<const core::IntentionPayload&>(*r1).intention();
-  const auto& h2 =
-      static_cast<const core::IntentionPayload&>(*r2).intention();
+  ASSERT_NE(core::intention_in(r1), nullptr);
+  ASSERT_NE(core::intention_in(r2), nullptr);
+  const auto& h1 = *core::intention_in(r1);
+  const auto& h2 = *core::intention_in(r2);
   EXPECT_NE(h1, h2);  // Two lies; collision probability ~0.
   EXPECT_NE(h1, agent.intention());  // And neither matches the real plan.
 }
@@ -121,7 +119,7 @@ TEST(VoteDropWhitebox, DropsVotesToMinimizeKey) {
   const auto vote_round = static_cast<std::uint64_t>(h.params.q);
   const auto push = [&](sim::AgentId from, std::uint64_t value) {
     agent.on_push(h.ctx(0, vote_round), from,
-                  std::make_shared<core::VotePayload>(value, h.params));
+                  core::make_vote_payload(value, h.params));
   };
   push(10, 100);
   push(11, 7);
@@ -138,7 +136,7 @@ TEST(StubbornWhitebox, IgnoresSmallerHonestCertificates) {
   agent.on_start(h.ctx(0));
   // Give the agent a nonzero key so smaller certificates exist.
   agent.on_push(h.ctx(0, h.params.q), 10,
-                std::make_shared<core::VotePayload>(500, h.params));
+                core::make_vote_payload(500, h.params));
   agent.on_round(h.ctx(0, 2ull * h.params.q));  // Build own certificate.
   const std::uint64_t own_k = agent.min_certificate().k;
   ASSERT_EQ(own_k, 500u);
@@ -147,16 +145,15 @@ TEST(StubbornWhitebox, IgnoresSmallerHonestCertificates) {
   honest_smaller.k = 0;
   honest_smaller.owner = 50;  // Outside the coalition.
   agent.on_pull_reply(
-      h.ctx(0, 2ull * h.params.q),  50,
-      std::make_shared<core::CertificatePayload>(honest_smaller, h.params));
+      h.ctx(0, 2ull * h.params.q), 50,
+      core::make_certificate_payload(honest_smaller, h.params));
   EXPECT_EQ(agent.min_certificate().k, own_k);  // Not adopted.
 
   core::Certificate coalition_smaller = honest_smaller;
   coalition_smaller.owner = 2;  // Coalition member.
   agent.on_pull_reply(
       h.ctx(0, 2ull * h.params.q), 2,
-      std::make_shared<core::CertificatePayload>(coalition_smaller,
-                                                 h.params));
+      core::make_certificate_payload(coalition_smaller, h.params));
   EXPECT_EQ(agent.min_certificate().owner, 2u);  // Adopted.
 }
 
@@ -173,8 +170,8 @@ TEST(AdaptiveVoteWhitebox, FixerCancelsPublishedSum) {
       member.on_round(h.ctx(1, 2ull * h.params.q - 1));
   ASSERT_EQ(a.kind, sim::ActionKind::kPush);
   EXPECT_EQ(a.target, 3u);
-  const auto& vote = static_cast<const core::VotePayload&>(*a.payload);
-  EXPECT_EQ(vote.value(), (h.params.m - 1000) % h.params.m);
+  ASSERT_TRUE(core::is_vote(a.payload));
+  EXPECT_EQ(core::vote_value_in(a.payload), (h.params.m - 1000) % h.params.m);
 }
 
 TEST(SkipVerificationWhitebox, AcceptsAnyCertificateColor) {
@@ -182,7 +179,7 @@ TEST(SkipVerificationWhitebox, AcceptsAnyCertificateColor) {
   SkipVerificationAgent agent(h.params, 1, h.coalition);
   agent.on_start(h.ctx(2));
   agent.on_push(h.ctx(2, h.params.q), 10,
-                std::make_shared<core::VotePayload>(999, h.params));
+                core::make_vote_payload(999, h.params));
   agent.on_round(h.ctx(2, 2ull * h.params.q));  // Build cert (k = 999).
   core::Certificate bogus;
   bogus.k = 0;
@@ -190,7 +187,7 @@ TEST(SkipVerificationWhitebox, AcceptsAnyCertificateColor) {
   bogus.owner = 60;
   agent.on_pull_reply(
       h.ctx(2, 2ull * h.params.q), 60,
-      std::make_shared<core::CertificatePayload>(bogus, h.params));
+      core::make_certificate_payload(bogus, h.params));
   // Finalize without verification: adopts color 7 despite no audit trail.
   agent.on_round(h.ctx(2, 4ull * h.params.q));
   EXPECT_TRUE(agent.decided());
