@@ -106,6 +106,33 @@ BENCHMARK(BM_ShardedRound)
     ->Args({16384, 4, 4})
     ->Args({65536, 8, 4});
 
+// Engine setup cost at scale: construction + agent installation + the
+// per-agent RNG-stream derivation + one idle round — the fixed cost every
+// Monte-Carlo trial pays before its first event.  Args are (n, shards,
+// threads): {n, 1, 1} derives all n streams serially inside
+// ensure_started; sharded configs prefetch each shard's RNG block on its
+// own worker (sim/sharding.hpp), moving the O(n) SplitMix expansion off
+// the serial path.
+void BM_EngineSetup(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto shards = static_cast<std::uint32_t>(state.range(1));
+  const auto threads = static_cast<std::uint32_t>(state.range(2));
+  for (auto _ : state) {
+    Engine engine({n, 42, nullptr,
+                   rfc::sim::make_synchronous_scheduler({shards, threads})});
+    for (std::uint32_t i = 0; i < n; ++i) {
+      engine.set_agent(i, std::make_unique<IdleAgent>());
+    }
+    engine.step();
+    benchmark::DoNotOptimize(engine.round());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineSetup)
+    ->Args({65536, 1, 1})
+    ->Args({65536, 8, 4})
+    ->Args({262144, 8, 4});
+
 // Scheduler dispatch overhead: one engine.step() of idle agents under each
 // registered policy, at fixed n.  Round-based policies pay O(n) per step
 // (one phased round), activation-based ones O(1) (one wake-up), so
@@ -129,8 +156,11 @@ void BM_SchedulerDispatch(benchmark::State& state,
 BENCHMARK_CAPTURE(BM_SchedulerDispatch, synchronous, "synchronous");
 BENCHMARK_CAPTURE(BM_SchedulerDispatch, sequential, "sequential");
 BENCHMARK_CAPTURE(BM_SchedulerDispatch, partial_async, "partial-async:p=0.5");
+BENCHMARK_CAPTURE(BM_SchedulerDispatch, batched, "batched:block=8");
 BENCHMARK_CAPTURE(BM_SchedulerDispatch, adversarial,
                   "adversarial:victim_fraction=0.25");
+BENCHMARK_CAPTURE(BM_SchedulerDispatch, adversarial_phase,
+                  "adversarial:victim_fraction=0.25,phase=vote");
 BENCHMARK_CAPTURE(BM_SchedulerDispatch, poisson, "poisson");
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/budget.hpp"
 #include "sim/scheduler_spec.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
@@ -81,6 +82,26 @@ inline rfc::sim::SchedulerSpec scheduler_spec(
                  rfc::sim::SchedulerSpec::describe_registry().c_str());
     std::exit(2);
   }
+}
+
+/// Shared run-budget flags: `--horizon=V` caps runs at V units of *virtual
+/// time* (the scheduler's clock — Engine::run_until semantics, so the same
+/// V means the same model time under every policy) and `--max-events=N`
+/// caps discrete scheduling events.  Both unset returns an unbounded
+/// Budget, letting each experiment's own default event cap apply.
+inline rfc::sim::Budget run_budget(const rfc::support::CliArgs& args) {
+  rfc::sim::Budget budget;
+  if (args.has("horizon")) {
+    budget.virtual_horizon = args.get_double("horizon", 0.0);
+    if (!(budget.virtual_horizon > 0.0)) {
+      std::fprintf(stderr, "--horizon must be a positive virtual time\n");
+      std::exit(2);
+    }
+  }
+  if (args.has("max-events")) {
+    budget.events = args.get_uint("max-events", 0);
+  }
+  return budget;
 }
 
 inline std::uint64_t sweep_trials(const rfc::support::CliArgs& args,

@@ -92,8 +92,12 @@ NaiveElectionResult run_naive_election(const NaiveElectionConfig& cfg) {
   // policies each costs ~steps_per_round events and the 8x slack covers
   // the coupon-collector tail of the wake schedule (agents go done() when
   // their budget is spent, so the run stops early in the common case).
+  // cfg.budget overrides; the default event cap stays as a backstop for
+  // horizon-only runs.
   const std::uint64_t spr = cfg.scheduler.steps_per_round(cfg.n);
-  engine.run(spr == 1 ? q : 8ull * q * spr);
+  sim::Budget budget = cfg.budget;
+  if (budget.events == 0) budget.events = spr == 1 ? q : 8ull * q * spr;
+  engine.run(budget);
 
   NaiveElectionResult result;
   result.rounds = engine.round();

@@ -15,6 +15,7 @@
 
 #include "core/types.hpp"
 #include "sim/agent.hpp"
+#include "sim/budget.hpp"
 #include "sim/fault_model.hpp"
 #include "sim/metrics.hpp"
 #include "sim/scheduler_spec.hpp"
@@ -83,6 +84,9 @@ struct NaiveElectionConfig {
   /// Scales the per-agent pull budget q, to explore how much extra work
   /// buys agreement back under asynchronous schedules.
   double budget_multiplier = 1.0;
+  /// Optional run budget override (events and/or a virtual-time horizon).
+  /// Unset fields fall back to the q-derived default event cap.
+  sim::Budget budget;
 };
 
 struct NaiveElectionResult {

@@ -69,6 +69,17 @@ std::uint32_t AsyncSchedule::index_of(std::uint64_t a) const noexcept {
   return static_cast<std::uint32_t>(a % (q + slack) % q);
 }
 
+sim::AgentPhase AsyncSchedule::observed_phase(std::uint64_t a) const noexcept {
+  const std::uint64_t block = q + slack;
+  if (a < q) return sim::AgentPhase::kCommit;
+  // The guard after commitment leads into voting; the guard after voting
+  // leads into find-min (whose own jitter absorber is the extended phase).
+  if (a < block + q) return sim::AgentPhase::kVote;
+  if (a < 3 * block) return sim::AgentPhase::kSpread;
+  if (a < 3 * block + q) return sim::AgentPhase::kConfirm;
+  return sim::AgentPhase::kDone;
+}
+
 AsyncProtocolAgent::AsyncProtocolAgent(const ProtocolParams& params,
                                        AsyncSchedule schedule, Color color)
     : params_(params), schedule_(schedule), color_(color) {}
@@ -224,10 +235,14 @@ AsyncRunResult run_async_protocol(const AsyncRunConfig& cfg) {
 
   // Each active agent needs ~total_activations wake-ups, which costs
   // ~steps_per_round scheduling events apiece under the chosen policy;
-  // coupon-collector slack covers the wake schedule's tail.
+  // coupon-collector slack covers the wake schedule's tail.  An explicit
+  // cfg.budget overrides, but the default event cap stays as a termination
+  // backstop when only a virtual-time horizon is given.
   const std::uint64_t spr = cfg.scheduler.steps_per_round(cfg.n);
-  const std::uint64_t budget =
-      8ull * schedule.total_activations() * spr + 64ull * spr;
+  sim::Budget budget = cfg.budget;
+  if (budget.events == 0) {
+    budget.events = 8ull * schedule.total_activations() * spr + 64ull * spr;
+  }
   engine.run(budget);
 
   AsyncRunResult result;

@@ -36,6 +36,7 @@
 #include "core/types.hpp"
 #include "core/verification.hpp"
 #include "sim/agent.hpp"
+#include "sim/budget.hpp"
 #include "sim/fault_model.hpp"
 #include "sim/metrics.hpp"
 #include "sim/scheduler_spec.hpp"
@@ -70,6 +71,12 @@ struct AsyncSchedule {
   std::uint64_t total_activations() const noexcept {
     return 4ull * q + 3ull * slack;
   }
+
+  /// The sim-level phase observation for activation `a` (the agent's next
+  /// wake-up): guard bands report the communication phase they lead into —
+  /// an agent idling before its voting pushes is "entering its voting
+  /// window", which is exactly what a phase-aware adversary targets.
+  sim::AgentPhase observed_phase(std::uint64_t activation) const noexcept;
 };
 
 class AsyncProtocolAgent final : public sim::Agent {
@@ -101,6 +108,14 @@ class AsyncProtocolAgent final : public sim::Agent {
   void on_push(const sim::Context& ctx, sim::AgentId sender,
                const sim::Payload& payload) override;
   bool done() const override { return decided_ || failed_; }
+
+  /// Audit-pipeline stage for adaptive schedulers (sim::EngineView).  The
+  /// local schedule counts own activations, so this is the phase of the
+  /// agent's *next* wake-up — exact under any activation policy.
+  sim::AgentPhase phase() const noexcept override {
+    return done() ? sim::AgentPhase::kDone
+                  : schedule_.observed_phase(activations_);
+  }
 
  private:
   void finalize();
@@ -136,8 +151,13 @@ struct AsyncRunConfig {
   /// Activation policy; the guard-band schedule counts *local* activations,
   /// so it is well-defined under any policy.  The default is the paper's
   /// sequential model; adversarial/poisson runs map where the guard-band
-  /// completeness argument breaks (extends E12c/E12d).
+  /// completeness argument breaks (extends E12c/E12d), and
+  /// `adversarial:phase=vote,budget=B` starves agents exactly in their
+  /// voting window (E12f).
   sim::SchedulerSpec scheduler = sim::SchedulerSpec::sequential();
+  /// Optional run budget override (events and/or a virtual-time horizon).
+  /// Unset fields fall back to the activation-scaled default event cap.
+  sim::Budget budget;
 };
 
 struct AsyncRunResult {

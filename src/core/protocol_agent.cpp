@@ -5,6 +5,20 @@
 #include "core/payloads.hpp"
 
 namespace rfc::core {
+namespace {
+
+sim::AgentPhase to_agent_phase(Phase p) noexcept {
+  switch (p) {
+    case Phase::kCommitment: return sim::AgentPhase::kCommit;
+    case Phase::kVoting: return sim::AgentPhase::kVote;
+    case Phase::kFindMin: return sim::AgentPhase::kSpread;
+    case Phase::kCoherence: return sim::AgentPhase::kConfirm;
+    case Phase::kFinished: return sim::AgentPhase::kDone;
+  }
+  return sim::AgentPhase::kUnknown;
+}
+
+}  // namespace
 
 ProtocolAgent::ProtocolAgent(const ProtocolParams& params, Color color)
     : params_(params), color_(color) {}
@@ -111,6 +125,7 @@ std::uint64_t ProtocolAgent::local_memory_bits() const noexcept {
 
 sim::Action ProtocolAgent::on_round(const sim::Context& ctx) {
   if (done()) return sim::Action::idle();
+  observed_phase_ = to_agent_phase(params_.phase_of_round(ctx.round));
   switch (params_.phase_of_round(ctx.round)) {
     case Phase::kCommitment:
       return commitment_action(ctx);

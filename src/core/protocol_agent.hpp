@@ -75,6 +75,14 @@ class ProtocolAgent : public sim::Agent {
                const sim::Payload& payload) override;
   bool done() const override { return decided_ || failed_; }
 
+  /// Audit-pipeline stage for adaptive schedulers (sim::EngineView): the
+  /// schedule reads the *global* clock, so this reflects the phase of the
+  /// agent's last activation — exact under the synchronous model, possibly
+  /// stale for an agent a scheduler is starving.
+  sim::AgentPhase phase() const noexcept override {
+    return done() ? sim::AgentPhase::kDone : observed_phase_;
+  }
+
  protected:
   // ---- Deviation hooks: defaults implement the honest protocol ---------
 
@@ -149,6 +157,8 @@ class ProtocolAgent : public sim::Agent {
   Color final_color_ = kNoColor;
   VerificationFailure verification_failure_ = VerificationFailure::kNone;
   std::vector<sim::AgentId> commitment_pullers_;
+  /// Phase observed at the last on_round (exposed through phase()).
+  sim::AgentPhase observed_phase_ = sim::AgentPhase::kCommit;
 
  private:
   void record_commitment_reply(sim::AgentId target,

@@ -176,9 +176,14 @@ RunResult run_protocol(const RunConfig& cfg) {
 
   // Budget in scheduling events: one event per round under the synchronous
   // model, ~n events per round of per-agent progress under activation-based
-  // policies.
-  engine.run((params.total_rounds() + cfg.max_rounds_slack) *
-             cfg.scheduler.steps_per_round(cfg.n));
+  // policies.  cfg.budget overrides; the default event cap survives as a
+  // backstop when only a virtual-time horizon is given.
+  sim::Budget budget = cfg.budget;
+  if (budget.events == 0) {
+    budget.events = (params.total_rounds() + cfg.max_rounds_slack) *
+                    cfg.scheduler.steps_per_round(cfg.n);
+  }
+  engine.run(budget);
 
   RunResult result;
   result.rounds = engine.round();

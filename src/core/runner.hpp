@@ -12,6 +12,7 @@
 #include "core/params.hpp"
 #include "core/protocol_agent.hpp"
 #include "core/types.hpp"
+#include "sim/budget.hpp"
 #include "sim/engine.hpp"
 #include "sim/fault_model.hpp"
 #include "sim/scheduler_spec.hpp"
@@ -57,6 +58,9 @@ struct RunConfig {
   AgentFactory factory;
   /// Safety cap on engine rounds (the protocol self-terminates at 4q+1).
   std::uint64_t max_rounds_slack = 16;
+  /// Optional run budget override (events and/or a virtual-time horizon).
+  /// Unset fields fall back to the schedule-derived default event cap.
+  sim::Budget budget;
   /// When true, the runner watches every Find-Min round and records when
   /// global agreement on CE_min is actually reached (an O(n)-per-round
   /// measurement used by E1; off by default).

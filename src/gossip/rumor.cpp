@@ -87,13 +87,19 @@ SpreadResult run_rumor_spreading(const SpreadConfig& cfg) {
       : cfg.scheduler.activation_based()
           ? std::max<std::uint64_t>(1, cfg.n / 4)
           : 1;
+  // cfg.budget overrides the event cap and/or adds a virtual-time horizon;
+  // max_rounds stays as the default (and as the backstop of horizon-only
+  // runs).
+  sim::Budget budget = cfg.budget;
+  if (budget.events == 0) budget.events = cfg.max_rounds;
+  const auto exhausted = [&engine, &budget] {
+    return budget.exhausted(engine.round(), engine.virtual_time());
+  };
   // The all_done() exit matters for schedulers whose step() can stop
   // advancing time once every agent reports done() (e.g. adversarial):
   // without it a done-capable agent population could spin here forever.
-  while (engine.round() < cfg.max_rounds && !all_informed() &&
-         !engine.all_done()) {
-    for (std::uint64_t i = 0;
-         i < check_every && engine.round() < cfg.max_rounds; ++i) {
+  while (!exhausted() && !all_informed() && !engine.all_done()) {
+    for (std::uint64_t i = 0; i < check_every && !exhausted(); ++i) {
       engine.step();
     }
   }

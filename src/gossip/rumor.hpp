@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sim/agent.hpp"
+#include "sim/budget.hpp"
 #include "sim/engine.hpp"
 #include "sim/fault_model.hpp"
 #include "sim/scheduler_spec.hpp"
@@ -87,6 +88,11 @@ struct SpreadConfig {
   /// Cap on scheduling events (rounds under round-based policies, per-agent
   /// activations under sequential/adversarial/poisson).
   std::uint64_t max_rounds = 10'000;
+  /// Optional run budget override: a virtual-time horizon and/or an event
+  /// cap.  An unset event cap falls back to max_rounds (which then doubles
+  /// as the termination backstop of horizon-only runs); the horizon is the
+  /// natural axis for continuous-time (poisson) spreads.
+  sim::Budget budget;
   /// How often (in scheduling events) the O(n) completion predicate is
   /// evaluated.  0 = auto: every round for round-based policies,
   /// every ~n/4 activations for activation-based ones; completion time is

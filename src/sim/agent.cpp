@@ -1,0 +1,30 @@
+#include "sim/agent.hpp"
+
+#include <stdexcept>
+
+namespace rfc::sim {
+
+const char* to_string(AgentPhase phase) noexcept {
+  switch (phase) {
+    case AgentPhase::kUnknown: return "unknown";
+    case AgentPhase::kCommit: return "commit";
+    case AgentPhase::kVote: return "vote";
+    case AgentPhase::kSpread: return "spread";
+    case AgentPhase::kConfirm: return "confirm";
+    case AgentPhase::kDone: return "done";
+  }
+  return "unknown";
+}
+
+AgentPhase parse_agent_phase(const std::string& text) {
+  for (const AgentPhase p : {AgentPhase::kCommit, AgentPhase::kVote,
+                             AgentPhase::kSpread, AgentPhase::kConfirm,
+                             AgentPhase::kDone}) {
+    if (text == to_string(p)) return p;
+  }
+  throw std::invalid_argument("unknown agent phase \"" + text +
+                              "\" (expected commit, vote, spread, confirm, "
+                              "or done)");
+}
+
+}  // namespace rfc::sim

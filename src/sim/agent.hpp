@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "sim/payload.hpp"
 #include "sim/topology.hpp"
@@ -29,6 +30,30 @@
 namespace rfc::sim {
 
 inline constexpr AgentId kNoAgent = static_cast<AgentId>(-1);
+
+/// Coarse, protocol-agnostic pipeline stages an agent may expose to
+/// observers (sim/engine_view.hpp) through Agent::phase().  Adaptive
+/// schedulers key starvation decisions off these — e.g. starving an agent
+/// exactly while it reports kVote.  The names mirror the audit pipeline of
+/// Protocol P (commit declarations → cast votes → spread the minimum →
+/// cross-check) but carry no protocol semantics in the sim layer; agents
+/// without a pipeline stay at kUnknown.
+enum class AgentPhase : std::uint8_t {
+  kUnknown = 0,  ///< Agent exposes no phase information (the default).
+  kCommit,       ///< Declaring/collecting commitments (audit pulls).
+  kVote,         ///< Entering or inside its voting window.
+  kSpread,       ///< Broadcasting/aggregating (e.g. find-min).
+  kConfirm,      ///< Cross-checking the outcome (e.g. coherence).
+  kDone,         ///< Decided or failed; no further active operations.
+};
+
+/// Stable lowercase names ("commit", "vote", ...), used by the
+/// `adversarial:phase=` scheduler parameter.
+const char* to_string(AgentPhase phase) noexcept;
+
+/// Inverse of to_string; throws std::invalid_argument on unknown names
+/// (including "unknown", which no observer can meaningfully target).
+AgentPhase parse_agent_phase(const std::string& text);
 
 /// Per-callback view of the world handed to an agent by the engine.
 struct Context {
@@ -94,6 +119,22 @@ class Agent {
   /// True once the agent has reached a final state.  The engine stops when
   /// every non-faulty agent is done.
   virtual bool done() const = 0;
+
+  /// Observation hook for adaptive schedulers (read through
+  /// sim::EngineView): the coarse pipeline stage this agent is in.  The
+  /// default kUnknown means "no phase information"; protocol agents
+  /// override it to expose their audit-pipeline stage.  For agents whose
+  /// schedule reads a global clock the observation reflects their *last
+  /// activation* (a starved agent's report can be stale); agents counting
+  /// their own activations report the phase of their next wake-up exactly.
+  virtual AgentPhase phase() const noexcept { return AgentPhase::kUnknown; }
+
+  /// True when this agent's callbacks touch only its own state and the
+  /// Context handed to them — the requirement of the sharded round
+  /// (sim/sharding.hpp).  Agents sharing mutable state across labels (a
+  /// coalition blackboard) override to false; the sharded executor then
+  /// refuses to run them instead of silently racing.
+  virtual bool shard_safe() const noexcept { return true; }
 };
 
 }  // namespace rfc::sim

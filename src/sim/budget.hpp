@@ -1,0 +1,57 @@
+// Run budgets: how long a simulation is allowed to run, as a value.
+//
+// Engine::run historically capped *discrete events* (rounds under
+// round-based schedulers, activations under sequential ones), which makes a
+// horizon policy-dependent: the same experiment needs ~n× more events under
+// a Poisson clock than under lock-step rounds.  Continuous-time experiments
+// instead want horizons in *model time* — the virtual-time axis the
+// scheduler reports through Scheduler::step() — where "run for 10 time
+// units" means the same thing under every policy.  Budget carries either
+// cap (or both; whichever trips first ends the run) and is threaded by
+// value through every run entry point's config
+// (gossip::SpreadConfig, core::RunConfig, core::AsyncRunConfig,
+// baseline::NaiveElectionConfig), so one `--horizon=` flag works
+// everywhere.
+//
+// A default-constructed Budget is unbounded; entry points then fall back to
+// their own policy-scaled event caps.  When only a virtual-time horizon is
+// given, entry points keep their default event cap as a termination
+// backstop (a scheduler returning zero-length increments could otherwise
+// spin forever short of the horizon).
+#pragma once
+
+#include <cstdint>
+
+namespace rfc::sim {
+
+struct Budget {
+  /// Cap on discrete scheduling events; 0 = no event cap.
+  std::uint64_t events = 0;
+  /// Horizon in virtual time (the scheduler's clock); <= 0 = no horizon.
+  /// The run stops *before* the first event that would start at or past the
+  /// horizon, so Metrics::virtual_time overshoots it by at most one step
+  /// increment.
+  double virtual_horizon = 0.0;
+
+  static constexpr Budget of_events(std::uint64_t max_events) noexcept {
+    return {max_events, 0.0};
+  }
+  static constexpr Budget until(double horizon) noexcept {
+    return {0, horizon};
+  }
+
+  constexpr bool unbounded() const noexcept {
+    return events == 0 && !(virtual_horizon > 0.0);
+  }
+
+  /// True once either cap is reached at (elapsed_events, virtual_time).
+  constexpr bool exhausted(std::uint64_t elapsed_events,
+                           double virtual_time) const noexcept {
+    return (events != 0 && elapsed_events >= events) ||
+           (virtual_horizon > 0.0 && virtual_time >= virtual_horizon);
+  }
+
+  bool operator==(const Budget& other) const = default;
+};
+
+}  // namespace rfc::sim

@@ -4,19 +4,32 @@ namespace rfc::sim {
 
 Engine::Engine(EngineConfig cfg)
     : core_(cfg.n, cfg.seed, std::move(cfg.topology)),
+      view_(core_),
       scheduler_(cfg.scheduler != nullptr ? std::move(cfg.scheduler)
                                           : make_synchronous_scheduler()) {
   scheduler_->attach(core_);
 }
 
 void Engine::step() {
-  core_.ensure_started();
-  core_.advance_virtual_time(scheduler_->step(core_));
+  // Start-up (agent checks, RNG derivation, on_start) is the scheduler's
+  // responsibility via the execution primitives: the sharded executor
+  // prefetches RNG blocks in parallel *before* the agents start, which an
+  // eager ensure_started here would defeat.
+  core_.advance_virtual_time(scheduler_->step(core_, view_));
   if (observer_) observer_(*this);
 }
 
 std::uint64_t Engine::run(std::uint64_t max_time) {
-  while (core_.time() < max_time && !all_done()) step();
+  // run(0) means "no events", not Budget's "no event cap".
+  if (max_time == 0) return core_.time();
+  return run(Budget::of_events(max_time));
+}
+
+std::uint64_t Engine::run(const Budget& budget) {
+  while (!budget.exhausted(core_.time(), core_.virtual_time()) &&
+         !all_done()) {
+    step();
+  }
   return core_.time();
 }
 

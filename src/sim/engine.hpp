@@ -24,7 +24,9 @@
 #include <vector>
 
 #include "sim/agent.hpp"
+#include "sim/budget.hpp"
 #include "sim/engine_core.hpp"
+#include "sim/engine_view.hpp"
 #include "sim/metrics.hpp"
 #include "sim/scheduler.hpp"
 
@@ -82,6 +84,21 @@ class Engine {
   /// of events executed in total.
   std::uint64_t run(std::uint64_t max_time);
 
+  /// Runs until every non-faulty agent reports done() or the budget is
+  /// exhausted (events and/or virtual-time horizon, whichever trips first);
+  /// returns the number of events executed in total.
+  std::uint64_t run(const Budget& budget);
+
+  /// Runs until virtual_time() reaches `virtual_horizon` (or all agents are
+  /// done) — the continuous-time run loop: horizons are expressed in model
+  /// time, so the same horizon means the same thing under every scheduler.
+  /// No step starts at or past the horizon, so the overshoot is at most one
+  /// step increment.  Requires a scheduler with positive time increments
+  /// (all shipped policies); returns the number of events executed.
+  std::uint64_t run_until(double virtual_horizon) {
+    return run(Budget::until(virtual_horizon));
+  }
+
   /// True when every non-faulty agent reports done().
   bool all_done() const { return core_.all_done(); }
 
@@ -101,6 +118,10 @@ class Engine {
 
   const Scheduler& scheduler() const noexcept { return *scheduler_; }
 
+  /// The read-only observation window handed to the scheduler each step —
+  /// exposed for tests and external adaptive drivers.
+  const EngineView& view() const noexcept { return view_; }
+
   /// Observer invoked after every step (for traces and tests).
   using RoundObserver = std::function<void(const Engine&)>;
   void set_round_observer(RoundObserver obs) { observer_ = std::move(obs); }
@@ -113,6 +134,7 @@ class Engine {
 
  private:
   EngineCore core_;
+  EngineView view_;  ///< Read-only window over core_, reused every step.
   SchedulerPtr scheduler_;
   RoundObserver observer_;
 };

@@ -14,12 +14,19 @@ EngineCore::EngineCore(std::uint32_t n, std::uint64_t seed,
   if (n_ == 0) throw std::invalid_argument("Engine: n must be positive");
   agents_.resize(n_);
   faulty_.assign(n_, false);
-  rngs_.reserve(n_);
-  for (std::uint32_t i = 0; i < n_; ++i) {
-    rngs_.emplace_back(rfc::support::derive_seed(seed_, i));
-  }
+  // Stream slots only; the SplitMix expansions are deferred to
+  // seed_rng_block so the sharded executor can derive each shard's block on
+  // its own worker before the agents start (shard-local RNG prefetch).
+  rngs_.assign(n_, rfc::support::Xoshiro256(
+                       rfc::support::Xoshiro256::Unseeded{}));
   actions_.resize(n_);
   pull_replies_.resize(n_);
+}
+
+void EngineCore::seed_rng_block(std::uint32_t lo, std::uint32_t hi) noexcept {
+  for (std::uint32_t i = lo; i < hi; ++i) {
+    rngs_[i].seed(rfc::support::derive_seed(seed_, i));
+  }
 }
 
 void EngineCore::set_agent(AgentId id, std::unique_ptr<Agent> agent) {
@@ -75,6 +82,10 @@ Context EngineCore::make_context(AgentId id) noexcept {
 
 void EngineCore::ensure_started() {
   if (started_) return;
+  if (!rngs_seeded_) {  // The sharded executor may have prefetched already.
+    seed_rng_block(0, n_);
+    rngs_seeded_ = true;
+  }
   for (std::uint32_t i = 0; i < n_; ++i) {
     if (agents_[i] == nullptr) {
       throw std::logic_error("Engine: agent " + std::to_string(i) +

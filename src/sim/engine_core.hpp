@@ -62,6 +62,13 @@ class EngineCore {
   void advance_virtual_time(double dt) noexcept {
     metrics_.virtual_time += dt;
   }
+  /// Accumulates wake-up denials reported by an adversarial policy — its
+  /// spent starvation budget, surfaced next to the message counters so run
+  /// results can compare adversaries by cost (scheduler-facing, like
+  /// advance_virtual_time).
+  void note_denials(std::uint64_t count) noexcept {
+    metrics_.denials += count;
+  }
   bool started() const noexcept { return started_; }
   const Metrics& metrics() const noexcept { return metrics_; }
 
@@ -101,6 +108,13 @@ class EngineCore {
  private:
   friend class ShardedRoundExecutor;  // sim/sharding.hpp
 
+  /// Expands the per-agent RNG streams for labels [lo, hi) from the master
+  /// seed.  Stream values are a pure function of (seed, label), so *where*
+  /// this runs is free: ensure_started derives the whole range on first
+  /// use, and the sharded executor prefetches each shard's block on its own
+  /// worker thread instead (sim/sharding.hpp), off the serial path.
+  void seed_rng_block(std::uint32_t lo, std::uint32_t hi) noexcept;
+
   // Shared accounting/delivery between the synchronous phases, the
   // sequential activation path, and the sharded round — one definition
   // keeps every execution model's metrics bit-identical by construction.
@@ -125,6 +139,7 @@ class EngineCore {
   std::uint32_t num_faulty_ = 0;
   std::uint64_t time_ = 0;
   bool started_ = false;
+  bool rngs_seeded_ = false;
   Metrics metrics_;
 
   // Scratch buffers reused across rounds to avoid per-round allocation;

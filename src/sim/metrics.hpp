@@ -19,6 +19,11 @@ struct Metrics {
   std::uint64_t max_message_bits = 0;///< Largest single message observed.
   std::uint64_t active_links = 0;    ///< Non-idle active operations summed
                                      ///< over rounds (≤ n per round).
+  std::uint64_t denials = 0;         ///< Wake-ups an adversarial policy
+                                     ///< deliberately withheld from an
+                                     ///< eligible agent — its spent
+                                     ///< starvation budget.  0 under
+                                     ///< non-adversarial schedulers.
 
   std::uint64_t messages() const noexcept {
     return pushes + pull_requests + pull_replies;
@@ -46,6 +51,7 @@ struct Metrics {
       max_message_bits = other.max_message_bits;
     }
     active_links += other.active_links;
+    denials += other.denials;
   }
 };
 
@@ -53,7 +59,7 @@ struct Metrics {
 // (and the field-by-field comparisons in the equivalence tests) in the
 // same commit: a field missing from the merge silently vanishes from
 // sharded runs' totals.
-static_assert(sizeof(Metrics) == 8 * sizeof(std::uint64_t),
+static_assert(sizeof(Metrics) == 9 * sizeof(std::uint64_t),
               "Metrics changed: update Metrics::merge_from to cover every "
               "field, then adjust this guard");
 

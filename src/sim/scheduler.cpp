@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "sim/engine_core.hpp"
+#include "sim/engine_view.hpp"
 
 namespace rfc::sim {
 
@@ -14,7 +15,8 @@ void Scheduler::attach(EngineCore& /*core*/) {}
 SynchronousScheduler::SynchronousScheduler(ShardingConfig sharding)
     : executor_(sharding) {}
 
-double SynchronousScheduler::step(EngineCore& core) {
+double SynchronousScheduler::step(EngineCore& core,
+                                  const EngineView& /*view*/) {
   executor_.run_round(core, nullptr);
   return 1.0;
 }
@@ -24,7 +26,8 @@ void SequentialScheduler::attach(EngineCore& core) {
       rfc::support::derive_seed(core.seed(), kStream));
 }
 
-double SequentialScheduler::step(EngineCore& core) {
+double SequentialScheduler::step(EngineCore& core,
+                                 const EngineView& /*view*/) {
   if (!active_built_) {
     active_ = core.active_labels();
     active_built_ = true;
@@ -49,7 +52,8 @@ void PartialAsyncScheduler::attach(EngineCore& core) {
       rfc::support::derive_seed(core.seed(), kStream));
 }
 
-double PartialAsyncScheduler::step(EngineCore& core) {
+double PartialAsyncScheduler::step(EngineCore& core,
+                                   const EngineView& /*view*/) {
   if (awake_.size() != core.n()) awake_.assign(core.n(), false);
   // One draw per label, faulty included, so the wake pattern of agent i is
   // independent of the fault plan (mirrors the per-agent RNG streams).
@@ -60,77 +64,142 @@ double PartialAsyncScheduler::step(EngineCore& core) {
   return 1.0;
 }
 
-AdversarialScheduler::AdversarialScheduler(AdversarialConfig cfg)
-    : cfg_(std::move(cfg)) {
-  if (!(cfg_.victim_fraction >= 0.0 && cfg_.victim_fraction <= 1.0)) {
+BatchedDeliveryScheduler::BatchedDeliveryScheduler(BatchedDeliveryConfig cfg)
+    : cfg_(cfg), executor_(cfg.sharding) {
+  if (cfg_.blocks == 0) {
     throw std::invalid_argument(
-        "AdversarialScheduler: victim fraction must be in [0, 1]");
+        "BatchedDeliveryScheduler: blocks must be positive");
   }
 }
 
-void AdversarialScheduler::attach(EngineCore& core) {
+double BatchedDeliveryScheduler::step(EngineCore& core,
+                                      const EngineView& /*view*/) {
+  if (bound_n_ != core.n()) {
+    bound_n_ = core.n();
+    blocks_ = cfg_.blocks < bound_n_ ? cfg_.blocks : bound_n_;
+    awake_.assign(bound_n_, false);
+    next_block_ = 0;
+    sub_steps_ = 0;
+  }
+  const std::uint32_t lo =
+      contiguous_block_begin(bound_n_, blocks_, next_block_);
+  const std::uint32_t hi =
+      contiguous_block_begin(bound_n_, blocks_, next_block_ + 1);
+  for (std::uint32_t i = lo; i < hi; ++i) awake_[i] = true;
+  executor_.run_round(core, &awake_);
+  for (std::uint32_t i = lo; i < hi; ++i) awake_[i] = false;
+  next_block_ = (next_block_ + 1) % blocks_;
+  // One full rotation of B sub-steps activates every agent once — a round.
+  // Returning the *difference of exact prefix times* k/B instead of a flat
+  // 1/B makes the engine's accumulated virtual time equal fl(k/B) at every
+  // sub-step k (consecutive prefixes are within Sterbenz range, so the
+  // subtraction — and hence the accumulation — is exact): after 2 full
+  // rotations of block=3 the clock reads exactly 2.0, so virtual-time
+  // horizons hit round boundaries bit-exactly under every block count.
+  ++sub_steps_;
+  const double before =
+      static_cast<double>(sub_steps_ - 1) / static_cast<double>(blocks_);
+  const double after =
+      static_cast<double>(sub_steps_) / static_cast<double>(blocks_);
+  return after - before;
+}
+
+PhaseAdversarialScheduler::PhaseAdversarialScheduler(AdversarialConfig cfg)
+    : cfg_(std::move(cfg)) {
+  if (!(cfg_.victim_fraction >= 0.0 && cfg_.victim_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "PhaseAdversarialScheduler: victim fraction must be in [0, 1]");
+  }
+}
+
+void PhaseAdversarialScheduler::attach(EngineCore& core) {
   rng_ = rfc::support::Xoshiro256(
       rfc::support::derive_seed(core.seed(), cfg_.stream));
 }
 
-void AdversarialScheduler::build_order(EngineCore& core) {
-  std::vector<AgentId> order = core.active_labels();
+void PhaseAdversarialScheduler::build_order(EngineCore& core) {
+  pool_ = core.active_labels();
+  walk_stamp_.assign(core.n(), 0);
+  for (std::size_t i = pool_.size(); i > 1; --i) {
+    std::swap(pool_[i - 1], pool_[rng_.below(i)]);
+  }
+  victim_.assign(core.n(), false);
   if (!cfg_.victim_ids.empty()) {
     // Explicit victim set: pin exactly these labels.  A faulty or
-    // out-of-range victim is skipped rather than rejected — it never wakes,
-    // i.e. it is already maximally delayed — so one victim list works
-    // across a sweep over n.  Favored agents still wake in a seeded
-    // permutation.
-    victims_.clear();
-    favored_.clear();
-    for (AgentId u : order) {
-      const bool is_victim =
-          std::find(cfg_.victim_ids.begin(), cfg_.victim_ids.end(), u) !=
-          cfg_.victim_ids.end();
-      (is_victim ? victims_ : favored_).push_back(u);
+    // out-of-range victim is marked but never walked (it is not in the
+    // pool), i.e. it is already maximally delayed — so one victim list
+    // works across a sweep over n.
+    for (const AgentId id : cfg_.victim_ids) {
+      if (id < core.n()) victim_[id] = true;
     }
-    for (std::size_t i = favored_.size(); i > 1; --i) {
-      std::swap(favored_[i - 1], favored_[rng_.below(i)]);
+  } else {
+    const auto num_victims = static_cast<std::size_t>(std::ceil(
+        cfg_.victim_fraction * static_cast<double>(pool_.size())));
+    for (std::size_t i = 0; i < num_victims && i < pool_.size(); ++i) {
+      victim_[pool_[i]] = true;
     }
-    order_built_ = true;
-    return;
   }
-  for (std::size_t i = order.size(); i > 1; --i) {
-    std::swap(order[i - 1], order[rng_.below(i)]);
-  }
-  const auto num_victims = static_cast<std::size_t>(
-      std::ceil(cfg_.victim_fraction * static_cast<double>(order.size())));
-  victims_.assign(order.begin(),
-                  order.begin() + static_cast<std::ptrdiff_t>(num_victims));
-  favored_.assign(order.begin() + static_cast<std::ptrdiff_t>(num_victims),
-                  order.end());
   order_built_ = true;
 }
 
-AgentId AdversarialScheduler::next_from(std::vector<AgentId>& pool,
-                                        std::size_t& cursor,
-                                        EngineCore& core) {
-  while (!pool.empty()) {
-    if (cursor >= pool.size()) cursor = 0;
-    const AgentId u = pool[cursor];
-    if (!core.agent(u).done()) {
-      ++cursor;
-      return u;
-    }
-    // Done for good (the Agent contract has no way back): swap-remove so
-    // the completion tail stays amortized O(1) instead of O(pool) rescans.
-    pool[cursor] = pool.back();
-    pool.pop_back();
-  }
-  return kNoAgent;
-}
-
-double AdversarialScheduler::step(EngineCore& core) {
+double PhaseAdversarialScheduler::step(EngineCore& core,
+                                       const EngineView& view) {
+  core.ensure_started();  // Observations below read agent state.
   if (!order_built_) build_order(core);
-  AgentId u = next_from(favored_, favored_cursor_, core);
-  if (u == kNoAgent) u = next_from(victims_, victim_cursor_, core);
-  if (u == kNoAgent) return 0.0;  // Everyone done; the run loop exits.
-  core.sequential_activation(u);
+  // One round-robin walk from the cursor: done agents are swap-removed
+  // (amortized O(1) per step), starved victims are passed over with one
+  // provisional denial each, and the first non-starved agent wakes.
+  // Denials commit only if someone else actually woke instead — a full lap
+  // of starved agents wakes the round-robin head free of charge.  A
+  // swap-removal can rotate an already-passed victim back in front of the
+  // cursor, so skips are deduplicated by a per-walk stamp and the walk
+  // length is budgeted by the pool size at entry, not the shrinking size —
+  // otherwise a re-inspected victim could double-charge and end the lap
+  // before a wakeable agent was ever examined.
+  ++walk_id_;
+  std::uint64_t provisional = 0;
+  std::size_t slots_left = pool_.size();
+  AgentId chosen = kNoAgent;
+  while (!pool_.empty() && slots_left > 0) {
+    if (cursor_ >= pool_.size()) cursor_ = 0;
+    const AgentId u = pool_[cursor_];
+    if (core.agent(u).done()) {
+      // Done for good (the Agent contract has no way back); consumes no
+      // walk slot.
+      pool_[cursor_] = pool_.back();
+      pool_.pop_back();
+      continue;
+    }
+    const bool within_budget =
+        cfg_.budget == 0 || spent_ + provisional < cfg_.budget;
+    if (victim_[u] && within_budget &&
+        (cfg_.target_phase == AgentPhase::kUnknown ||
+         view.phase(u) == cfg_.target_phase)) {
+      if (walk_stamp_[u] != walk_id_) {
+        walk_stamp_[u] = walk_id_;
+        ++provisional;
+      }
+      ++cursor_;
+      --slots_left;
+      continue;
+    }
+    chosen = u;
+    ++cursor_;
+    break;
+  }
+  if (pool_.empty()) return 0.0;  // Everyone done; the run loop exits.
+  if (chosen == kNoAgent) {
+    // Every remaining agent is starved: the adversary must schedule
+    // someone, so the round-robin head wakes and nothing is charged (a
+    // delay applied to everyone equally is no delay at all).
+    if (cursor_ >= pool_.size()) cursor_ = 0;
+    chosen = pool_[cursor_];
+    ++cursor_;
+  } else if (provisional != 0) {
+    spent_ += provisional;
+    core.note_denials(provisional);
+  }
+  core.sequential_activation(chosen);
   return 1.0;
 }
 
@@ -146,7 +215,8 @@ void PoissonClockScheduler::attach(EngineCore& core) {
       rfc::support::derive_seed(core.seed(), kStream));
 }
 
-double PoissonClockScheduler::step(EngineCore& core) {
+double PoissonClockScheduler::step(EngineCore& core,
+                                   const EngineView& /*view*/) {
   if (!active_built_) {
     active_ = core.active_labels();
     active_built_ = true;
@@ -177,8 +247,12 @@ SchedulerPtr make_partial_async_scheduler(double wake_probability,
   return std::make_unique<PartialAsyncScheduler>(wake_probability, sharding);
 }
 
+SchedulerPtr make_batched_delivery_scheduler(BatchedDeliveryConfig cfg) {
+  return std::make_unique<BatchedDeliveryScheduler>(cfg);
+}
+
 SchedulerPtr make_adversarial_scheduler(AdversarialConfig cfg) {
-  return std::make_unique<AdversarialScheduler>(std::move(cfg));
+  return std::make_unique<PhaseAdversarialScheduler>(std::move(cfg));
 }
 
 SchedulerPtr make_poisson_clock_scheduler(double rate) {

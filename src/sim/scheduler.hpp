@@ -2,7 +2,7 @@
 //
 // A Scheduler owns *when* agents run — activation order and the passage of
 // simulated time — while EngineCore (sim/engine_core.hpp) owns *what*
-// running means (phased delivery, fault silence, message accounting).  Five
+// running means (phased delivery, fault silence, message accounting).  Six
 // policies ship:
 //
 //   * SynchronousScheduler — the paper's model (Section 2): every active
@@ -14,22 +14,36 @@
 //   * PartialAsyncScheduler — each round wakes an independent Bernoulli(p)
 //     subset of agents, interpolating between the two models above: p = 1
 //     recovers lock-step rounds, p ≈ 1/n approximates sequential wake-ups.
-//   * AdversarialScheduler — seeded worst-case wake orderings for
-//     robustness experiments: a victim subset (seeded, or pinned via
-//     victim_ids) is starved until every other agent has finished, the rest
-//     are woken round-robin in a seeded permutation.
+//   * BatchedDeliveryScheduler — each sub-step wakes one *contiguous label
+//     block* (a rack / shard) and runs a masked phased round over it,
+//     cycling through the B blocks; a full sweep is one round of virtual
+//     time.  Models rack-batched delivery and bridges to the sharded
+//     executor: each sub-round reuses ShardedRoundExecutor's per-(src,dst)
+//     queue merge, so batched traces stay deterministic and thread-scalable.
+//   * PhaseAdversarialScheduler — seeded worst-case wake orderings for
+//     robustness experiments, *adaptive* via EngineView: a victim subset
+//     (seeded fraction, or pinned via victim_ids) is starved — always by
+//     default, or only while a victim observes a target pipeline phase
+//     (AdversarialConfig::target_phase, e.g. its voting window) — and the
+//     spent starvation budget (wake-up denials) is metered into
+//     Metrics::denials, optionally capped by AdversarialConfig::budget.
 //   * PoissonClockScheduler — the literature's standard continuous-time
 //     asynchronous model: every active agent carries an independent rate-λ
 //     Poisson clock, so wake-ups are a rate-λ·|active| process (simulated
 //     Gillespie-style: exponential inter-event times, uniform wake choice).
 //
-// Time is *virtual*: step() executes one scheduling event on the core and
-// returns the simulated-time increment it represents.  Round- and
-// step-counting policies return 1.0 per event; the Poisson clock returns
-// Exp(λ·|active|) increments, so virtual time advances by ~1/λ per
-// per-agent activation and a broadcast's Θ(log n) virtual-time bound can be
-// read off directly.  The engine accumulates the increments into
-// Metrics::virtual_time next to the discrete event count.
+// The engine↔scheduler contract is split in two: policies *observe* the
+// execution through the read-only sim::EngineView handed to step() (clocks,
+// per-agent done/faulty/phase, shard geometry) and *execute* through the
+// EngineCore primitives.  Time is *virtual*: step() executes one scheduling
+// event on the core and returns the simulated-time increment it represents.
+// Round- and step-counting policies return 1.0 per event; batched delivery
+// returns 1/B per sub-step; the Poisson clock returns Exp(λ·|active|)
+// increments, so virtual time advances by ~1/λ per per-agent activation and
+// a broadcast's Θ(log n) virtual-time bound can be read off directly.  The
+// engine accumulates the increments into Metrics::virtual_time next to the
+// discrete event count, and Engine::run_until / sim::Budget express run
+// horizons on that axis.
 //
 // All scheduler randomness derives from the engine's master seed via
 // distinct SplitMix streams, so a run stays pinned down by (config, agents,
@@ -48,6 +62,8 @@
 
 namespace rfc::sim {
 
+class EngineView;  // sim/engine_view.hpp
+
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
@@ -60,11 +76,14 @@ class Scheduler {
   virtual void attach(EngineCore& core);
 
   /// Executes one scheduling event on the core (a round or an activation,
-  /// at the policy's discretion; the core is already started) and returns
-  /// the simulated-time increment the event represents.  Discrete policies
-  /// return 1.0; continuous-time policies return a positive real; a policy
-  /// that had nothing left to schedule returns 0.0.
-  virtual double step(EngineCore& core) = 0;
+  /// at the policy's discretion) and returns the simulated-time increment
+  /// the event represents.  `view` is the read-only observation window over
+  /// the same core — adaptive policies key decisions off it.  Discrete
+  /// policies return 1.0; continuous-time policies return a positive real;
+  /// a policy that had nothing left to schedule returns 0.0.  Policies must
+  /// ensure_started() (directly or via an execution primitive) before
+  /// touching agents.
+  virtual double step(EngineCore& core, const EngineView& view) = 0;
 };
 
 using SchedulerPtr = std::unique_ptr<Scheduler>;
@@ -81,7 +100,7 @@ class SynchronousScheduler final : public Scheduler {
   const ShardingConfig& sharding() const noexcept {
     return executor_.config();
   }
-  double step(EngineCore& core) override;
+  double step(EngineCore& core, const EngineView& view) override;
 
  private:
   ShardedRoundExecutor executor_;  ///< Delegates to the serial round at S=1.
@@ -98,7 +117,7 @@ class SequentialScheduler final : public Scheduler {
 
   const char* name() const noexcept override { return "sequential"; }
   void attach(EngineCore& core) override;
-  double step(EngineCore& core) override;
+  double step(EngineCore& core, const EngineView& view) override;
 
  private:
   rfc::support::Xoshiro256 rng_{0};
@@ -124,7 +143,7 @@ class PartialAsyncScheduler final : public Scheduler {
     return executor_.config();
   }
   void attach(EngineCore& core) override;
-  double step(EngineCore& core) override;
+  double step(EngineCore& core, const EngineView& view) override;
 
  private:
   double p_;
@@ -133,49 +152,99 @@ class PartialAsyncScheduler final : public Scheduler {
   ShardedRoundExecutor executor_;  ///< Delegates to the serial round at S=1.
 };
 
+struct BatchedDeliveryConfig {
+  /// Contiguous label blocks the label space is cut into (the racks); one
+  /// block wakes per sub-step, in rotation.  Must be positive; values above
+  /// n collapse to n.  1 = the synchronous round.
+  std::uint32_t blocks = 2;
+  /// Sharding of each masked sub-round (sim/sharding.hpp); independent of
+  /// the block partition, bit-identical for every (shards, threads).
+  ShardingConfig sharding = {};
+};
+
+/// Topology-aware batched delivery: sub-step k wakes the agents of
+/// contiguous block k mod B (the partition rule shared with the sharded
+/// executor, so blocks model racks/shards) and runs a masked phased round
+/// over them.  A full rotation activates every agent once, so one sub-step
+/// is 1/B of a round of virtual time and budgets in rounds transfer.
+class BatchedDeliveryScheduler final : public Scheduler {
+ public:
+  explicit BatchedDeliveryScheduler(BatchedDeliveryConfig cfg = {});
+
+  const char* name() const noexcept override { return "batched"; }
+  const BatchedDeliveryConfig& config() const noexcept { return cfg_; }
+  double step(EngineCore& core, const EngineView& view) override;
+
+ private:
+  BatchedDeliveryConfig cfg_;
+  ShardedRoundExecutor executor_;
+  std::vector<bool> awake_;     ///< Scratch mask reused across sub-steps.
+  std::uint32_t bound_n_ = 0;
+  std::uint32_t blocks_ = 1;    ///< Effective count, <= cfg.blocks.
+  std::uint32_t next_block_ = 0;
+  std::uint64_t sub_steps_ = 0;  ///< Executed sub-steps; keeps the
+                                 ///< accumulated virtual time pinned to
+                                 ///< exactly sub_steps_/blocks_.
+};
+
 struct AdversarialConfig {
-  /// Fraction of active agents starved until everyone else is done().
+  /// Fraction of active agents starved (victims are a seeded sample).
   /// Ignored when `victim_ids` is non-empty.
   double victim_fraction = 0.25;
   /// Explicit victim set; overrides `victim_fraction` when non-empty.
   /// Faulty or out-of-range labels in the set are skipped (they never wake
-  /// anyway), so one list works across a sweep over n.  Groundwork for
-  /// phase-aware adversaries that must pin specific agents.
+  /// anyway), so one list works across a sweep over n.
   std::vector<AgentId> victim_ids = {};
+  /// Starve victims only while they observe this phase (Agent::phase(),
+  /// read through EngineView) — e.g. kVote pins an agent exactly during its
+  /// voting window.  kUnknown (the default) starves victims regardless of
+  /// phase: the classic static adversary.
+  AgentPhase target_phase = AgentPhase::kUnknown;
+  /// Cap on wake-up denials — the starvation budget.  0 = unbounded.  Once
+  /// spent, victims wake like everyone else; the spent amount is metered
+  /// into Metrics::denials either way.
+  std::uint64_t budget = 0;
   /// Stream tag mixed into the master seed for the adversary's choices;
   /// vary it to sample different worst-case orderings at a fixed seed.
   std::uint64_t stream = 0xADF0u;
 };
 
-/// Seeded worst-case sequential wake orderings.  A seeded permutation fixes
-/// the wake order; its first ⌈victim_fraction·active⌉ entries (or the
-/// explicit victim_ids set) are starved until every non-victim reports
-/// done(), modelling a scheduler that maximally delays a coalition of
-/// agents.  With an empty victim set this degenerates to a deterministic
-/// round-robin over a seeded permutation.
-class AdversarialScheduler final : public Scheduler {
+/// Seeded worst-case sequential wake orderings, with optional phase-aware
+/// targeting.  A seeded permutation of the active labels fixes the
+/// round-robin wake order; victims encountered in the walk are passed over
+/// (one metered denial each) while they match the starvation predicate —
+/// always, for the static adversary, or only while observing
+/// `target_phase`, for the adaptive one — and the walk wakes the first
+/// non-starved agent.  When every remaining agent is starved the scheduler
+/// must still schedule someone: it wakes the round-robin head and charges
+/// nothing (an adversary that delays everyone equally delays no one).
+/// With an empty victim set this degenerates to a deterministic round-robin
+/// over a seeded permutation.
+class PhaseAdversarialScheduler final : public Scheduler {
  public:
-  explicit AdversarialScheduler(AdversarialConfig cfg = {});
+  explicit PhaseAdversarialScheduler(AdversarialConfig cfg = {});
 
   const char* name() const noexcept override { return "adversarial"; }
   const AdversarialConfig& config() const noexcept { return cfg_; }
+  /// Denials spent so far (also accumulated into Metrics::denials).
+  std::uint64_t denials_spent() const noexcept { return spent_; }
   void attach(EngineCore& core) override;
-  double step(EngineCore& core) override;
+  double step(EngineCore& core, const EngineView& view) override;
 
  private:
   void build_order(EngineCore& core);
-  /// Next not-done agent from `pool`, round-robin from `cursor`; done
-  /// agents are swap-removed as encountered (amortized O(1) per step).
-  /// kNoAgent when the pool has emptied.
-  static AgentId next_from(std::vector<AgentId>& pool, std::size_t& cursor,
-                           EngineCore& core);
 
   AdversarialConfig cfg_;
   rfc::support::Xoshiro256 rng_{0};
-  std::vector<AgentId> favored_;  ///< Woken while any of them is not done.
-  std::vector<AgentId> victims_;  ///< Starved until then.
-  std::size_t favored_cursor_ = 0;
-  std::size_t victim_cursor_ = 0;
+  std::vector<AgentId> pool_;  ///< Seeded permutation; done agents removed.
+  std::vector<bool> victim_;   ///< Victim membership, by label.
+  /// Per-label id of the last walk that skipped it — dedups denial charges
+  /// when a swap-removal rotates a passed victim back in front of the
+  /// cursor within one walk.
+  std::vector<std::uint64_t> walk_stamp_;
+  std::uint64_t walk_id_ = 0;
+  std::size_t cursor_ = 0;
+  std::uint64_t spent_ = 0;
   bool order_built_ = false;
 };
 
@@ -197,7 +266,7 @@ class PoissonClockScheduler final : public Scheduler {
   const char* name() const noexcept override { return "poisson"; }
   double rate() const noexcept { return rate_; }
   void attach(EngineCore& core) override;
-  double step(EngineCore& core) override;
+  double step(EngineCore& core, const EngineView& view) override;
 
  private:
   double rate_;
@@ -210,6 +279,7 @@ SchedulerPtr make_synchronous_scheduler(ShardingConfig sharding = {});
 SchedulerPtr make_sequential_scheduler();
 SchedulerPtr make_partial_async_scheduler(double wake_probability,
                                           ShardingConfig sharding = {});
+SchedulerPtr make_batched_delivery_scheduler(BatchedDeliveryConfig cfg = {});
 SchedulerPtr make_adversarial_scheduler(AdversarialConfig cfg = {});
 SchedulerPtr make_poisson_clock_scheduler(double rate = 1.0);
 

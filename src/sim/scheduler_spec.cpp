@@ -69,17 +69,47 @@ Registry make_builtin_registry() {
       },
       {"p", "shards", "threads"},
       "each round wakes an independent Bernoulli(p) subset (p=0.5)"};
+  reg["batched"] = {
+      [](const SchedulerSpec& spec) {
+        BatchedDeliveryConfig cfg;
+        const std::uint64_t blocks = spec.param_uint("block", 2);
+        if (blocks == 0 || blocks > 0xFFFFFFFFull) {
+          throw std::invalid_argument(
+              "SchedulerSpec: batched:block must be a positive 32-bit "
+              "count");
+        }
+        cfg.blocks = static_cast<std::uint32_t>(blocks);
+        cfg.sharding = sharding_from(spec);
+        return make_batched_delivery_scheduler(cfg);
+      },
+      [](std::uint32_t n, const SchedulerSpec& spec) -> std::uint64_t {
+        // One full rotation (a round of per-agent progress) is B sub-steps.
+        const std::uint64_t blocks = spec.param_uint("block", 2);
+        const std::uint64_t cap = std::max<std::uint32_t>(n, 1);
+        return std::max<std::uint64_t>(1, std::min(blocks, cap));
+      },
+      {"block", "shards", "threads"},
+      "wakes contiguous label blocks (racks/shards) in rotation, one "
+      "masked sub-round per sub-step (block=2; shards=S,threads=T "
+      "parallelize the sub-round)"};
   reg["adversarial"] = {
       [](const SchedulerSpec& spec) {
         AdversarialConfig cfg;
         cfg.victim_fraction = spec.param_double("victim_fraction", 0.25);
         cfg.stream = spec.param_uint("stream", cfg.stream);
         cfg.victim_ids = spec.param_agent_list("victims");
+        cfg.budget = spec.param_uint("budget", 0);
+        if (spec.has_param("phase")) {
+          cfg.target_phase =
+              parse_agent_phase(spec.params().at("phase"));
+        }
         return make_adversarial_scheduler(std::move(cfg));
       },
       activation_steps,
-      {"victim_fraction", "stream", "victims"},
-      "seeded starvation orderings (victim_fraction=0.25 or victims=a+b+c)",
+      {"victim_fraction", "stream", "victims", "phase", "budget"},
+      "seeded starvation orderings (victim_fraction=0.25 or victims=a+b+c); "
+      "phase=vote starves victims only in that pipeline phase, budget=N "
+      "caps the spent wake-up denials",
       /*activation_based=*/true};
   reg["poisson"] = {
       [](const SchedulerSpec& spec) {
@@ -291,6 +321,19 @@ SchedulerSpec SchedulerSpec::partial_async(double wake_probability) {
                        {{"p", format_param_double(wake_probability)}});
 }
 
+SchedulerSpec SchedulerSpec::batched(std::uint32_t blocks,
+                                     const ShardingConfig& sharding) {
+  Params params;
+  params["block"] = std::to_string(blocks);
+  if (sharding.shards > 1) {
+    params["shards"] = std::to_string(sharding.shards);
+    if (sharding.threads != 0) {
+      params["threads"] = std::to_string(sharding.threads);
+    }
+  }
+  return SchedulerSpec("batched", std::move(params));
+}
+
 SchedulerSpec SchedulerSpec::adversarial(const AdversarialConfig& cfg) {
   Params params;
   if (cfg.victim_ids.empty()) {
@@ -302,6 +345,12 @@ SchedulerSpec SchedulerSpec::adversarial(const AdversarialConfig& cfg) {
       list += std::to_string(id);
     }
     params["victims"] = std::move(list);
+  }
+  if (cfg.target_phase != AgentPhase::kUnknown) {
+    params["phase"] = rfc::sim::to_string(cfg.target_phase);
+  }
+  if (cfg.budget != 0) {
+    params["budget"] = std::to_string(cfg.budget);
   }
   if (cfg.stream != AdversarialConfig{}.stream) {
     params["stream"] = std::to_string(cfg.stream);

@@ -15,8 +15,13 @@
 //   synchronous                                 the paper's lock-step rounds
 //   sequential                                  one u.a.r. wake per step
 //   partial-async:p=0.25                        Bernoulli(p) wake subsets
+//   batched:block=8                             contiguous blocks in rotation
+//   batched:block=8,shards=4,threads=4          ... with sharded sub-rounds
 //   adversarial:victim_fraction=0.25            seeded starvation orderings
 //   adversarial:victims=0+3+7,stream=44528      explicit victim set
+//   adversarial:phase=vote,budget=1500          adaptive: starve victims
+//                                               only in their voting window,
+//                                               spending <= 1500 denials
 //   poisson                                     rate-1 Poisson clocks
 //   poisson:rate=2                              rate-λ Poisson clocks
 //
@@ -91,6 +96,10 @@ class SchedulerSpec {
   static SchedulerSpec synchronous(const ShardingConfig& sharding);
   static SchedulerSpec sequential();
   static SchedulerSpec partial_async(double wake_probability);
+  /// Batched delivery: `blocks` contiguous label blocks wake in rotation,
+  /// one per sub-step; shards=/threads= parallelize each masked sub-round.
+  static SchedulerSpec batched(std::uint32_t blocks,
+                               const ShardingConfig& sharding = {});
   static SchedulerSpec adversarial(const AdversarialConfig& cfg);
   static SchedulerSpec poisson(double rate = 1.0);
 

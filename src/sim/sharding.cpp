@@ -27,8 +27,7 @@ void ShardedRoundExecutor::bind(EngineCore& core) {
   shards_ = cfg_.shards < bound_n_ ? cfg_.shards : bound_n_;
   shard_begin_.resize(shards_ + 1);
   for (std::uint32_t s = 0; s <= shards_; ++s) {
-    shard_begin_[s] = static_cast<std::uint32_t>(
-        static_cast<std::uint64_t>(bound_n_) * s / shards_);
+    shard_begin_[s] = contiguous_block_begin(bound_n_, shards_, s);
   }
   shard_of_.resize(bound_n_);
   for (std::uint32_t s = 0; s < shards_; ++s) {
@@ -39,8 +38,31 @@ void ShardedRoundExecutor::bind(EngineCore& core) {
   shard_metrics_.assign(shards_, Metrics{});
   pull_queues_.assign(static_cast<std::size_t>(shards_) * shards_, {});
   push_queues_.assign(static_cast<std::size_t>(shards_) * shards_, {});
-  if (pool_ == nullptr && shards_ > 1) {
+  if (shards_ <= 1) return;
+  // Agents sharing mutable state across labels (Agent::shard_safe() ==
+  // false, e.g. the rational::Coalition blackboard) would race the parallel
+  // phases — refuse loudly instead.  Missing agents are left for
+  // ensure_started's friendlier diagnostic.
+  for (std::uint32_t i = 0; i < bound_n_; ++i) {
+    if (core.agents_[i] != nullptr && !core.agents_[i]->shard_safe()) {
+      throw std::invalid_argument(
+          "ShardedRoundExecutor: agent " + std::to_string(i) +
+          " shares mutable state across labels (shard_safe() == false) and "
+          "cannot run under a sharded round; use shards=1");
+    }
+  }
+  if (pool_ == nullptr) {
     pool_ = std::make_unique<rfc::support::ThreadPool>(cfg_.threads);
+  }
+  // Shard-local RNG prefetch: derive each shard's per-agent streams on its
+  // own worker before the agents start.  The streams are a pure function of
+  // (seed, label), so this is the serial derivation reordered — traces are
+  // untouched, only the O(n) SplitMix expansion leaves the serial path.
+  if (!core.rngs_seeded_) {
+    parallel_phase([&](std::uint32_t s) {
+      core.seed_rng_block(shard_begin_[s], shard_begin_[s + 1]);
+    });
+    core.rngs_seeded_ = true;
   }
 }
 
@@ -76,8 +98,10 @@ void ShardedRoundExecutor::run_round(EngineCore& core,
     core.run_synchronous_round(awake_mask);
     return;
   }
-  core.ensure_started();
+  // bind() before ensure_started(): the first bind prefetches the per-agent
+  // RNG blocks in parallel, which must precede the agents' on_start draws.
   bind(core);
+  core.ensure_started();
   if (shards_ <= 1) {
     core.run_synchronous_round(awake_mask);
     return;

@@ -33,7 +33,11 @@
 // Requirements on agents: callbacks must only touch the agent's own state
 // and the Context handed to them (true of every shipped protocol agent).
 // Agents sharing mutable state across labels — the rational::Coalition
-// blackboard — are not shard-safe; run those with shards=1.
+// blackboard — declare it via Agent::shard_safe() == false, and the
+// executor fails fast at setup instead of silently racing; run those with
+// shards=1.  Setup also prefetches each shard's per-agent RNG streams on
+// its own worker (the streams are pure functions of (seed, label), so the
+// parallel derivation is trace-identical to the serial one).
 #pragma once
 
 #include <cstdint>
@@ -59,6 +63,18 @@ struct ShardingConfig {
   /// execution — threads only control how shard tasks are scheduled.
   std::uint32_t threads = 0;
 };
+
+/// First label of block `b` when [0, n) is cut into `blocks` contiguous
+/// near-equal blocks — the one partition rule shared by the sharded round,
+/// the batched-delivery scheduler, and EngineView's shard-geometry
+/// observations, so "block" means the same label range everywhere.
+/// `block_begin(n, blocks, blocks)` is n.
+constexpr std::uint32_t contiguous_block_begin(std::uint32_t n,
+                                               std::uint32_t blocks,
+                                               std::uint32_t b) noexcept {
+  return static_cast<std::uint32_t>(static_cast<std::uint64_t>(n) * b /
+                                    blocks);
+}
 
 class ShardedRoundExecutor {
  public:

@@ -47,6 +47,20 @@ class Xoshiro256 {
 
   /// Seeds the four state words by expanding `seed` through SplitMix64.
   explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    this->seed(seed);
+  }
+
+  /// Tag for deferred seeding: constructs with zeroed state at memset cost,
+  /// skipping the SplitMix expansion.  `seed()` must run before the first
+  /// draw (a zero state is an absorbing fixed point of xoshiro).  Lets bulk
+  /// consumers (one stream per agent) allocate cheaply and derive streams
+  /// later — in parallel, or not at all for streams that never draw.
+  struct Unseeded {};
+  explicit Xoshiro256(Unseeded) noexcept : state_{} {}
+
+  /// (Re)seeds the state by expanding `seed` through SplitMix64; yields the
+  /// exact stream of Xoshiro256(seed).
+  void seed(std::uint64_t seed) noexcept {
     SplitMix64 sm(seed);
     for (auto& w : state_) w = sm.next();
   }

@@ -1,0 +1,409 @@
+// The adaptive half of the scheduler contract: EngineView observations
+// (clocks, per-agent done/faulty/phase, shard geometry), the Agent::phase()
+// hook implementations, the phase-aware adversary's starvation/budget
+// semantics, and the batched-delivery rotation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/async_protocol.hpp"
+#include "core/protocol_agent.hpp"
+#include "core/runner.hpp"
+#include "gossip/rumor.hpp"
+#include "sim/engine.hpp"
+#include "sim/engine_view.hpp"
+#include "sim/scheduler_spec.hpp"
+
+namespace rfc::sim {
+namespace {
+
+/// Never-done agent with a pinned, externally controlled phase report.
+class PhasedAgent final : public Agent {
+ public:
+  explicit PhasedAgent(AgentPhase phase = AgentPhase::kUnknown) noexcept
+      : phase_(phase) {}
+
+  std::uint64_t activations() const noexcept { return activations_; }
+  void set_phase(AgentPhase phase) noexcept { phase_ = phase; }
+
+  Action on_round(const Context&) override {
+    ++activations_;
+    return Action::idle();
+  }
+  Payload serve_pull(const Context&, AgentId) override { return {}; }
+  bool done() const override { return false; }
+  AgentPhase phase() const noexcept override { return phase_; }
+
+ private:
+  AgentPhase phase_;
+  std::uint64_t activations_ = 0;
+};
+
+Engine phased_engine(std::uint32_t n, std::uint64_t seed,
+                     const SchedulerSpec& spec,
+                     const std::vector<AgentPhase>& phases) {
+  Engine engine({n, seed, nullptr, spec.make()});
+  for (AgentId i = 0; i < n; ++i) {
+    engine.set_agent(i, std::make_unique<PhasedAgent>(
+                            i < phases.size() ? phases[i]
+                                              : AgentPhase::kUnknown));
+  }
+  return engine;
+}
+
+std::vector<std::uint64_t> activation_counts(const Engine& engine) {
+  std::vector<std::uint64_t> counts(engine.n());
+  for (AgentId i = 0; i < engine.n(); ++i) {
+    counts[i] =
+        static_cast<const PhasedAgent&>(engine.agent(i)).activations();
+  }
+  return counts;
+}
+
+// --------------------------------------------------------------------------
+// AgentPhase plumbing
+// --------------------------------------------------------------------------
+
+TEST(AgentPhase, StringRoundTrip) {
+  for (const AgentPhase p : {AgentPhase::kCommit, AgentPhase::kVote,
+                             AgentPhase::kSpread, AgentPhase::kConfirm,
+                             AgentPhase::kDone}) {
+    EXPECT_EQ(parse_agent_phase(to_string(p)), p) << to_string(p);
+  }
+  EXPECT_THROW(parse_agent_phase("warp-drive"), std::invalid_argument);
+  EXPECT_THROW(parse_agent_phase("unknown"), std::invalid_argument);
+  EXPECT_THROW(parse_agent_phase(""), std::invalid_argument);
+}
+
+TEST(AgentPhase, DefaultsToUnknownForPlainAgents) {
+  const gossip::RumorAgent agent(gossip::Mechanism::kPull, false, 8);
+  EXPECT_EQ(agent.phase(), AgentPhase::kUnknown);
+  EXPECT_TRUE(agent.shard_safe());
+}
+
+TEST(AgentPhase, AsyncScheduleObservesPipelineStages) {
+  // Guard bands report the communication phase they lead into: an agent
+  // idling before its voting pushes is already "entering its voting
+  // window".
+  core::AsyncSchedule s;
+  s.q = 10;
+  s.slack = 4;
+  EXPECT_EQ(s.observed_phase(0), AgentPhase::kCommit);
+  EXPECT_EQ(s.observed_phase(9), AgentPhase::kCommit);
+  EXPECT_EQ(s.observed_phase(10), AgentPhase::kVote);   // Guard 1.
+  EXPECT_EQ(s.observed_phase(14), AgentPhase::kVote);   // Voting proper.
+  EXPECT_EQ(s.observed_phase(23), AgentPhase::kVote);
+  EXPECT_EQ(s.observed_phase(24), AgentPhase::kSpread);  // Guard 2.
+  EXPECT_EQ(s.observed_phase(28), AgentPhase::kSpread);  // Find-min.
+  EXPECT_EQ(s.observed_phase(41), AgentPhase::kSpread);
+  EXPECT_EQ(s.observed_phase(42), AgentPhase::kConfirm);  // Coherence.
+  EXPECT_EQ(s.observed_phase(51), AgentPhase::kConfirm);
+  EXPECT_EQ(s.observed_phase(52), AgentPhase::kDone);
+}
+
+TEST(AgentPhase, ProtocolAgentTracksAuditPipeline) {
+  // The synchronous agent's phase observation follows the global schedule
+  // through its own activations.
+  const std::uint32_t n = 16;
+  const auto params = core::ProtocolParams::make(n, 3.0);
+  Engine engine({n, 7});
+  for (AgentId i = 0; i < n; ++i) {
+    engine.set_agent(i, std::make_unique<core::ProtocolAgent>(
+                            params, static_cast<core::Color>(i)));
+  }
+  const EngineView& view = engine.view();
+  EXPECT_EQ(view.phase(0), AgentPhase::kCommit);  // Before any round.
+  engine.run(params.voting_begin() + 1);
+  EXPECT_EQ(view.phase(0), AgentPhase::kVote);
+  engine.run(params.find_min_begin() + 1);
+  EXPECT_EQ(view.phase(0), AgentPhase::kSpread);
+  engine.run(params.coherence_begin() + 1);
+  EXPECT_EQ(view.phase(0), AgentPhase::kConfirm);
+  engine.run(params.total_rounds() + 4);
+  EXPECT_EQ(view.phase(0), AgentPhase::kDone);
+  EXPECT_TRUE(view.done(0));
+}
+
+// --------------------------------------------------------------------------
+// EngineView
+// --------------------------------------------------------------------------
+
+TEST(EngineView, ExposesClocksFaultsAndGeometry) {
+  const std::uint32_t n = 10;
+  Engine engine({n, 3});
+  engine.set_faulty(2);
+  engine.set_faulty(7);
+  for (AgentId i = 0; i < n; ++i) {
+    engine.set_agent(i, std::make_unique<PhasedAgent>(AgentPhase::kCommit));
+  }
+  const EngineView& view = engine.view();
+  EXPECT_EQ(view.n(), n);
+  EXPECT_EQ(view.num_active(), 8u);
+  EXPECT_EQ(view.num_faulty(), 2u);
+  EXPECT_TRUE(view.faulty(2));
+  EXPECT_FALSE(view.faulty(3));
+  EXPECT_FALSE(view.done(0));
+  EXPECT_FALSE(view.all_done());
+  EXPECT_EQ(view.phase(0), AgentPhase::kCommit);
+  engine.run(3);
+  EXPECT_EQ(view.time(), 3u);
+  EXPECT_DOUBLE_EQ(view.virtual_time(), 3.0);
+
+  // Block geometry matches the sharded executor's partition rule, with
+  // block_of the exact inverse of block_begin.
+  for (const std::uint32_t blocks : {1u, 3u, 4u, 10u}) {
+    EXPECT_EQ(view.block_begin(0, blocks), 0u);
+    EXPECT_EQ(view.block_begin(blocks, blocks), n);
+    for (std::uint32_t b = 0; b < blocks; ++b) {
+      for (std::uint32_t i = view.block_begin(b, blocks);
+           i < view.block_begin(b + 1, blocks); ++i) {
+        EXPECT_EQ(view.block_of(i, blocks), b)
+            << "blocks=" << blocks << " label=" << i;
+      }
+    }
+  }
+  EXPECT_EQ(view.blocks(3), 3u);
+  EXPECT_EQ(view.blocks(64), n);  // Clamped to the label count.
+  // block_of clamps the same way, so it always indexes a blocks()-sized
+  // array in bounds (requested > n degenerates to one block per label).
+  for (AgentId i = 0; i < n; ++i) {
+    EXPECT_EQ(view.block_of(i, 64), i) << i;
+    EXPECT_LT(view.block_of(i, 64), view.blocks(64)) << i;
+  }
+}
+
+// --------------------------------------------------------------------------
+// PhaseAdversarialScheduler: phase targeting and the starvation budget
+// --------------------------------------------------------------------------
+
+TEST(PhaseAdversary, StarvesOnlyVictimsInTargetPhase) {
+  // Victim 0 sits in its voting window, victim 1 does not: only 0 starves.
+  const std::uint32_t n = 6;
+  Engine engine = phased_engine(
+      n, 21,
+      SchedulerSpec::adversarial({.victim_ids = {0, 1},
+                                  .target_phase = AgentPhase::kVote}),
+      {AgentPhase::kVote, AgentPhase::kCommit});
+  engine.run(120);
+  const auto counts = activation_counts(engine);
+  EXPECT_EQ(counts[0], 0u);
+  EXPECT_GT(counts[1], 0u);
+  for (AgentId i = 2; i < n; ++i) EXPECT_GT(counts[i], 0u) << i;
+  EXPECT_GT(engine.metrics().denials, 0u);
+}
+
+TEST(PhaseAdversary, BudgetCapsSpentDenialsExactly) {
+  // One matching victim, budget B: after exactly B denials the victim wakes
+  // like everyone else, and the metered total equals B.
+  const std::uint32_t n = 5;
+  const std::uint64_t kBudget = 7;
+  Engine engine = phased_engine(
+      n, 23,
+      SchedulerSpec::adversarial({.victim_ids = {0},
+                                  .target_phase = AgentPhase::kVote,
+                                  .budget = kBudget}),
+      {AgentPhase::kVote});
+  engine.run(200);
+  EXPECT_EQ(engine.metrics().denials, kBudget);
+  EXPECT_GT(activation_counts(engine)[0], 0u);
+}
+
+TEST(PhaseAdversary, UnboundedBudgetKeepsMatchingVictimStarved) {
+  const std::uint32_t n = 5;
+  Engine engine = phased_engine(
+      n, 25,
+      SchedulerSpec::adversarial({.victim_ids = {0},
+                                  .target_phase = AgentPhase::kVote}),
+      {AgentPhase::kVote});
+  engine.run(200);
+  EXPECT_EQ(activation_counts(engine)[0], 0u);
+  // One denial per round-robin lap over the other four agents.
+  EXPECT_NEAR(static_cast<double>(engine.metrics().denials), 200.0 / 4, 2.0);
+}
+
+TEST(PhaseAdversary, AllStarvedWakesRoundRobinFreeOfCharge) {
+  // When every agent matches the target phase the adversary must still
+  // schedule someone: round-robin, no denials charged.
+  const std::uint32_t n = 4;
+  Engine engine = phased_engine(
+      n, 27,
+      SchedulerSpec::adversarial({.victim_fraction = 1.0,
+                                  .target_phase = AgentPhase::kVote}),
+      std::vector<AgentPhase>(n, AgentPhase::kVote));
+  engine.run(40);
+  const auto counts = activation_counts(engine);
+  for (AgentId i = 0; i < n; ++i) EXPECT_EQ(counts[i], 10u) << i;
+  EXPECT_EQ(engine.metrics().denials, 0u);
+}
+
+TEST(PhaseAdversary, StaticVictimsMeterDenialsIntoMetrics) {
+  // The classic static adversary (no phase target) now reports its spent
+  // starvation budget: one denial per victim per round-robin lap.
+  const std::uint32_t n = 8;
+  Engine engine = phased_engine(
+      n, 29, SchedulerSpec::adversarial({.victim_ids = {3, 5}}), {});
+  engine.run(60);  // 60 events over 6 favored agents = 10 laps.
+  const auto counts = activation_counts(engine);
+  EXPECT_EQ(counts[3], 0u);
+  EXPECT_EQ(counts[5], 0u);
+  EXPECT_NEAR(static_cast<double>(engine.metrics().denials), 20.0, 3.0);
+}
+
+TEST(PhaseAdversary, EndgameDoneRemovalsDoNotDistortDenials) {
+  // Agents finishing while a victim is starved trigger swap-removals
+  // mid-walk; the per-walk stamp must keep the charge at exactly one
+  // denial per victim per lap through the transition (a naive walk can
+  // double-charge a rotated victim or end the lap early).
+  class DoneAfterAgent final : public Agent {
+   public:
+    Action on_round(const Context&) override {
+      ++activations_;
+      return Action::idle();
+    }
+    Payload serve_pull(const Context&, AgentId) override { return {}; }
+    bool done() const override { return activations_ >= 5; }
+
+   private:
+    std::uint64_t activations_ = 0;
+  };
+  const std::uint32_t n = 4;
+  Engine engine({n, 33, nullptr,
+                 SchedulerSpec::adversarial({.victim_ids = {0}}).make()});
+  for (AgentId i = 0; i < n; ++i) {
+    engine.set_agent(i, std::make_unique<DoneAfterAgent>());
+  }
+  engine.run(1'000);
+  EXPECT_TRUE(engine.all_done());
+  // 3 favored agents × 5 activations = 15 events ≈ 5 laps with the victim
+  // waiting: one denial per lap, ±1 for the final-lap boundary (whether
+  // the victim's slot precedes the last favored wake).  Once the favored
+  // pool drains, the victim wakes free of charge — a distorted walk
+  // (double-charges, or a lap ended early by a rotated victim) lands
+  // outside this band.
+  EXPECT_GE(engine.metrics().denials, 4u);
+  EXPECT_LE(engine.metrics().denials, 5u);
+}
+
+TEST(PhaseAdversary, PhaseTargetDefeatsGuardBandAsyncProtocol) {
+  // The acceptance scenario in miniature: at equal n and guard band, the
+  // phase-aware adversary with a *bounded* budget defeats the async
+  // protocol while spending strictly less starvation than the static
+  // victim adversary.  A budget of (q+slack)·|victims| denials holds the
+  // victims' voting window closed until every favored agent has sealed its
+  // certificate, so the late votes are all dropped.
+  const std::uint32_t n = 48;
+  const std::uint32_t slack = 24;
+  const auto params = core::ProtocolParams::make(n, 4.0);
+  std::vector<AgentId> victims;
+  for (AgentId i = 0; i < n / 4; ++i) victims.push_back(i);
+  const std::uint64_t phase_budget =
+      (params.q + slack) * static_cast<std::uint64_t>(victims.size());
+
+  std::uint64_t static_failures = 0, phase_failures = 0;
+  double static_spent = 0.0, phase_spent = 0.0;
+  const int kTrials = 5;
+  for (int t = 0; t < kTrials; ++t) {
+    core::AsyncRunConfig cfg;
+    cfg.n = n;
+    cfg.slack = slack;
+    cfg.seed = 1000 + t;
+    cfg.scheduler = SchedulerSpec::adversarial({.victim_ids = victims});
+    const auto stat = core::run_async_protocol(cfg);
+    if (stat.failed()) ++static_failures;
+    static_spent += static_cast<double>(stat.metrics.denials) / kTrials;
+
+    cfg.scheduler = SchedulerSpec::adversarial(
+        {.victim_ids = victims,
+         .target_phase = AgentPhase::kVote,
+         .budget = phase_budget});
+    const auto phase = core::run_async_protocol(cfg);
+    if (phase.failed()) ++phase_failures;
+    phase_spent += static_cast<double>(phase.metrics.denials) / kTrials;
+  }
+  EXPECT_EQ(phase_failures, static_cast<std::uint64_t>(kTrials));
+  EXPECT_EQ(static_failures, static_cast<std::uint64_t>(kTrials));
+  EXPECT_GT(phase_spent, 0.0);
+  EXPECT_LT(phase_spent, static_spent);
+}
+
+TEST(PhaseAdversary, DeterministicPerSeed) {
+  const auto run = [](std::uint64_t seed) {
+    gossip::SpreadConfig cfg;
+    cfg.n = 64;
+    cfg.mechanism = gossip::Mechanism::kPushPull;
+    cfg.seed = seed;
+    cfg.scheduler = SchedulerSpec::parse(
+        "adversarial:victim_fraction=0.25,phase=vote,budget=100");
+    cfg.max_rounds = 100'000;
+    return gossip::run_rumor_spreading(cfg);
+  };
+  const auto a = run(31), b = run(31), c = run(32);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.metrics.total_bits, b.metrics.total_bits);
+  EXPECT_EQ(a.metrics.denials, b.metrics.denials);
+  EXPECT_NE(c.metrics.total_bits, a.metrics.total_bits);
+}
+
+// --------------------------------------------------------------------------
+// BatchedDeliveryScheduler
+// --------------------------------------------------------------------------
+
+TEST(BatchedDelivery, RotationActivatesEveryBlockOncePerSweep) {
+  const std::uint32_t n = 10;
+  Engine engine = phased_engine(n, 41, SchedulerSpec::batched(3), {});
+  engine.run(3);  // One full rotation of 3 sub-steps.
+  const auto counts = activation_counts(engine);
+  for (AgentId i = 0; i < n; ++i) EXPECT_EQ(counts[i], 1u) << i;
+  EXPECT_NEAR(engine.virtual_time(), 1.0, 1e-9);
+  engine.run(9);
+  for (const auto c : activation_counts(engine)) EXPECT_EQ(c, 3u);
+}
+
+TEST(BatchedDelivery, SubStepWakesExactlyOneContiguousBlock) {
+  const std::uint32_t n = 10;
+  Engine engine = phased_engine(n, 43, SchedulerSpec::batched(3), {});
+  engine.step();  // Block 0 = [0, block_begin(1)).
+  const EngineView& view = engine.view();
+  const auto counts = activation_counts(engine);
+  for (AgentId i = 0; i < n; ++i) {
+    EXPECT_EQ(counts[i], view.block_of(i, 3) == 0 ? 1u : 0u) << i;
+  }
+}
+
+TEST(BatchedDelivery, SpreadsRumorToCompletion) {
+  gossip::SpreadConfig cfg;
+  cfg.n = 128;
+  cfg.mechanism = gossip::Mechanism::kPushPull;
+  cfg.seed = 47;
+  cfg.scheduler = SchedulerSpec::batched(8);
+  const auto r = gossip::run_rumor_spreading(cfg);
+  EXPECT_TRUE(r.complete);
+  // Virtual time is measured in full rotations: the broadcast still costs
+  // Θ(log n) rounds on that axis.
+  EXPECT_LT(r.virtual_time, 12.0 * std::log(128.0));
+  EXPECT_EQ(r.rounds, static_cast<std::uint64_t>(
+                          std::llround(r.virtual_time * 8)));
+}
+
+TEST(BatchedDelivery, RejectsZeroBlocks) {
+  EXPECT_THROW(make_batched_delivery_scheduler({.blocks = 0}),
+               std::invalid_argument);
+}
+
+TEST(BatchedDelivery, VirtualTimeHitsRoundBoundariesExactly) {
+  // Non-power-of-two block counts must not drift: the accumulated clock is
+  // pinned to exactly k/B at sub-step k, so a horizon of 2.0 rounds runs
+  // exactly 2·B sub-steps (a naive 1/3+1/3+... accumulation lands at
+  // 1.9999999999999998 after two block=3 rotations and would run a 7th).
+  for (const std::uint32_t blocks : {3u, 5u, 7u}) {
+    Engine engine = phased_engine(14, 49, SchedulerSpec::batched(blocks), {});
+    EXPECT_EQ(engine.run_until(2.0), 2ull * blocks) << blocks;
+    EXPECT_DOUBLE_EQ(engine.virtual_time(), 2.0) << blocks;
+  }
+}
+
+}  // namespace
+}  // namespace rfc::sim

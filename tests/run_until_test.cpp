@@ -1,0 +1,149 @@
+// Virtual-time run budgets: the sim::Budget value type, Engine::run_until /
+// Engine::run(Budget), and the budget plumbing through the run entry
+// points.  The acceptance contract for continuous-time runs: a
+// virtual-time horizon terminates, is deterministic per seed, and
+// Metrics::virtual_time never overshoots the horizon by more than one step
+// increment.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "baseline/naive_election.hpp"
+#include "core/async_protocol.hpp"
+#include "gossip/rumor.hpp"
+#include "sim/budget.hpp"
+#include "sim/engine.hpp"
+#include "sim/scheduler_spec.hpp"
+
+namespace rfc::sim {
+namespace {
+
+class IdleForeverAgent final : public Agent {
+ public:
+  Action on_round(const Context&) override { return Action::idle(); }
+  Payload serve_pull(const Context&, AgentId) override { return {}; }
+  bool done() const override { return false; }
+};
+
+Engine idle_engine(std::uint32_t n, std::uint64_t seed,
+                   const SchedulerSpec& spec) {
+  Engine engine({n, seed, nullptr, spec.make()});
+  for (AgentId i = 0; i < n; ++i) {
+    engine.set_agent(i, std::make_unique<IdleForeverAgent>());
+  }
+  return engine;
+}
+
+TEST(Budget, ExhaustionRules) {
+  EXPECT_TRUE(Budget{}.unbounded());
+  EXPECT_FALSE(Budget{}.exhausted(1'000'000, 1e12));
+  EXPECT_FALSE(Budget::of_events(10).unbounded());
+  EXPECT_TRUE(Budget::of_events(10).exhausted(10, 0.0));
+  EXPECT_FALSE(Budget::of_events(10).exhausted(9, 1e12));
+  EXPECT_TRUE(Budget::until(2.5).exhausted(0, 2.5));
+  EXPECT_FALSE(Budget::until(2.5).exhausted(1'000'000, 2.49));
+  // Both caps set: whichever trips first ends the run.
+  const Budget both{5, 3.0};
+  EXPECT_TRUE(both.exhausted(5, 0.0));
+  EXPECT_TRUE(both.exhausted(0, 3.0));
+  EXPECT_FALSE(both.exhausted(4, 2.9));
+}
+
+TEST(RunUntil, SynchronousHorizonCountsRounds) {
+  Engine engine = idle_engine(8, 1, SchedulerSpec::synchronous());
+  // Rounds are unit time: the first round starting at or past t=10.5 never
+  // runs, so exactly 11 rounds execute (vtime 11 >= 10.5 after round 11).
+  EXPECT_EQ(engine.run_until(10.5), 11u);
+  EXPECT_DOUBLE_EQ(engine.virtual_time(), 11.0);
+  // Re-running with the same horizon is a no-op; a later one resumes.
+  EXPECT_EQ(engine.run_until(10.5), 11u);
+  EXPECT_EQ(engine.run_until(20.0), 20u);
+}
+
+TEST(RunUntil, EventBudgetStillCaps) {
+  Engine engine = idle_engine(8, 2, SchedulerSpec::synchronous());
+  EXPECT_EQ(engine.run(Budget::of_events(7)), 7u);
+  EXPECT_EQ(engine.run(7), 7u);  // The historical overload agrees.
+  // Horizon far away, events near: events win.
+  EXPECT_EQ(engine.run(Budget{9, 1e9}), 9u);
+  // Events far away, horizon near: the horizon wins.
+  EXPECT_EQ(engine.run(Budget{1'000, 12.0}), 12u);
+}
+
+TEST(RunUntil, PoissonHorizonTerminatesDeterministicallyWithinOneStep) {
+  const double kHorizon = 4.0;
+  const auto run = [&](std::uint64_t seed) {
+    Engine engine = idle_engine(32, seed, SchedulerSpec::poisson());
+    // Record the virtual-time trace to bound the overshoot by the last
+    // step's increment.
+    std::vector<double> trace;
+    engine.set_round_observer([&trace](const Engine& e) {
+      trace.push_back(e.virtual_time());
+    });
+    const std::uint64_t events = engine.run_until(kHorizon);
+    EXPECT_EQ(events, trace.size());
+    return trace;
+  };
+  const auto a = run(77);
+  ASSERT_GE(a.size(), 2u);
+  // Terminates past the horizon...
+  EXPECT_GE(a.back(), kHorizon);
+  // ...but the step *before* the last still lay short of it — i.e. the
+  // overshoot is bounded by one step increment.
+  EXPECT_LT(a[a.size() - 2], kHorizon);
+  // ~n·λ·horizon events in expectation, not millions: the horizon binds.
+  EXPECT_GT(a.size(), 32u);
+  EXPECT_LT(a.size(), 32u * 20u);
+  // Deterministic per seed, different across seeds.
+  EXPECT_EQ(a, run(77));
+  EXPECT_NE(a, run(78));
+}
+
+TEST(RunUntil, SpreadConfigHorizonBindsPoissonRun) {
+  gossip::SpreadConfig cfg;
+  cfg.n = 128;
+  cfg.mechanism = gossip::Mechanism::kPushPull;
+  cfg.seed = 5;
+  cfg.scheduler = SchedulerSpec::poisson();
+  cfg.max_rounds = 1'000'000;
+  const auto full = gossip::run_rumor_spreading(cfg);
+  ASSERT_TRUE(full.complete);
+  // A horizon short of the broadcast's Θ(log n) virtual time truncates it.
+  cfg.budget = Budget::until(1.0);
+  const auto cut = gossip::run_rumor_spreading(cfg);
+  EXPECT_FALSE(cut.complete);
+  EXPECT_LT(cut.rounds, full.rounds);
+  EXPECT_GE(cut.virtual_time, 1.0);
+  // Deterministic per seed.
+  const auto again = gossip::run_rumor_spreading(cfg);
+  EXPECT_EQ(cut.rounds, again.rounds);
+  EXPECT_DOUBLE_EQ(cut.virtual_time, again.virtual_time);
+}
+
+TEST(RunUntil, AsyncProtocolAcceptsVirtualHorizon) {
+  core::AsyncRunConfig cfg;
+  cfg.n = 32;
+  cfg.slack = 10;
+  cfg.seed = 9;
+  cfg.scheduler = SchedulerSpec::poisson();
+  const auto full = core::run_async_protocol(cfg);
+  cfg.budget = Budget::until(3.0);
+  const auto cut = core::run_async_protocol(cfg);
+  // ~3 activations per agent cannot finish the audit pipeline.
+  EXPECT_TRUE(cut.failed());
+  EXPECT_LT(cut.steps, full.steps);
+  EXPECT_GE(cut.virtual_time, 3.0);
+}
+
+TEST(RunUntil, NaiveElectionAcceptsEventBudget) {
+  baseline::NaiveElectionConfig cfg;
+  cfg.n = 64;
+  cfg.seed = 4;
+  cfg.budget = Budget::of_events(3);
+  const auto r = baseline::run_naive_election(cfg);
+  EXPECT_EQ(r.rounds, 3u);
+}
+
+}  // namespace
+}  // namespace rfc::sim

@@ -263,6 +263,7 @@ void expect_metrics_equal(const Metrics& a, const Metrics& b,
   EXPECT_EQ(a.total_bits, b.total_bits) << "t=" << at_time;
   EXPECT_EQ(a.max_message_bits, b.max_message_bits) << "t=" << at_time;
   EXPECT_EQ(a.active_links, b.active_links) << "t=" << at_time;
+  EXPECT_EQ(a.denials, b.denials) << "t=" << at_time;
 }
 
 template <typename ReferenceT>

@@ -22,7 +22,7 @@ TEST(SchedulerSpec, DefaultIsSynchronous) {
 TEST(SchedulerSpec, AllBuiltinPoliciesAreRegistered) {
   const auto names = SchedulerSpec::registered_policies();
   for (const char* expected : {"synchronous", "sequential", "partial-async",
-                               "adversarial", "poisson"}) {
+                               "batched", "adversarial", "poisson"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }
@@ -39,7 +39,11 @@ TEST(SchedulerSpec, ParseToStringRoundTripsForEveryRegisteredPolicy) {
   for (const char* text :
        {"synchronous", "sequential", "partial-async:p=0.25",
         "adversarial:victim_fraction=0.125", "adversarial:victims=0+3+7",
-        "adversarial:stream=48879,victim_fraction=0.5", "poisson:rate=2.5"}) {
+        "adversarial:stream=48879,victim_fraction=0.5",
+        "adversarial:budget=1500,phase=vote,victims=0+1",
+        "adversarial:phase=commit,victim_fraction=0.25",
+        "batched:block=8", "batched:block=8,shards=4,threads=2",
+        "poisson:rate=2.5"}) {
     const auto spec = SchedulerSpec::parse(text);
     EXPECT_EQ(spec.to_string(), text) << text;
     EXPECT_EQ(SchedulerSpec::parse(spec.to_string()), spec) << text;
@@ -52,8 +56,13 @@ TEST(SchedulerSpec, NamedConstructorsRoundTripThroughParse) {
       SchedulerSpec::synchronous(),
       SchedulerSpec::sequential(),
       SchedulerSpec::partial_async(0.25),
+      SchedulerSpec::batched(4),
+      SchedulerSpec::batched(4, ShardingConfig{8, 2}),
       SchedulerSpec::adversarial({.victim_fraction = 0.375}),
       SchedulerSpec::adversarial({.victim_ids = {1, 4}, .stream = 0xBEEFu}),
+      SchedulerSpec::adversarial({.victim_ids = {1, 4},
+                                  .target_phase = AgentPhase::kVote,
+                                  .budget = 250}),
       SchedulerSpec::poisson(),
       SchedulerSpec::poisson(0.5),
   };
@@ -72,15 +81,25 @@ TEST(SchedulerSpec, ParsedParametersReachTheScheduler) {
   EXPECT_DOUBLE_EQ(partial->wake_probability(), 0.25);
 
   const auto adv = SchedulerSpec::parse(
-      "adversarial:victim_fraction=0.5,stream=48879,victims=2+9");
+      "adversarial:victim_fraction=0.5,stream=48879,victims=2+9,"
+      "phase=vote,budget=1500");
   const auto adv_scheduler = adv.make();
   const auto* adversarial =
-      dynamic_cast<const AdversarialScheduler*>(adv_scheduler.get());
+      dynamic_cast<const PhaseAdversarialScheduler*>(adv_scheduler.get());
   ASSERT_NE(adversarial, nullptr);
   EXPECT_DOUBLE_EQ(adversarial->config().victim_fraction, 0.5);
   EXPECT_EQ(adversarial->config().stream, 0xBEEFu);
   EXPECT_EQ(adversarial->config().victim_ids,
             (std::vector<AgentId>{2, 9}));
+  EXPECT_EQ(adversarial->config().target_phase, AgentPhase::kVote);
+  EXPECT_EQ(adversarial->config().budget, 1500u);
+
+  const auto batched_scheduler =
+      SchedulerSpec::parse("batched:block=5").make();
+  const auto* batched =
+      dynamic_cast<const BatchedDeliveryScheduler*>(batched_scheduler.get());
+  ASSERT_NE(batched, nullptr);
+  EXPECT_EQ(batched->config().blocks, 5u);
 
   const auto poisson = SchedulerSpec::parse("poisson:rate=2.5").make();
   const auto* clock =
@@ -118,6 +137,24 @@ TEST(SchedulerSpec, MakeRejectsBadParameters) {
                std::invalid_argument);
   EXPECT_THROW(SchedulerSpec::parse("poisson:rate=0").make(),
                std::invalid_argument);
+  // The adaptive-adversary and batched parameters validate the same way.
+  EXPECT_THROW(SchedulerSpec::parse("adversarial:phase=warp-drive").make(),
+               std::invalid_argument);
+  EXPECT_THROW(SchedulerSpec::parse("adversarial:phase=unknown").make(),
+               std::invalid_argument);
+  EXPECT_THROW(SchedulerSpec::parse("adversarial:budget=-1").make(),
+               std::invalid_argument);
+  EXPECT_THROW(SchedulerSpec::parse("adversarial:budget=soon").make(),
+               std::invalid_argument);
+  EXPECT_THROW(SchedulerSpec::parse("batched:block=0").make(),
+               std::invalid_argument);
+  EXPECT_THROW(SchedulerSpec::parse("batched:block=abc").make(),
+               std::invalid_argument);
+  EXPECT_THROW(SchedulerSpec::parse("batched:p=0.5").make(),
+               std::invalid_argument);
+  // Activation-based policies still have no sharded round.
+  EXPECT_THROW(SchedulerSpec::parse("adversarial:shards=4").make(),
+               std::invalid_argument);
 }
 
 TEST(SchedulerSpec, StepsPerRoundExchangeRate) {
@@ -128,11 +165,16 @@ TEST(SchedulerSpec, StepsPerRoundExchangeRate) {
   EXPECT_EQ(SchedulerSpec::adversarial({}).steps_per_round(n), 64u);
   EXPECT_EQ(SchedulerSpec::partial_async(1.0).steps_per_round(n), 1u);
   EXPECT_EQ(SchedulerSpec::partial_async(0.25).steps_per_round(n), 4u);
+  // One batched rotation (B sub-steps) is a round; blocks clamp to n.
+  EXPECT_EQ(SchedulerSpec::batched(8).steps_per_round(n), 8u);
+  EXPECT_EQ(SchedulerSpec::batched(1).steps_per_round(n), 1u);
+  EXPECT_EQ(SchedulerSpec::batched(200).steps_per_round(n), 64u);
 }
 
 TEST(SchedulerSpec, ActivationBasedClassifiesEventCost) {
   EXPECT_FALSE(SchedulerSpec::synchronous().activation_based());
   EXPECT_FALSE(SchedulerSpec::partial_async(0.1).activation_based());
+  EXPECT_FALSE(SchedulerSpec::batched(4).activation_based());
   EXPECT_TRUE(SchedulerSpec::sequential().activation_based());
   EXPECT_TRUE(SchedulerSpec::adversarial({}).activation_based());
   EXPECT_TRUE(SchedulerSpec::poisson().activation_based());

@@ -17,6 +17,7 @@
 
 #include "core/runner.hpp"
 #include "gossip/rumor.hpp"
+#include "rational/strategies.hpp"
 #include "sim/engine.hpp"
 #include "sim/fault_model.hpp"
 #include "sim/scheduler_spec.hpp"
@@ -57,6 +58,7 @@ void expect_metrics_identical(const Metrics& a, const Metrics& b,
   EXPECT_EQ(a.total_bits, b.total_bits) << label;
   EXPECT_EQ(a.max_message_bits, b.max_message_bits) << label;
   EXPECT_EQ(a.active_links, b.active_links) << label;
+  EXPECT_EQ(a.denials, b.denials) << label;
 }
 
 // --------------------------------------------------------------------------
@@ -195,6 +197,100 @@ TEST(ShardedEquivalence, PartialAsyncMaskedRoundIdentical) {
     EXPECT_EQ(base.rounds, sharded.rounds) << case_name(c);
     expect_metrics_identical(base.metrics, sharded.metrics, case_name(c));
   }
+}
+
+// --------------------------------------------------------------------------
+// Batched delivery: the masked sub-round must shard identically too, so
+// batched:block=B traces are pinned for every (shards, threads).
+// --------------------------------------------------------------------------
+
+TEST(ShardedEquivalence, BatchedDeliveryIdenticalAcrossShardsAndThreads) {
+  const gossip::SpreadResult base =
+      run_spread(SchedulerSpec::parse("batched:block=3"));
+  ASSERT_TRUE(base.complete);
+  for (const ShardCase& c : shard_cases()) {
+    const gossip::SpreadResult sharded =
+        run_spread(SchedulerSpec::parse("batched:block=3," + case_name(c)));
+    EXPECT_EQ(base.complete, sharded.complete) << case_name(c);
+    EXPECT_EQ(base.rounds, sharded.rounds) << case_name(c);
+    EXPECT_EQ(base.virtual_time, sharded.virtual_time) << case_name(c);
+    expect_metrics_identical(base.metrics, sharded.metrics, case_name(c));
+  }
+}
+
+TEST(ShardedEquivalence, ProtocolPBatchedIdenticalAcrossShardsAndThreads) {
+  // Protocol P under batched delivery usually fails (its phase schedule
+  // reads the global clock, which now ticks B× per agent wake) — the
+  // equivalence claim is about traces, not protocol success.
+  const core::RunResult base =
+      run_p(SchedulerSpec::parse("batched:block=3"), 0);
+  for (const ShardCase& c : shard_cases()) {
+    expect_run_identical(
+        base, run_p(SchedulerSpec::parse("batched:block=3," + case_name(c)), 0),
+        case_name(c));
+  }
+}
+
+TEST(ShardedEquivalence, BatchedRotationMatchesSynchronousAtOneBlock) {
+  // block=1 wakes everyone each sub-step: exactly the synchronous engine.
+  const gossip::SpreadResult sync = run_spread(SchedulerSpec::synchronous());
+  const gossip::SpreadResult one =
+      run_spread(SchedulerSpec::parse("batched:block=1"));
+  EXPECT_EQ(sync.rounds, one.rounds);
+  expect_metrics_identical(sync.metrics, one.metrics, "batched:block=1");
+}
+
+// --------------------------------------------------------------------------
+// Shard-safety: agents sharing a coalition blackboard must be rejected at
+// executor setup instead of racing (regression for the fail-fast path).
+// --------------------------------------------------------------------------
+
+TEST(ShardedEquivalence, CoalitionAgentsRejectedByShardedExecutor) {
+  const std::uint32_t n = 8;
+  const auto params = core::ProtocolParams::make(n, 3.0);
+  const auto coalition = rational::make_prefix_coalition(2);
+  const auto build = [&](SchedulerPtr scheduler) {
+    auto engine = std::make_unique<Engine>(
+        EngineConfig{n, 99, nullptr, std::move(scheduler)});
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (coalition->contains(i)) {
+        engine->set_agent(i, std::make_unique<rational::SelfishVotingAgent>(
+                                 params, static_cast<core::Color>(i),
+                                 coalition));
+      } else {
+        engine->set_agent(i, std::make_unique<core::ProtocolAgent>(
+                                 params, static_cast<core::Color>(i)));
+      }
+    }
+    return engine;
+  };
+  // The sharded round refuses at setup...
+  EXPECT_THROW(
+      build(SchedulerSpec::parse("synchronous:shards=2").make())->step(),
+      std::invalid_argument);
+  // ...including through batched delivery's sharded sub-round...
+  EXPECT_THROW(
+      build(SchedulerSpec::parse("batched:block=2,shards=2").make())->step(),
+      std::invalid_argument);
+  // ...while the serial round runs the same agents fine.
+  EXPECT_NO_THROW(build(SchedulerSpec::synchronous().make())->step());
+  EXPECT_NO_THROW(
+      build(SchedulerSpec::parse("batched:block=2").make())->step());
+}
+
+TEST(ShardedEquivalence, RunProtocolRejectsCoalitionWithShards) {
+  core::RunConfig cfg;
+  cfg.n = 16;
+  cfg.gamma = 3.0;
+  cfg.seed = 5;
+  cfg.coalition = {0, 1};
+  cfg.factory = rational::make_deviating_factory(
+      rational::DeviationStrategy::kSelfishVoting,
+      rational::make_prefix_coalition(2));
+  cfg.scheduler = SchedulerSpec::parse("synchronous:shards=2");
+  EXPECT_THROW(core::run_protocol(cfg), std::invalid_argument);
+  cfg.scheduler = SchedulerSpec::synchronous();
+  EXPECT_NO_THROW(core::run_protocol(cfg));
 }
 
 // --------------------------------------------------------------------------
