@@ -44,7 +44,8 @@ class NaiveElectionAgent final : public sim::Agent {
   /// `cheat` pins the key to 0 — the one-line attack this baseline admits.
   NaiveElectionAgent(NaiveKeyMode mode, std::uint64_t m, std::uint32_t q,
                      core::Color color, bool cheat) noexcept
-      : mode_(mode), m_(m), rounds_left_(q), color_(color), cheat_(cheat) {}
+      : mode_(mode), m_(m), q_(q), rounds_left_(q), color_(color),
+        cheat_(cheat) {}
 
   core::Color decision() const noexcept { return best_.color; }
   const Tuple& best() const noexcept { return best_; }
@@ -57,9 +58,17 @@ class NaiveElectionAgent final : public sim::Agent {
                      const sim::Payload& reply) override;
   bool done() const override { return rounds_left_ == 0; }
 
+  /// One-stage pipeline: the fraction of the q-pull budget spent.
+  double progress() const noexcept override {
+    return q_ == 0 ? 1.0
+                   : static_cast<double>(q_ - rounds_left_) /
+                         static_cast<double>(q_);
+  }
+
  private:
   NaiveKeyMode mode_;
   std::uint64_t m_;
+  std::uint32_t q_;
   std::uint32_t rounds_left_;
   core::Color color_;
   bool cheat_;

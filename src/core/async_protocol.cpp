@@ -80,6 +80,26 @@ sim::AgentPhase AsyncSchedule::observed_phase(std::uint64_t a) const noexcept {
   return sim::AgentPhase::kDone;
 }
 
+double AsyncSchedule::progress_of(std::uint64_t a) const noexcept {
+  // Stage boundaries mirror observed_phase: commit [0, q), vote
+  // [q, block+q) (guard + q pushes), spread [block+q, 3·block) (guard + the
+  // extended find-min), confirm [3·block, 3·block+q).
+  const std::uint64_t block = q + slack;
+  const double fq = static_cast<double>(q);
+  if (a < q) return static_cast<double>(a) / fq;
+  if (a < block + q) {
+    return 1.0 + static_cast<double>(a - q) / static_cast<double>(block);
+  }
+  if (a < 3 * block) {
+    return 2.0 + static_cast<double>(a - (block + q)) /
+                     static_cast<double>(2 * block - q);
+  }
+  if (a < 3 * block + q) {
+    return 3.0 + static_cast<double>(a - 3 * block) / fq;
+  }
+  return 4.0;
+}
+
 AsyncProtocolAgent::AsyncProtocolAgent(const ProtocolParams& params,
                                        AsyncSchedule schedule, Color color)
     : params_(params), schedule_(schedule), color_(color) {}

@@ -77,6 +77,12 @@ struct AsyncSchedule {
   /// an agent idling before its voting pushes is "entering its voting
   /// window", which is exactly what a phase-aware adversary targets.
   sim::AgentPhase observed_phase(std::uint64_t activation) const noexcept;
+
+  /// Numeric pipeline position for activation `a`: completed observed
+  /// stages + fraction of the current one, in [0, 4], consistent with
+  /// observed_phase (guard activations count toward the stage they lead
+  /// into).  Exact for any activation policy, like observed_phase.
+  double progress_of(std::uint64_t activation) const noexcept;
 };
 
 class AsyncProtocolAgent final : public sim::Agent {
@@ -115,6 +121,12 @@ class AsyncProtocolAgent final : public sim::Agent {
   sim::AgentPhase phase() const noexcept override {
     return done() ? sim::AgentPhase::kDone
                   : schedule_.observed_phase(activations_);
+  }
+
+  /// Numeric pipeline position (sim::EngineView), from the local schedule
+  /// and the agent's own activation count — exact under any policy.
+  double progress() const noexcept override {
+    return done() ? 4.0 : schedule_.progress_of(activations_);
   }
 
  private:

@@ -123,8 +123,18 @@ std::uint64_t ProtocolAgent::local_memory_bits() const noexcept {
   return bits;
 }
 
+double ProtocolAgent::progress() const noexcept {
+  if (done()) return 4.0;
+  // The schedule is 4 communication phases of q rounds each, so the round
+  // of the last activation over q is exactly stages-completed + fraction.
+  const std::uint64_t cap = params_.communication_rounds();
+  const std::uint64_t r = observed_round_ < cap ? observed_round_ : cap;
+  return static_cast<double>(r) / static_cast<double>(params_.q);
+}
+
 sim::Action ProtocolAgent::on_round(const sim::Context& ctx) {
   if (done()) return sim::Action::idle();
+  observed_round_ = ctx.round;
   observed_phase_ = to_agent_phase(params_.phase_of_round(ctx.round));
   switch (params_.phase_of_round(ctx.round)) {
     case Phase::kCommitment:

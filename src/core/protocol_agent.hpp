@@ -83,6 +83,11 @@ class ProtocolAgent : public sim::Agent {
     return done() ? sim::AgentPhase::kDone : observed_phase_;
   }
 
+  /// Numeric pipeline position (stages completed + fraction of the current
+  /// stage, in [0, 4]): round-of-last-activation / q, capped at 4.0 once
+  /// decided or failed.  Same staleness caveat as phase().
+  double progress() const noexcept override;
+
  protected:
   // ---- Deviation hooks: defaults implement the honest protocol ---------
 
@@ -159,6 +164,8 @@ class ProtocolAgent : public sim::Agent {
   std::vector<sim::AgentId> commitment_pullers_;
   /// Phase observed at the last on_round (exposed through phase()).
   sim::AgentPhase observed_phase_ = sim::AgentPhase::kCommit;
+  /// Round observed at the last on_round (exposed through progress()).
+  std::uint64_t observed_round_ = 0;
 
  private:
   void record_commitment_reply(sim::AgentId target,

@@ -22,7 +22,7 @@ class MinAggregationAgent final : public sim::Agent {
   MinAggregationAgent(std::uint64_t initial_value, std::uint64_t value_bits,
                       std::uint64_t rounds_budget) noexcept
       : value_(initial_value), value_bits_(value_bits),
-        rounds_left_(rounds_budget) {}
+        budget_(rounds_budget), rounds_left_(rounds_budget) {}
 
   std::uint64_t value() const noexcept { return value_; }
 
@@ -33,9 +33,17 @@ class MinAggregationAgent final : public sim::Agent {
                      const sim::Payload& reply) override;
   bool done() const override { return rounds_left_ == 0; }
 
+  /// One-stage pipeline: the fraction of the pull budget spent.
+  double progress() const noexcept override {
+    return budget_ == 0 ? 1.0
+                        : static_cast<double>(budget_ - rounds_left_) /
+                              static_cast<double>(budget_);
+  }
+
  private:
   std::uint64_t value_;
   std::uint64_t value_bits_;
+  std::uint64_t budget_;
   std::uint64_t rounds_left_;
 };
 

@@ -65,6 +65,11 @@ class RumorAgent final : public sim::Agent {
   /// a global property the driver below observes from outside.
   bool done() const override { return false; }
 
+  /// One-stage pipeline: informed or not.  Lets reactive adversaries
+  /// (adversarial:target=min-cert) starve exactly the still-uninformed
+  /// agents — the worst case for a pull spread.
+  double progress() const noexcept override { return informed_ ? 1.0 : 0.0; }
+
  private:
   Mechanism mech_;
   bool informed_;

@@ -129,6 +129,19 @@ class Agent {
   /// their own activations report the phase of their next wake-up exactly.
   virtual AgentPhase phase() const noexcept { return AgentPhase::kUnknown; }
 
+  /// Numeric observation hook next to phase(): the agent's position in its
+  /// local pipeline, encoded as completed stages plus the fraction of the
+  /// current stage done — the integer part counts pipeline stages fully
+  /// behind the agent, the fractional part (in [0, 1)) is how far through
+  /// the current stage it is.  Monotone nondecreasing over an execution and
+  /// comparable *within one agent family*, which is all a reactive
+  /// adversary needs: `adversarial:target=min-cert` starves the agent whose
+  /// report is currently minimal (the weakest certificate/progress holder),
+  /// `target=quorum-edge` the agents whose fractional part is largest (just
+  /// about to complete their phase).  The same staleness caveat as phase()
+  /// applies.  Agents without a pipeline report 0 forever.
+  virtual double progress() const noexcept { return 0.0; }
+
   /// True when this agent's callbacks touch only its own state and the
   /// Context handed to them — the requirement of the sharded round
   /// (sim/sharding.hpp).  Agents sharing mutable state across labels (a

@@ -8,9 +8,11 @@
 //
 //   * the clocks (discrete event count and accumulated virtual time),
 //   * per-agent done()/faulty status,
-//   * per-agent protocol phase (the Agent::phase() hook — e.g. Protocol P
-//     agents report their audit-pipeline stage, so a phase-aware adversary
-//     can starve an agent exactly during its voting window), and
+//   * per-agent protocol phase and numeric progress (the Agent::phase() /
+//     Agent::progress() hooks — e.g. Protocol P agents report their
+//     audit-pipeline stage and position, so a phase-aware adversary can
+//     starve an agent exactly during its voting window and a reactive one
+//     can re-plan its victim set around the weakest progress holder), and
 //   * shard geometry (the contiguous block partition of the label space
 //     shared with ShardedRoundExecutor and the batched-delivery policy).
 //
@@ -46,6 +48,10 @@ class EngineView {
   /// The agent's phase observation (sim::AgentPhase); kUnknown for agents
   /// that expose none.
   AgentPhase phase(AgentId id) const { return core_->agent(id).phase(); }
+  /// The agent's numeric pipeline position (Agent::progress(): completed
+  /// stages + fraction of the current stage); 0 for agents that expose
+  /// none.  Reactive adversaries rank victims by this observation.
+  double progress(AgentId id) const { return core_->agent(id).progress(); }
   /// True when every non-faulty agent reports done().
   bool all_done() const { return core_->all_done(); }
 

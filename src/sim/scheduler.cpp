@@ -104,6 +104,27 @@ double BatchedDeliveryScheduler::step(EngineCore& core,
   return after - before;
 }
 
+const char* to_string(ReactiveTarget target) noexcept {
+  switch (target) {
+    case ReactiveTarget::kNone: return "";
+    case ReactiveTarget::kMinCert: return "min-cert";
+    case ReactiveTarget::kLaggard: return "laggard";
+    case ReactiveTarget::kQuorumEdge: return "quorum-edge";
+  }
+  return "";
+}
+
+ReactiveTarget parse_reactive_target(const std::string& text) {
+  for (const ReactiveTarget t :
+       {ReactiveTarget::kMinCert, ReactiveTarget::kLaggard,
+        ReactiveTarget::kQuorumEdge}) {
+    if (text == to_string(t)) return t;
+  }
+  throw std::invalid_argument(
+      "unknown reactive target rule \"" + text +
+      "\" (expected min-cert, laggard, or quorum-edge)");
+}
+
 PhaseAdversarialScheduler::PhaseAdversarialScheduler(AdversarialConfig cfg)
     : cfg_(std::move(cfg)) {
   if (!(cfg_.victim_fraction >= 0.0 && cfg_.victim_fraction <= 1.0)) {
@@ -111,6 +132,13 @@ PhaseAdversarialScheduler::PhaseAdversarialScheduler(AdversarialConfig cfg)
         "PhaseAdversarialScheduler: victim fraction must be in [0, 1]");
   }
 }
+
+void PhaseAdversarialScheduler::plan_victims(EngineCore& /*core*/,
+                                             const EngineView& /*view*/) {
+  // Static/phase adversary: the victim set was fixed by build_order.
+}
+
+void PhaseAdversarialScheduler::note_wake(AgentId /*u*/) {}
 
 void PhaseAdversarialScheduler::attach(EngineCore& core) {
   rng_ = rfc::support::Xoshiro256(
@@ -146,6 +174,7 @@ double PhaseAdversarialScheduler::step(EngineCore& core,
                                        const EngineView& view) {
   core.ensure_started();  // Observations below read agent state.
   if (!order_built_) build_order(core);
+  plan_victims(core, view);  // Reactive policies re-rank every step.
   // One round-robin walk from the cursor: done agents are swap-removed
   // (amortized O(1) per step), starved victims are passed over with one
   // provisional denial each, and the first non-starved agent wakes.
@@ -199,8 +228,83 @@ double PhaseAdversarialScheduler::step(EngineCore& core,
     spent_ += provisional;
     core.note_denials(provisional);
   }
+  note_wake(chosen);
   core.sequential_activation(chosen);
   return 1.0;
+}
+
+ReactiveAdversarialScheduler::ReactiveAdversarialScheduler(
+    AdversarialConfig cfg)
+    : PhaseAdversarialScheduler(std::move(cfg)) {
+  if (cfg_.target == ReactiveTarget::kNone) {
+    throw std::invalid_argument(
+        "ReactiveAdversarialScheduler: a targeting rule is required "
+        "(min-cert, laggard, or quorum-edge)");
+  }
+  if (!cfg_.victim_ids.empty()) {
+    throw std::invalid_argument(
+        "ReactiveAdversarialScheduler: target= selects victims from "
+        "observations; drop victims=");
+  }
+}
+
+void ReactiveAdversarialScheduler::plan_victims(EngineCore& core,
+                                                const EngineView& view) {
+  if (last_wake_.size() != core.n()) last_wake_.assign(core.n(), 0);
+  std::fill(victim_.begin(), victim_.end(), false);
+  // Candidates: the wakeable pool minus agents already done (the walk
+  // removes those lazily; wasting victim slots on them would dilute the
+  // attack).  Keys are computed once per agent — one progress() observation
+  // each — and smaller keys starve first:
+  //   min-cert     progress itself (weakest holder first);
+  //   laggard      the wake clock — the agent whose local clock lags
+  //                virtual time the most; starving it keeps it the
+  //                laggard, maximizing clock skew;
+  //   quorum-edge  minus the fraction-of-current-stage, so the agents one
+  //                wake-up short of a phase boundary rank first.
+  ranked_.clear();
+  for (const AgentId u : pool_) {
+    if (core.agent(u).done()) continue;
+    double key = 0.0;
+    switch (cfg_.target) {
+      case ReactiveTarget::kMinCert:
+        key = view.progress(u);
+        break;
+      case ReactiveTarget::kLaggard:
+        key = static_cast<double>(last_wake_[u]);
+        break;
+      case ReactiveTarget::kQuorumEdge: {
+        const double p = view.progress(u);
+        key = std::floor(p) - p;  // = -frac(p), in (-1, 0].
+        break;
+      }
+      case ReactiveTarget::kNone:
+        return;  // Unreachable: the constructor rejects kNone.
+    }
+    ranked_.push_back({key, u});
+  }
+  if (ranked_.empty()) return;
+  const auto k = static_cast<std::size_t>(std::ceil(
+      cfg_.victim_fraction * static_cast<double>(ranked_.size())));
+  if (k == 0) return;
+  const std::size_t starved = k < ranked_.size() ? k : ranked_.size();
+  // The label tie-break makes the order strict and total, so the starved
+  // *set* is unique — a partial selection suffices and the run stays a
+  // pure function of the master seed.
+  const auto first = [](const Ranked& a, const Ranked& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.id < b.id;
+  };
+  if (starved < ranked_.size()) {
+    std::nth_element(ranked_.begin(), ranked_.begin() + (starved - 1),
+                     ranked_.end(), first);
+  }
+  for (std::size_t i = 0; i < starved; ++i) victim_[ranked_[i].id] = true;
+}
+
+void ReactiveAdversarialScheduler::note_wake(AgentId u) {
+  if (last_wake_.size() <= u) last_wake_.resize(u + 1, 0);
+  last_wake_[u] = ++wake_counter_;
 }
 
 PoissonClockScheduler::PoissonClockScheduler(double rate) : rate_(rate) {
@@ -252,6 +356,9 @@ SchedulerPtr make_batched_delivery_scheduler(BatchedDeliveryConfig cfg) {
 }
 
 SchedulerPtr make_adversarial_scheduler(AdversarialConfig cfg) {
+  if (cfg.target != ReactiveTarget::kNone) {
+    return std::make_unique<ReactiveAdversarialScheduler>(std::move(cfg));
+  }
   return std::make_unique<PhaseAdversarialScheduler>(std::move(cfg));
 }
 

@@ -2,7 +2,7 @@
 //
 // A Scheduler owns *when* agents run — activation order and the passage of
 // simulated time — while EngineCore (sim/engine_core.hpp) owns *what*
-// running means (phased delivery, fault silence, message accounting).  Six
+// running means (phased delivery, fault silence, message accounting).  Seven
 // policies ship:
 //
 //   * SynchronousScheduler — the paper's model (Section 2): every active
@@ -27,6 +27,12 @@
 //     (AdversarialConfig::target_phase, e.g. its voting window) — and the
 //     spent starvation budget (wake-up denials) is metered into
 //     Metrics::denials, optionally capped by AdversarialConfig::budget.
+//   * ReactiveAdversarialScheduler — the fully adaptive adversary: the
+//     victim set is not fixed at all but re-planned every step from
+//     EngineView observations (AdversarialConfig::target — starve the
+//     minimal-progress holder, the most-skewed laggard, or the agents at
+//     the edge of completing their phase), under the same denial metering
+//     and budget cap.
 //   * PoissonClockScheduler — the literature's standard continuous-time
 //     asynchronous model: every active agent carries an independent rate-λ
 //     Poisson clock, so wake-ups are a rate-λ·|active| process (simulated
@@ -54,6 +60,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "sim/agent.hpp"
@@ -187,14 +194,48 @@ class BatchedDeliveryScheduler final : public Scheduler {
                                  ///< exactly sub_steps_/blocks_.
 };
 
+/// Observation-driven targeting rules of the *reactive* adversary
+/// (ReactiveAdversarialScheduler): instead of pinning a victim set up
+/// front, the policy re-ranks the wakeable agents from EngineView every
+/// step (each step is a round of the sequential model) and starves the
+/// worst-ranked.  String forms ("min-cert", "laggard", "quorum-edge") are
+/// the `adversarial:target=` scheduler parameter.
+enum class ReactiveTarget : std::uint8_t {
+  kNone = 0,     ///< Not reactive: the static/phase-gated victim set.
+  kMinCert,      ///< Starve the minimal Agent::progress() holders — the
+                 ///< current weakest certificate/progress owners.
+  kLaggard,      ///< Starve the least-recently-woken agents — the maximal
+                 ///< local-clock skew, measured from the scheduler's own
+                 ///< wake log (self-reinforcing: a starved laggard only
+                 ///< falls further behind).
+  kQuorumEdge,   ///< Starve the agents closest to completing their current
+                 ///< pipeline stage (largest fractional progress) — denial
+                 ///< lands exactly where one more wake-up would let them
+                 ///< cross a phase boundary.
+};
+
+/// Stable names ("min-cert", ...), used by `adversarial:target=`; kNone has
+/// no name.
+const char* to_string(ReactiveTarget target) noexcept;
+
+/// Inverse of to_string; throws std::invalid_argument on unknown rule names
+/// (strict, mirroring the CliArgs/SchedulerSpec parsing contract).
+ReactiveTarget parse_reactive_target(const std::string& text);
+
 struct AdversarialConfig {
   /// Fraction of active agents starved (victims are a seeded sample).
-  /// Ignored when `victim_ids` is non-empty.
+  /// Ignored when `victim_ids` is non-empty.  For the reactive adversary
+  /// (`target` set) it sizes the starved set instead: the
+  /// ceil(fraction·wakeable) worst-ranked agents starve each step.
   double victim_fraction = 0.25;
   /// Explicit victim set; overrides `victim_fraction` when non-empty.
   /// Faulty or out-of-range labels in the set are skipped (they never wake
-  /// anyway), so one list works across a sweep over n.
+  /// anyway), so one list works across a sweep over n.  Incompatible with
+  /// `target` (a reactive adversary selects victims from observations).
   std::vector<AgentId> victim_ids = {};
+  /// Reactive targeting rule; kNone (the default) keeps the victim set
+  /// fixed for the whole run (the static / phase-gated adversary).
+  ReactiveTarget target = ReactiveTarget::kNone;
   /// Starve victims only while they observe this phase (Agent::phase(),
   /// read through EngineView) — e.g. kVote pins an agent exactly during its
   /// voting window.  kUnknown (the default) starves victims regardless of
@@ -220,7 +261,13 @@ struct AdversarialConfig {
 /// nothing (an adversary that delays everyone equally delays no one).
 /// With an empty victim set this degenerates to a deterministic round-robin
 /// over a seeded permutation.
-class PhaseAdversarialScheduler final : public Scheduler {
+///
+/// The walk mechanics (denial metering, budget cap, all-starved rule) are
+/// shared with the *reactive* subclass below through two protected hooks:
+/// plan_victims() recomputes the victim mask before each walk (a no-op
+/// here — this policy plans once), and note_wake() observes the chosen
+/// agent (reactive policies log wake clocks off it).
+class PhaseAdversarialScheduler : public Scheduler {
  public:
   explicit PhaseAdversarialScheduler(AdversarialConfig cfg = {});
 
@@ -231,13 +278,23 @@ class PhaseAdversarialScheduler final : public Scheduler {
   void attach(EngineCore& core) override;
   double step(EngineCore& core, const EngineView& view) override;
 
- private:
-  void build_order(EngineCore& core);
+ protected:
+  /// Recomputes victim_ before each round-robin walk.  The base policy
+  /// plans once in build_order and leaves the set fixed; reactive policies
+  /// override this to re-rank the pool from EngineView every step.
+  virtual void plan_victims(EngineCore& core, const EngineView& view);
+
+  /// Called with the agent about to wake, before the activation executes.
+  virtual void note_wake(AgentId u);
 
   AdversarialConfig cfg_;
   rfc::support::Xoshiro256 rng_{0};
   std::vector<AgentId> pool_;  ///< Seeded permutation; done agents removed.
   std::vector<bool> victim_;   ///< Victim membership, by label.
+
+ private:
+  void build_order(EngineCore& core);
+
   /// Per-label id of the last walk that skipped it — dedups denial charges
   /// when a swap-removal rotates a passed victim back in front of the
   /// cursor within one walk.
@@ -246,6 +303,44 @@ class PhaseAdversarialScheduler final : public Scheduler {
   std::size_t cursor_ = 0;
   std::uint64_t spent_ = 0;
   bool order_built_ = false;
+};
+
+/// The paper's worst-case adversary made concrete: a reactive policy layer
+/// over PhaseAdversarialScheduler that re-plans its victim set *every step*
+/// (each step is a round of the sequential model) from EngineView
+/// observations, instead of pinning victims up front.  The wakeable pool is
+/// ranked by the configured ReactiveTarget rule — minimal progress
+/// (min-cert), oldest wake clock (laggard), or largest fractional progress
+/// (quorum-edge) — and the ceil(victim_fraction·pool) worst-ranked agents
+/// starve, under the same phase gate, budget cap, denial metering, and
+/// all-starved escape rule as the base policy.  Ties rank by label, so runs
+/// stay pinned by the master seed.
+class ReactiveAdversarialScheduler final : public PhaseAdversarialScheduler {
+ public:
+  /// `cfg.target` must be a real rule (not kNone) and `cfg.victim_ids` must
+  /// be empty; throws std::invalid_argument otherwise.
+  explicit ReactiveAdversarialScheduler(AdversarialConfig cfg);
+
+  const char* name() const noexcept override { return "reactive-adversarial"; }
+
+ protected:
+  void plan_victims(EngineCore& core, const EngineView& view) override;
+  void note_wake(AgentId u) override;
+
+ private:
+  /// One ranking entry: the rule's key (smaller = starved first) plus the
+  /// label tie-break that makes the top-k set unique and deterministic.
+  struct Ranked {
+    double key;
+    AgentId id;
+  };
+
+  /// Wake log for the laggard rule: monotone wake counter per label, 0 =
+  /// never woken.  Self-maintained — clock skew is the scheduler's own
+  /// observable, no agent hook needed.
+  std::vector<std::uint64_t> last_wake_;
+  std::uint64_t wake_counter_ = 0;
+  std::vector<Ranked> ranked_;  ///< Scratch: pool re-keyed per step.
 };
 
 /// Continuous-time asynchronous gossip: each active agent wakes at the

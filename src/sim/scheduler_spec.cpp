@@ -103,13 +103,22 @@ Registry make_builtin_registry() {
           cfg.target_phase =
               parse_agent_phase(spec.params().at("phase"));
         }
+        if (spec.has_param("target")) {
+          cfg.target = parse_reactive_target(spec.params().at("target"));
+          if (!cfg.victim_ids.empty()) {
+            throw std::invalid_argument(
+                "SchedulerSpec: adversarial:target= selects victims from "
+                "observations; drop victims=");
+          }
+        }
         return make_adversarial_scheduler(std::move(cfg));
       },
       activation_steps,
-      {"victim_fraction", "stream", "victims", "phase", "budget"},
+      {"victim_fraction", "stream", "victims", "phase", "budget", "target"},
       "seeded starvation orderings (victim_fraction=0.25 or victims=a+b+c); "
       "phase=vote starves victims only in that pipeline phase, budget=N "
-      "caps the spent wake-up denials",
+      "caps the spent wake-up denials, target=min-cert|laggard|quorum-edge "
+      "re-plans the victim set every step from EngineView observations",
       /*activation_based=*/true};
   reg["poisson"] = {
       [](const SchedulerSpec& spec) {
@@ -348,6 +357,9 @@ SchedulerSpec SchedulerSpec::adversarial(const AdversarialConfig& cfg) {
   }
   if (cfg.target_phase != AgentPhase::kUnknown) {
     params["phase"] = rfc::sim::to_string(cfg.target_phase);
+  }
+  if (cfg.target != ReactiveTarget::kNone) {
+    params["target"] = rfc::sim::to_string(cfg.target);
   }
   if (cfg.budget != 0) {
     params["budget"] = std::to_string(cfg.budget);

@@ -22,6 +22,10 @@
 //   adversarial:phase=vote,budget=1500          adaptive: starve victims
 //                                               only in their voting window,
 //                                               spending <= 1500 denials
+//   adversarial:target=min-cert,budget=200      reactive: re-plan the victim
+//                                               set every step — starve the
+//                                               weakest progress holder
+//                                               (also: laggard, quorum-edge)
 //   poisson                                     rate-1 Poisson clocks
 //   poisson:rate=2                              rate-λ Poisson clocks
 //

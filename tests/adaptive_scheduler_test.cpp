@@ -42,6 +42,55 @@ class PhasedAgent final : public Agent {
   std::uint64_t activations_ = 0;
 };
 
+/// Never-done agent with an externally controlled progress report (the
+/// pointer lets a test move an agent's progress mid-run) and an optional
+/// pinned phase, for exercising the reactive rules against known state.
+class ProgressAgent final : public Agent {
+ public:
+  explicit ProgressAgent(const double* progress,
+                         AgentPhase phase = AgentPhase::kUnknown) noexcept
+      : progress_(progress), phase_(phase) {}
+
+  std::uint64_t activations() const noexcept { return activations_; }
+
+  Action on_round(const Context&) override {
+    ++activations_;
+    return Action::idle();
+  }
+  Payload serve_pull(const Context&, AgentId) override { return {}; }
+  bool done() const override { return false; }
+  AgentPhase phase() const noexcept override { return phase_; }
+  double progress() const noexcept override { return *progress_; }
+
+ private:
+  const double* progress_;
+  AgentPhase phase_;
+  std::uint64_t activations_ = 0;
+};
+
+Engine progress_engine(std::uint32_t n, std::uint64_t seed,
+                       const SchedulerSpec& spec,
+                       const std::vector<double>& progress,
+                       const std::vector<AgentPhase>& phases = {}) {
+  Engine engine({n, seed, nullptr, spec.make()});
+  for (AgentId i = 0; i < n; ++i) {
+    engine.set_agent(i, std::make_unique<ProgressAgent>(
+                            &progress.at(i),
+                            i < phases.size() ? phases[i]
+                                              : AgentPhase::kUnknown));
+  }
+  return engine;
+}
+
+std::vector<std::uint64_t> progress_activation_counts(const Engine& engine) {
+  std::vector<std::uint64_t> counts(engine.n());
+  for (AgentId i = 0; i < engine.n(); ++i) {
+    counts[i] =
+        static_cast<const ProgressAgent&>(engine.agent(i)).activations();
+  }
+  return counts;
+}
+
 Engine phased_engine(std::uint32_t n, std::uint64_t seed,
                      const SchedulerSpec& spec,
                      const std::vector<AgentPhase>& phases) {
@@ -345,6 +394,309 @@ TEST(PhaseAdversary, DeterministicPerSeed) {
   EXPECT_EQ(a.metrics.total_bits, b.metrics.total_bits);
   EXPECT_EQ(a.metrics.denials, b.metrics.denials);
   EXPECT_NE(c.metrics.total_bits, a.metrics.total_bits);
+}
+
+// --------------------------------------------------------------------------
+// Agent::progress(): the numeric observation next to phase()
+// --------------------------------------------------------------------------
+
+TEST(AgentProgress, DefaultsToZeroAndRumorReportsInformed) {
+  const PhasedAgent plain;
+  EXPECT_DOUBLE_EQ(plain.progress(), 0.0);
+  const gossip::RumorAgent uninformed(gossip::Mechanism::kPull, false, 8);
+  const gossip::RumorAgent informed(gossip::Mechanism::kPull, true, 8);
+  EXPECT_DOUBLE_EQ(uninformed.progress(), 0.0);
+  EXPECT_DOUBLE_EQ(informed.progress(), 1.0);
+}
+
+TEST(AgentProgress, AsyncScheduleStagePlusFraction) {
+  core::AsyncSchedule s;
+  s.q = 10;
+  s.slack = 4;  // block = 14.
+  EXPECT_DOUBLE_EQ(s.progress_of(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.progress_of(5), 0.5);
+  EXPECT_DOUBLE_EQ(s.progress_of(9), 0.9);
+  // Vote stage spans the guard plus the q pushes: [10, 24), length 14.
+  EXPECT_DOUBLE_EQ(s.progress_of(10), 1.0);
+  EXPECT_DOUBLE_EQ(s.progress_of(17), 1.0 + 7.0 / 14.0);
+  EXPECT_DOUBLE_EQ(s.progress_of(23), 1.0 + 13.0 / 14.0);
+  // Spread spans guard 2 plus the extended find-min: [24, 42), length 18.
+  EXPECT_DOUBLE_EQ(s.progress_of(24), 2.0);
+  EXPECT_DOUBLE_EQ(s.progress_of(33), 2.5);
+  EXPECT_DOUBLE_EQ(s.progress_of(41), 2.0 + 17.0 / 18.0);
+  // Coherence [42, 52), then the pipeline is complete.
+  EXPECT_DOUBLE_EQ(s.progress_of(42), 3.0);
+  EXPECT_DOUBLE_EQ(s.progress_of(51), 3.9);
+  EXPECT_DOUBLE_EQ(s.progress_of(52), 4.0);
+  EXPECT_DOUBLE_EQ(s.progress_of(1000), 4.0);
+  // The integer part always agrees with the observed stage, and progress
+  // is monotone nondecreasing activation by activation.
+  double last = 0.0;
+  for (std::uint64_t a = 0; a <= s.total_activations(); ++a) {
+    const double p = s.progress_of(a);
+    EXPECT_GE(p, last) << a;
+    last = p;
+    const AgentPhase expect[] = {AgentPhase::kCommit, AgentPhase::kVote,
+                                 AgentPhase::kSpread, AgentPhase::kConfirm,
+                                 AgentPhase::kDone};
+    EXPECT_EQ(s.observed_phase(a), expect[static_cast<int>(p)]) << a;
+  }
+}
+
+TEST(AgentProgress, ProtocolAgentCountsStagesThroughSchedule) {
+  const std::uint32_t n = 16;
+  const auto params = core::ProtocolParams::make(n, 3.0);
+  Engine engine({n, 7});
+  for (AgentId i = 0; i < n; ++i) {
+    engine.set_agent(i, std::make_unique<core::ProtocolAgent>(
+                            params, static_cast<core::Color>(i)));
+  }
+  const EngineView& view = engine.view();
+  EXPECT_DOUBLE_EQ(view.progress(0), 0.0);  // Before any round.
+  engine.run(params.voting_begin() + 1);
+  EXPECT_GE(view.progress(0), 1.0);
+  EXPECT_LT(view.progress(0), 2.0);
+  engine.run(params.find_min_begin() + 1);
+  EXPECT_GE(view.progress(0), 2.0);
+  EXPECT_LT(view.progress(0), 3.0);
+  engine.run(params.coherence_begin() + 1);
+  EXPECT_GE(view.progress(0), 3.0);
+  EXPECT_LT(view.progress(0), 4.0);
+  engine.run(params.total_rounds() + 4);
+  EXPECT_DOUBLE_EQ(view.progress(0), 4.0);
+}
+
+// --------------------------------------------------------------------------
+// ReactiveAdversarialScheduler: observation-driven targeting rules
+// --------------------------------------------------------------------------
+
+SchedulerSpec reactive_spec(ReactiveTarget rule, double fraction,
+                            std::uint64_t budget = 0) {
+  return SchedulerSpec::adversarial(
+      {.victim_fraction = fraction, .target = rule, .budget = budget});
+}
+
+TEST(ReactiveAdversary, MinCertStarvesTheWeakestProgressHolder) {
+  const std::uint32_t n = 6;
+  std::vector<double> progress = {0.5, 0.2, 0.9, 0.4, 0.8, 0.7};
+  Engine engine = progress_engine(
+      n, 51, reactive_spec(ReactiveTarget::kMinCert, 1.0 / n), progress);
+  engine.run(60);
+  const auto counts = progress_activation_counts(engine);
+  EXPECT_EQ(counts[1], 0u);  // The 0.2 holder never wakes.
+  for (const AgentId i : {0u, 2u, 3u, 4u, 5u}) EXPECT_GT(counts[i], 0u) << i;
+  EXPECT_GT(engine.metrics().denials, 0u);
+}
+
+TEST(ReactiveAdversary, MinCertReplansWhenTheMinimumMoves) {
+  // The victim set is re-ranked every step: once the starved agent's
+  // progress observation jumps ahead, the adversary switches to the new
+  // minimum — no restart required.
+  const std::uint32_t n = 4;
+  std::vector<double> progress = {0.6, 0.1, 0.8, 0.3};
+  Engine engine = progress_engine(
+      n, 53, reactive_spec(ReactiveTarget::kMinCert, 1.0 / n), progress);
+  engine.run(30);
+  const auto first = progress_activation_counts(engine);
+  EXPECT_EQ(first[1], 0u);
+  EXPECT_GT(first[3], 0u);
+  progress[1] = 2.0;  // The starved agent leaps ahead (externally).
+  engine.run(60);     // 30 further events (the cap is total).
+  const auto second = progress_activation_counts(engine);
+  EXPECT_GT(second[1], 0u);          // Former victim wakes again...
+  EXPECT_EQ(second[3], first[3]);    // ...the 0.3 holder starves instead.
+}
+
+TEST(ReactiveAdversary, LaggardSelfReinforcesMaximalClockSkew) {
+  // All wake clocks start equal; the rule starves the least-recently-woken
+  // agent, which by construction stays least recent — one agent's local
+  // clock is pinned while everyone else's advances.
+  const std::uint32_t n = 5;
+  std::vector<double> progress(n, 1.0);  // Equal progress: rule ≠ min-cert.
+  Engine engine = progress_engine(
+      n, 55, reactive_spec(ReactiveTarget::kLaggard, 1.0 / n), progress);
+  engine.run(80);
+  const auto counts = progress_activation_counts(engine);
+  EXPECT_EQ(counts[0], 0u);  // Label tie-break pins agent 0, forever.
+  for (AgentId i = 1; i < n; ++i) EXPECT_EQ(counts[i], 20u) << i;
+  // One denial per lap over the other four agents.
+  EXPECT_NEAR(static_cast<double>(engine.metrics().denials), 20.0, 2.0);
+}
+
+TEST(ReactiveAdversary, QuorumEdgeStarvesTheLargestStageFraction) {
+  // Fractional progress ranks the rule: 1.95 is 95% through its stage and
+  // starves ahead of 2.5 (50%) and 0.3 (30%), regardless of the integer
+  // stage count.
+  const std::uint32_t n = 4;
+  std::vector<double> progress = {0.1, 1.95, 2.5, 0.3};
+  Engine engine = progress_engine(
+      n, 57, reactive_spec(ReactiveTarget::kQuorumEdge, 1.0 / n), progress);
+  engine.run(40);
+  const auto counts = progress_activation_counts(engine);
+  EXPECT_EQ(counts[1], 0u);
+  for (const AgentId i : {0u, 2u, 3u}) EXPECT_GT(counts[i], 0u) << i;
+}
+
+TEST(ReactiveAdversary, BudgetCapsSpentDenialsExactly) {
+  const std::uint32_t n = 5;
+  const std::uint64_t kCap = 9;
+  std::vector<double> progress = {0.0, 1.0, 1.0, 1.0, 1.0};
+  Engine engine = progress_engine(
+      n, 59, reactive_spec(ReactiveTarget::kMinCert, 1.0 / n, kCap),
+      progress);
+  engine.run(200);
+  EXPECT_EQ(engine.metrics().denials, kCap);
+  EXPECT_GT(progress_activation_counts(engine)[0], 0u);
+}
+
+TEST(ReactiveAdversary, ComposesWithThePhaseGate) {
+  // target= picks *who* is starvable, phase= still gates *when*: the
+  // minimal-progress agent only starves while it observes the target
+  // phase.
+  const std::uint32_t n = 4;
+  std::vector<double> progress = {0.0, 1.0, 1.0, 1.0};
+  Engine in_phase = progress_engine(
+      n, 61,
+      SchedulerSpec::adversarial({.victim_fraction = 1.0 / n,
+                                  .target = ReactiveTarget::kMinCert,
+                                  .target_phase = AgentPhase::kVote}),
+      progress, {AgentPhase::kVote});
+  in_phase.run(40);
+  EXPECT_EQ(progress_activation_counts(in_phase)[0], 0u);
+  EXPECT_GT(in_phase.metrics().denials, 0u);
+
+  Engine out_of_phase = progress_engine(
+      n, 61,
+      SchedulerSpec::adversarial({.victim_fraction = 1.0 / n,
+                                  .target = ReactiveTarget::kMinCert,
+                                  .target_phase = AgentPhase::kVote}),
+      progress, {AgentPhase::kCommit});
+  out_of_phase.run(40);
+  EXPECT_GT(progress_activation_counts(out_of_phase)[0], 0u);
+  EXPECT_EQ(out_of_phase.metrics().denials, 0u);
+}
+
+TEST(ReactiveAdversary, SpecRoundTripAndValidation) {
+  const auto spec = reactive_spec(ReactiveTarget::kLaggard, 0.1, 25);
+  EXPECT_EQ(spec.to_string(),
+            "adversarial:budget=25,target=laggard,victim_fraction=0.1");
+  EXPECT_EQ(SchedulerSpec::parse(spec.to_string()), spec);
+  EXPECT_NE(spec.make(), nullptr);
+  EXPECT_STREQ(spec.make()->name(), "reactive-adversarial");
+  // Plain adversarial specs still build the base policy.
+  EXPECT_STREQ(SchedulerSpec::parse("adversarial").make()->name(),
+               "adversarial");
+
+  // Malformed rule names and contradictory parameters throw.
+  EXPECT_THROW(SchedulerSpec::parse("adversarial:target=warp-drive").make(),
+               std::invalid_argument);
+  EXPECT_THROW(SchedulerSpec::parse("adversarial:target=").make(),
+               std::invalid_argument);
+  EXPECT_THROW(
+      SchedulerSpec::parse("adversarial:target=min-cert,victims=0+1").make(),
+      std::invalid_argument);
+  EXPECT_THROW(make_adversarial_scheduler(
+                   {.victim_ids = {0}, .target = ReactiveTarget::kMinCert}),
+               std::invalid_argument);
+  EXPECT_THROW(ReactiveAdversarialScheduler(AdversarialConfig{}),
+               std::invalid_argument);
+  // String round-trip of the rule names themselves.
+  for (const ReactiveTarget t :
+       {ReactiveTarget::kMinCert, ReactiveTarget::kLaggard,
+        ReactiveTarget::kQuorumEdge}) {
+    EXPECT_EQ(parse_reactive_target(to_string(t)), t);
+  }
+  EXPECT_THROW(parse_reactive_target(""), std::invalid_argument);
+  EXPECT_THROW(parse_reactive_target("none"), std::invalid_argument);
+}
+
+TEST(ReactiveAdversary, DeterministicPerSeed) {
+  const auto run = [](std::uint64_t seed) {
+    gossip::SpreadConfig cfg;
+    cfg.n = 64;
+    cfg.mechanism = gossip::Mechanism::kPushPull;
+    cfg.seed = seed;
+    cfg.scheduler = SchedulerSpec::parse(
+        "adversarial:target=min-cert,victim_fraction=0.1,budget=120");
+    cfg.max_rounds = 100'000;
+    return gossip::run_rumor_spreading(cfg);
+  };
+  const auto a = run(63), b = run(63), c = run(64);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.metrics.total_bits, b.metrics.total_bits);
+  EXPECT_EQ(a.metrics.denials, b.metrics.denials);
+  EXPECT_NE(c.metrics.total_bits, a.metrics.total_bits);
+}
+
+TEST(ReactiveAdversary, MinCertStallsRumorSpreadUnlikeStaticVictims) {
+  // On a pull spread the min-cert rule is the natural worst case: it
+  // starves exactly the still-uninformed agents (progress 0), so the last
+  // coupon never gets to draw.  A static victim set of the same size picks
+  // its victims blindly and mostly starves agents that are already
+  // informed.  Same budget, very different damage.
+  const auto run = [](const SchedulerSpec& spec) {
+    gossip::SpreadConfig cfg;
+    cfg.n = 64;
+    cfg.mechanism = gossip::Mechanism::kPull;  // Pulls only: wake = chance.
+    cfg.seed = 71;
+    cfg.scheduler = spec;
+    cfg.max_rounds = 40'000;
+    return gossip::run_rumor_spreading(cfg);
+  };
+  const std::uint64_t budget = 512;
+  const auto reactive = run(SchedulerSpec::adversarial(
+      {.victim_fraction = 0.05,
+       .target = ReactiveTarget::kMinCert,
+       .budget = budget}));
+  const auto pinned = run(SchedulerSpec::adversarial(
+      {.victim_fraction = 0.05, .budget = budget}));
+  ASSERT_TRUE(reactive.complete);
+  ASSERT_TRUE(pinned.complete);
+  EXPECT_GT(reactive.rounds, pinned.rounds);
+}
+
+TEST(ReactiveAdversary, MinCertDefeatsGuardBandCheaperThanPhaseAdversary) {
+  // The acceptance scenario in miniature (see E12g in exp_async): at equal
+  // n, slack, and *equal denial budget* of one agent's schedule length,
+  // the reactive min-cert rule holds one victim-of-the-moment behind every
+  // sealed certificate and breaks the protocol's w.h.p. success, while the
+  // phase-static adversary spread over its pinned victim set is fully
+  // absorbed by the guard band — its defeat threshold is (q+slack)·|V|,
+  // an order of magnitude more.
+  const std::uint32_t n = 48;
+  const std::uint32_t slack = 24;
+  const auto params = core::ProtocolParams::make(n, 4.0);
+  const std::uint64_t sched = 4ull * params.q + 3ull * slack;
+  std::vector<AgentId> victims;
+  for (AgentId i = 0; i < n / 4; ++i) victims.push_back(i);
+
+  std::uint64_t phase_failures = 0, reactive_failures = 0;
+  const int kTrials = 8;
+  for (int t = 0; t < kTrials; ++t) {
+    core::AsyncRunConfig cfg;
+    cfg.n = n;
+    cfg.slack = slack;
+    cfg.seed = 2000 + t;
+    cfg.scheduler = SchedulerSpec::adversarial(
+        {.victim_ids = victims,
+         .target_phase = AgentPhase::kVote,
+         .budget = sched});
+    const auto phase = core::run_async_protocol(cfg);
+    if (phase.failed()) ++phase_failures;
+    EXPECT_LE(phase.metrics.denials, sched);
+
+    cfg.scheduler = SchedulerSpec::adversarial(
+        {.victim_fraction = 1.0 / n,
+         .target = ReactiveTarget::kMinCert,
+         .budget = sched});
+    const auto reactive = core::run_async_protocol(cfg);
+    if (reactive.failed()) ++reactive_failures;
+    EXPECT_LE(reactive.metrics.denials, sched);
+  }
+  // Equal budgets: the pinned set absorbs every denial, the reactive rule
+  // converts them into failures.
+  EXPECT_EQ(phase_failures, 0u);
+  EXPECT_GT(reactive_failures, 0u);
 }
 
 // --------------------------------------------------------------------------

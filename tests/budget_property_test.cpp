@@ -1,0 +1,128 @@
+// Property test for sim::Budget (generalizes run_until_test.cpp): for
+// random (events, horizon) pairs, Engine::run(Budget) stops on whichever
+// cap trips first, and a virtual-time horizon is overshot by at most one
+// step increment — across a synchronous, a continuous-time (poisson), and
+// a fractional-increment (batched) policy, whose step increments are 1,
+// Exp(λ·n), and 1/B respectively.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/budget.hpp"
+#include "sim/engine.hpp"
+#include "sim/scheduler_spec.hpp"
+#include "support/rng.hpp"
+
+namespace rfc::sim {
+namespace {
+
+class IdleForeverAgent final : public Agent {
+ public:
+  Action on_round(const Context&) override { return Action::idle(); }
+  Payload serve_pull(const Context&, AgentId) override { return {}; }
+  bool done() const override { return false; }
+};
+
+Engine idle_engine(std::uint32_t n, std::uint64_t seed,
+                   const SchedulerSpec& spec) {
+  Engine engine({n, seed, nullptr, spec.make()});
+  for (AgentId i = 0; i < n; ++i) {
+    engine.set_agent(i, std::make_unique<IdleForeverAgent>());
+  }
+  return engine;
+}
+
+TEST(BudgetProperty, WhicheverCapTripsFirstEndsTheRun) {
+  const std::uint32_t kN = 16;
+  const std::vector<SchedulerSpec> specs = {
+      SchedulerSpec::parse("synchronous"),
+      SchedulerSpec::parse("poisson"),
+      SchedulerSpec::parse("poisson:rate=3"),
+      SchedulerSpec::parse("batched:block=3"),
+      SchedulerSpec::parse("batched:block=7"),
+  };
+  rfc::support::Xoshiro256 rng(0xB0D6u);
+  for (const auto& spec : specs) {
+    for (int trial = 0; trial < 40; ++trial) {
+      // Random budget shapes: events only, horizon only, or both.
+      Budget budget;
+      const auto shape = rng.below(3);
+      if (shape != 1) budget.events = 1 + rng.below(400);
+      if (shape != 0) budget.virtual_horizon = rng.uniform01() * 25.0;
+      if (budget.unbounded()) continue;  // horizon drew ~0.0: nothing caps.
+
+      Engine engine = idle_engine(kN, 1000 + trial, spec);
+      // Record the virtual-time trace so the overshoot can be bounded by
+      // the final step's increment.
+      std::vector<double> trace;
+      engine.set_round_observer([&trace](const Engine& e) {
+        trace.push_back(e.virtual_time());
+      });
+      const std::uint64_t events = engine.run(budget);
+      const std::string what =
+          spec.to_string() + " events=" + std::to_string(budget.events) +
+          " horizon=" + std::to_string(budget.virtual_horizon);
+
+      ASSERT_EQ(events, trace.size()) << what;
+      ASSERT_GT(events, 0u) << what;
+      const double vt = engine.virtual_time();
+      EXPECT_DOUBLE_EQ(vt, trace.back()) << what;
+
+      // The run stopped because *some* cap tripped (idle agents are never
+      // all done)...
+      EXPECT_TRUE(budget.exhausted(events, vt)) << what;
+      // ...and the event cap was never exceeded.
+      if (budget.events != 0) {
+        EXPECT_LE(events, budget.events) << what;
+      }
+
+      if (events < budget.events || budget.events == 0) {
+        // The event cap did not trip, so the horizon did: every step but
+        // the last *started* short of the horizon (the one-step-overshoot
+        // contract), and one fewer step would have left the run short.
+        ASSERT_GT(budget.virtual_horizon, 0.0) << what;
+        EXPECT_GE(vt, budget.virtual_horizon) << what;
+        const double before =
+            events >= 2 ? trace[events - 2] : 0.0;
+        EXPECT_LT(before, budget.virtual_horizon) << what;
+      } else {
+        // The event cap tripped exactly; any horizon must not have tripped
+        // strictly earlier than the final step.
+        EXPECT_EQ(events, budget.events) << what;
+        if (budget.virtual_horizon > 0.0) {
+          const double before =
+              events >= 2 ? trace[events - 2] : 0.0;
+          EXPECT_LT(before, budget.virtual_horizon) << what;
+        }
+      }
+
+      // Resuming with the same budget is a no-op: the caps are totals, not
+      // increments.
+      EXPECT_EQ(engine.run(budget), events) << what;
+    }
+  }
+}
+
+TEST(BudgetProperty, BatchedHorizonNeverOvershootsByMoreThanOneSubStep) {
+  // The sharpest version of the overshoot bound: batched increments are
+  // exactly 1/B, so vt at stop lies in [horizon, horizon + 1/B).
+  rfc::support::Xoshiro256 rng(0x60A1u);
+  for (const std::uint32_t blocks : {2u, 3u, 5u}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const double horizon = 0.1 + rng.uniform01() * 10.0;
+      Engine engine = idle_engine(
+          10, 7 + trial,
+          SchedulerSpec::parse("batched:block=" + std::to_string(blocks)));
+      engine.run(Budget::until(horizon));
+      const double vt = engine.virtual_time();
+      EXPECT_GE(vt, horizon) << blocks << " " << horizon;
+      EXPECT_LT(vt, horizon + 1.0 / blocks + 1e-12) << blocks << " "
+                                                    << horizon;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rfc::sim

@@ -1,11 +1,18 @@
 // Engine robustness fuzz: agents performing random actions must never
-// violate the engine's model invariants, whatever they do.
+// violate the engine's model invariants, whatever they do — and the
+// SchedulerSpec grammar must round-trip every valid spec and throw (never
+// crash, never silently coerce) on malformed ones, mirroring the strict
+// CliArgs parsing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "sim/engine.hpp"
 #include "sim/fault_model.hpp"
+#include "sim/scheduler_spec.hpp"
 #include "sim/topology.hpp"
 
 namespace rfc::sim {
@@ -75,6 +82,151 @@ TEST(EngineFuzz, ChaosOnSparseTopology) {
   }
   engine.run(200);
   EXPECT_LE(engine.metrics().active_links, 200u * 32);
+}
+
+// --------------------------------------------------------------------------
+// SchedulerSpec::parse fuzz: valid specs round-trip, malformed text throws.
+// --------------------------------------------------------------------------
+
+/// Draws a random *valid* spec over the full parameter space of the
+/// builtin policies, including the reactive target= rules.
+rfc::sim::SchedulerSpec random_valid_spec(rfc::support::Xoshiro256& rng) {
+  using rfc::sim::SchedulerSpec;
+  switch (rng.below(7)) {
+    case 0:
+      return SchedulerSpec::synchronous(
+          {.shards = static_cast<std::uint32_t>(1 + rng.below(8)),
+           .threads = static_cast<std::uint32_t>(rng.below(4))});
+    case 1: return SchedulerSpec::sequential();
+    case 2:
+      return SchedulerSpec::partial_async(rng.uniform01());
+    case 3:
+      return SchedulerSpec::batched(
+          static_cast<std::uint32_t>(1 + rng.below(12)),
+          {.shards = static_cast<std::uint32_t>(1 + rng.below(4))});
+    case 4:
+      return SchedulerSpec::poisson(0.25 + rng.uniform01() * 4.0);
+    case 5: {
+      rfc::sim::AdversarialConfig cfg;
+      cfg.victim_fraction = rng.uniform01();
+      cfg.budget = rng.below(10'000);
+      if (rng.bernoulli(0.5)) {
+        cfg.target_phase = static_cast<rfc::sim::AgentPhase>(
+            1 + rng.below(5));
+      }
+      if (rng.bernoulli(0.3)) {
+        cfg.victim_ids = {static_cast<rfc::sim::AgentId>(rng.below(64)),
+                          static_cast<rfc::sim::AgentId>(64 + rng.below(64))};
+      }
+      return SchedulerSpec::adversarial(cfg);
+    }
+    default: {
+      // The reactive adversary: every target rule × random knobs.
+      rfc::sim::AdversarialConfig cfg;
+      cfg.target = static_cast<rfc::sim::ReactiveTarget>(1 + rng.below(3));
+      cfg.victim_fraction = rng.uniform01();
+      cfg.budget = rng.below(10'000);
+      if (rng.bernoulli(0.5)) {
+        cfg.target_phase = static_cast<rfc::sim::AgentPhase>(
+            1 + rng.below(5));
+      }
+      return SchedulerSpec::adversarial(cfg);
+    }
+  }
+}
+
+TEST(SchedulerSpecFuzz, RandomValidSpecsRoundTripAndBuild) {
+  rfc::support::Xoshiro256 rng(0x5EEDu);
+  for (int i = 0; i < 500; ++i) {
+    const auto spec = random_valid_spec(rng);
+    const std::string text = spec.to_string();
+    // parse(to_string()) is the identity...
+    const auto reparsed = rfc::sim::SchedulerSpec::parse(text);
+    EXPECT_EQ(reparsed, spec) << text;
+    // ...and the canonical form is a fixed point.
+    EXPECT_EQ(reparsed.to_string(), text);
+    // Every valid spec builds a live scheduler.
+    EXPECT_NE(spec.make(), nullptr) << text;
+  }
+}
+
+TEST(SchedulerSpecFuzz, MalformedTargetRuleNamesThrow) {
+  // Mutations of the valid rule names must be rejected at make() with
+  // std::invalid_argument — never accepted, coerced, or crashed on.
+  rfc::support::Xoshiro256 rng(0xBADu);
+  const std::vector<std::string> valid = {"min-cert", "laggard",
+                                          "quorum-edge"};
+  const char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz-_0123456789";
+  for (int i = 0; i < 300; ++i) {
+    std::string rule = valid[rng.below(valid.size())];
+    switch (rng.below(4)) {
+      case 0:  // Flip one character.
+        rule[rng.below(rule.size())] =
+            kAlphabet[rng.below(sizeof(kAlphabet) - 1)];
+        break;
+      case 1:  // Truncate.
+        rule.resize(rng.below(rule.size()));
+        break;
+      case 2:  // Append garbage.
+        rule += kAlphabet[rng.below(sizeof(kAlphabet) - 1)];
+        break;
+      default: {  // Random word.
+        rule.clear();
+        const auto len = 1 + rng.below(12);
+        for (std::uint64_t c = 0; c < len; ++c) {
+          rule += kAlphabet[rng.below(sizeof(kAlphabet) - 1)];
+        }
+        break;
+      }
+    }
+    if (std::find(valid.begin(), valid.end(), rule) != valid.end()) {
+      continue;  // The mutation landed on a real rule; skip.
+    }
+    const std::string text = "adversarial:target=" + rule;
+    // The *grammar* is fine, so parse() accepts; the value check at make()
+    // must throw.
+    EXPECT_THROW(rfc::sim::SchedulerSpec::parse(text).make(),
+                 std::invalid_argument)
+        << text;
+  }
+}
+
+TEST(SchedulerSpecFuzz, StructurallyMalformedTextThrowsAtParse) {
+  const std::vector<std::string> malformed = {
+      "",
+      ":",
+      ":p=1",
+      "warp-drive",
+      "synchronous:",
+      "synchronous:,",
+      "synchronous:shards",
+      "synchronous:=4",
+      "synchronous:shards=1,shards=2",       // Duplicate key.
+      "adversarial:target=min-cert,target=laggard",
+      "batched:block=3,,threads=2",
+      "poisson:rate=1,",
+  };
+  for (const auto& text : malformed) {
+    EXPECT_THROW(rfc::sim::SchedulerSpec::parse(text),
+                 std::invalid_argument)
+        << '"' << text << '"';
+  }
+  // Well-formed grammar with out-of-schema keys or broken values fails at
+  // make() instead (where the policy schema is known).
+  const std::vector<std::string> bad_values = {
+      "sequential:warp=1",
+      "poisson:rate=fast",
+      "batched:block=0",
+      "batched:block=-3",
+      "adversarial:victims=1+x",
+      "adversarial:phase=warp",
+      "adversarial:budget=1e3x",
+  };
+  for (const auto& text : bad_values) {
+    EXPECT_THROW(rfc::sim::SchedulerSpec::parse(text).make(),
+                 std::invalid_argument)
+        << '"' << text << '"';
+  }
 }
 
 TEST(EngineFuzz, TerminatesWhenChaosAgentsAllFinish) {
