@@ -15,8 +15,13 @@ void Engine::step() {
   // responsibility via the execution primitives: the sharded executor
   // prefetches RNG blocks in parallel *before* the agents start, which an
   // eager ensure_started here would defeat.
+  const std::uint64_t before = core_.time();
   core_.advance_virtual_time(scheduler_->step(core_, view_));
-  if (observer_) observer_(*this);
+  // The observer sees *events*: a step on which the scheduler had nothing
+  // left to schedule (no execution primitive ran, so the event clock did
+  // not move) is not one, and reporting it would break the events ==
+  // trace-length contract of the run loops.
+  if (observer_ && core_.time() != before) observer_(*this);
 }
 
 std::uint64_t Engine::run(std::uint64_t max_time) {
@@ -26,6 +31,21 @@ std::uint64_t Engine::run(std::uint64_t max_time) {
 }
 
 std::uint64_t Engine::run(const Budget& budget) {
+  if (scheduler_->self_terminating()) {
+    // The policy tracks its own pending-event set: loop on its O(1)
+    // exhaustion report instead of the O(n) all-done scan, so the per-event
+    // run-loop cost is the scheduler's step cost alone.  The event-clock
+    // guard catches the drain corner — stale heap entries for agents whose
+    // done() flipped off-turn (e.g. via a coalition blackboard) can leave
+    // exhausted() false with nothing actually wakeable.
+    while (!budget.exhausted(core_.time(), core_.virtual_time()) &&
+           !scheduler_->exhausted()) {
+      const std::uint64_t before = core_.time();
+      step();
+      if (core_.time() == before) break;  // Drained: no event executed.
+    }
+    return core_.time();
+  }
   while (!budget.exhausted(core_.time(), core_.virtual_time()) &&
          !all_done()) {
     step();

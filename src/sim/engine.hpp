@@ -86,7 +86,10 @@ class Engine {
 
   /// Runs until every non-faulty agent reports done() or the budget is
   /// exhausted (events and/or virtual-time horizon, whichever trips first);
-  /// returns the number of events executed in total.
+  /// returns the number of events executed in total.  Self-terminating
+  /// schedulers (Scheduler::self_terminating(), e.g. the event-driven
+  /// Poisson path) are looped on their O(1) exhausted() report instead of
+  /// the O(n) all-done scan, so their per-event run cost stays O(log n).
   std::uint64_t run(const Budget& budget);
 
   /// Runs until virtual_time() reaches `virtual_horizon` (or all agents are

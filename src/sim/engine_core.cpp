@@ -51,6 +51,8 @@ void EngineCore::apply_fault_plan(const std::vector<bool>& plan) {
 }
 
 bool EngineCore::all_done() const {
+  // Deliberately a fresh scan every call (see the header): completion can
+  // arrive outside the agent's own callbacks, so nothing cheaper is sound.
   for (std::uint32_t i = 0; i < n_; ++i) {
     if (!faulty_[i] && !agents_[i]->done()) return false;
   }

@@ -75,7 +75,11 @@ class EngineCore {
   Agent& agent(AgentId id) { return *agents_.at(id); }
   const Agent& agent(AgentId id) const { return *agents_.at(id); }
 
-  /// True when every non-faulty agent reports done().
+  /// True when every non-faulty agent reports done().  An O(n) scan by
+  /// necessity: done() can flip without the agent's own callback running
+  /// (e.g. through a coalition blackboard), so no counter can cache it.
+  /// Run loops over self-terminating schedulers (Scheduler::exhausted())
+  /// avoid paying it per event.
   bool all_done() const;
 
   /// Non-faulty labels, in label order.

@@ -1,0 +1,64 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rfc::sim {
+
+EventQueue::EventQueue(std::uint32_t n, Generation initial_generation) {
+  reset(n, initial_generation);
+}
+
+void EventQueue::reset(std::uint32_t n, Generation initial_generation) {
+  heap_.clear();
+  gen_.assign(n, initial_generation);
+  time_.assign(n, 0.0);
+  pending_.assign(n, false);
+  live_ = 0;
+}
+
+void EventQueue::schedule(AgentId u, double time) {
+  if (!pending_.at(u)) {
+    pending_[u] = true;
+    ++live_;
+  }
+  // Bumping the generation orphans any previous entry for `u`; the fresh
+  // entry is the only one carrying the new value.
+  ++gen_[u];
+  time_[u] = time;
+  heap_.push_back({time, u, gen_[u]});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  maybe_compact();
+}
+
+void EventQueue::cancel(AgentId u) {
+  if (!pending_.at(u)) return;
+  pending_[u] = false;
+  --live_;
+  ++gen_[u];  // The heap entry is now stale; it dies lazily.
+  maybe_compact();
+}
+
+EventQueue::Event EventQueue::pop() {
+  assert(live_ > 0 && "pop() on an empty EventQueue");
+  for (;;) {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    const Entry e = heap_.back();
+    heap_.pop_back();
+    if (!is_live(e)) continue;  // Rescheduled or cancelled since its push.
+    pending_[e.id] = false;
+    --live_;
+    maybe_compact();
+    return {e.time, e.id};
+  }
+}
+
+void EventQueue::maybe_compact() {
+  if (heap_.size() <= 2 * live_ + kCompactionSlack) return;
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const Entry& e) { return !is_live(e); }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), later);
+}
+
+}  // namespace rfc::sim

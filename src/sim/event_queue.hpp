@@ -1,0 +1,142 @@
+// Pending-event priority queue for the continuous-time scheduling path.
+//
+// EventQueue keys at most one pending wake-up per agent by absolute virtual
+// time and pops them in (time, label) order.  It is a binary min-heap with
+// *lazy deletion*: schedule() and cancel() never search the heap — each
+// agent carries a generation counter, bumped on every schedule and cancel,
+// and a heap entry is live only while its recorded generation matches the
+// agent's current one.  Stale entries are dropped when they surface at the
+// top, or swept out wholesale when they outnumber the live ones, so the
+// costs are
+//
+//   schedule / reschedule   O(log n) amortized
+//   cancel                  O(1)  (the entry dies in place)
+//   pop                     O(log n) amortized
+//
+// and the heap never holds more than 2·live() + kCompactionSlack entries
+// after any operation (the compaction invariant, asserted by
+// event_queue_test).  Generations compare by equality only, so counter
+// wraparound is harmless as long as two coexisting entries for one agent
+// never share a generation — they cannot, because every push uses a fresh
+// value and compaction evicts stale entries long before 2^64 pushes; the
+// `initial_generation` reset hook lets tests drive the counter across the
+// wrap directly.  Equal times pop by smaller label, so the pop order is a
+// pure function of the operation history.
+//
+// EventDrivenPoissonScheduler (sim/scheduler.hpp) builds its per-agent
+// exponential clocks on this queue.  The ActiveSet helper below is the
+// incremental form of the wakeable-label snapshot used by the sampling
+// schedulers: built once from active_labels(), with done agents swap-removed
+// as they are discovered instead of absorbing wasted draws.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/agent.hpp"
+
+namespace rfc::sim {
+
+class EventQueue {
+ public:
+  using Generation = std::uint64_t;
+
+  /// Stale entries tolerated beyond 2·live() before a compaction sweep;
+  /// keeps tiny queues from compacting on every cancel.
+  static constexpr std::size_t kCompactionSlack = 64;
+
+  struct Event {
+    double time;
+    AgentId id;
+  };
+
+  /// An empty queue over `n` labels.  `initial_generation` pre-ages every
+  /// per-agent counter — a test hook for exercising wraparound; the default
+  /// is the natural zero.
+  explicit EventQueue(std::uint32_t n = 0, Generation initial_generation = 0);
+
+  /// Re-initializes to an empty queue over `n` labels (same semantics as
+  /// constructing anew; storage is reused).
+  void reset(std::uint32_t n, Generation initial_generation = 0);
+
+  /// Label-space size (not the pending count).
+  std::uint32_t n() const noexcept { return static_cast<std::uint32_t>(gen_.size()); }
+  /// Number of live (pending, not cancelled) events.
+  std::size_t live() const noexcept { return live_; }
+  bool empty() const noexcept { return live_ == 0; }
+  /// Heap entries including stale ones; bounded by 2·live() +
+  /// kCompactionSlack after every operation.
+  std::size_t heap_size() const noexcept { return heap_.size(); }
+
+  /// True when `u` has a pending event.
+  bool scheduled(AgentId u) const { return pending_.at(u); }
+  /// The pending event's time; only meaningful while scheduled(u).
+  double time_of(AgentId u) const { return time_.at(u); }
+
+  /// Schedules agent `u` at absolute time `time`, replacing any pending
+  /// event for `u` (the replaced entry dies lazily).  O(log n) amortized.
+  void schedule(AgentId u, double time);
+
+  /// Cancels `u`'s pending event, if any.  O(1) amortized (lazy).
+  void cancel(AgentId u);
+
+  /// Removes and returns the earliest live event; ties on time break toward
+  /// the smaller label.  Precondition: !empty().  O(log n) amortized.
+  Event pop();
+
+ private:
+  struct Entry {
+    double time;
+    AgentId id;
+    Generation gen;
+  };
+
+  /// Min-heap order on (time, id); std::push_heap and friends build a
+  /// max-heap, so the comparator is the reverse.
+  static bool later(const Entry& a, const Entry& b) noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    return a.id > b.id;
+  }
+
+  bool is_live(const Entry& e) const { return e.gen == gen_[e.id]; }
+  void maybe_compact();
+
+  std::vector<Entry> heap_;
+  std::vector<Generation> gen_;  ///< Current generation, by label.
+  std::vector<double> time_;     ///< Pending time, by label (while pending).
+  std::vector<bool> pending_;    ///< Live-event flag, by label.
+  std::size_t live_ = 0;
+};
+
+/// Incrementally maintained wakeable-label set for the sampling schedulers:
+/// built once from EngineCore::active_labels(), sampled by index, and
+/// compacted by swap-remove as agents are discovered done — O(1) per
+/// removal, order not preserved.  PoissonClockScheduler draws from this set
+/// so completed agents stop absorbing wake draws (and stop contributing to
+/// the aggregate clock rate) from the first time they are drawn.
+class ActiveSet {
+ public:
+  /// Adopts the label set; marks the set built.
+  void build(std::vector<AgentId> labels) {
+    labels_ = std::move(labels);
+    built_ = true;
+  }
+
+  bool built() const noexcept { return built_; }
+  bool empty() const noexcept { return labels_.empty(); }
+  std::size_t size() const noexcept { return labels_.size(); }
+  AgentId at(std::size_t k) const { return labels_.at(k); }
+
+  /// Swap-removes the label at index `k`.
+  void swap_remove(std::size_t k) {
+    labels_.at(k) = labels_.back();
+    labels_.pop_back();
+  }
+
+ private:
+  std::vector<AgentId> labels_;
+  bool built_ = false;
+};
+
+}  // namespace rfc::sim

@@ -321,21 +321,79 @@ void PoissonClockScheduler::attach(EngineCore& core) {
 
 double PoissonClockScheduler::step(EngineCore& core,
                                    const EngineView& /*view*/) {
-  if (!active_built_) {
-    active_ = core.active_labels();
-    active_built_ = true;
-  }
-  if (active_.empty()) return 0.0;
+  core.ensure_started();  // The done() observations below read agent state.
+  if (!active_.built()) active_.build(core.active_labels());
   // Superposition of |active| independent rate-λ clocks: the next tick is
   // uniform over agents and Exp(λ·|active|)-distributed in time.  Agent
-  // first, time second — the pinned draw order.
-  const AgentId u = active_[rng_.below(active_.size())];
+  // first, time second — the pinned draw order.  A drawn agent observed
+  // done() is swap-removed and the draw repeats (amortized O(1): each label
+  // is removed at most once), so dead clocks neither absorb wake-ups nor
+  // inflate the aggregate rate below.
+  AgentId u = kNoAgent;
+  while (!active_.empty()) {
+    const std::size_t k = rng_.below(active_.size());
+    const AgentId candidate = active_.at(k);
+    if (core.agent(candidate).done()) {
+      active_.swap_remove(k);
+      continue;
+    }
+    u = candidate;
+    break;
+  }
+  if (u == kNoAgent) return 0.0;
   const double aggregate_rate =
       rate_ * static_cast<double>(active_.size());
   // uniform01() ∈ [0, 1), so the argument of log1p stays in (-1, 0].
   const double dt = -std::log1p(-rng_.uniform01()) / aggregate_rate;
   core.sequential_activation(u);
   return dt;
+}
+
+EventDrivenPoissonScheduler::EventDrivenPoissonScheduler(double rate)
+    : rate_(rate) {
+  if (!(rate_ > 0.0)) {
+    throw std::invalid_argument(
+        "EventDrivenPoissonScheduler: clock rate must be positive");
+  }
+}
+
+void EventDrivenPoissonScheduler::attach(EngineCore& core) {
+  rng_ = rfc::support::Xoshiro256(
+      rfc::support::derive_seed(core.seed(), kStream));
+}
+
+double EventDrivenPoissonScheduler::exp_interarrival() {
+  // uniform01() ∈ [0, 1), so the argument of log1p stays in (-1, 0].
+  return -std::log1p(-rng_.uniform01()) / rate_;
+}
+
+double EventDrivenPoissonScheduler::step(EngineCore& core,
+                                         const EngineView& /*view*/) {
+  if (!built_) {
+    core.ensure_started();  // The done() observations below read agent state.
+    queue_.reset(core.n());
+    // Seed every live clock in label order (the deterministic build order):
+    // faulty agents are excluded by active_labels(), already-done agents
+    // never enter the heap.
+    for (const AgentId u : core.active_labels()) {
+      if (!core.agent(u).done()) queue_.schedule(u, exp_interarrival());
+    }
+    built_ = true;
+  }
+  while (!queue_.empty()) {
+    const EventQueue::Event event = queue_.pop();
+    if (core.agent(event.id).done()) continue;  // Finished off-turn: drop.
+    const double dt = event.time - now_;
+    now_ = event.time;
+    core.sequential_activation(event.id);
+    // Re-arm the clock unless the activation completed the agent — done()
+    // is monotone ("done for good"), so a dropped clock never returns.
+    if (!core.agent(event.id).done()) {
+      queue_.schedule(event.id, now_ + exp_interarrival());
+    }
+    return dt;
+  }
+  return 0.0;
 }
 
 SchedulerPtr make_synchronous_scheduler(ShardingConfig sharding) {
@@ -364,6 +422,10 @@ SchedulerPtr make_adversarial_scheduler(AdversarialConfig cfg) {
 
 SchedulerPtr make_poisson_clock_scheduler(double rate) {
   return std::make_unique<PoissonClockScheduler>(rate);
+}
+
+SchedulerPtr make_event_driven_poisson_scheduler(double rate) {
+  return std::make_unique<EventDrivenPoissonScheduler>(rate);
 }
 
 }  // namespace rfc::sim

@@ -2,7 +2,7 @@
 //
 // A Scheduler owns *when* agents run — activation order and the passage of
 // simulated time — while EngineCore (sim/engine_core.hpp) owns *what*
-// running means (phased delivery, fault silence, message accounting).  Seven
+// running means (phased delivery, fault silence, message accounting).  Eight
 // policies ship:
 //
 //   * SynchronousScheduler — the paper's model (Section 2): every active
@@ -37,6 +37,11 @@
 //     asynchronous model: every active agent carries an independent rate-λ
 //     Poisson clock, so wake-ups are a rate-λ·|active| process (simulated
 //     Gillespie-style: exponential inter-event times, uniform wake choice).
+//   * EventDrivenPoissonScheduler — the same model simulated event-driven:
+//     each agent's next wake is pre-drawn into a pending-event heap
+//     (sim/event_queue.hpp) and the engine advances directly to the next
+//     event — O(log n) per event instead of the scan path's O(n) run-loop
+//     cost, equal in distribution by Poisson superposition.
 //
 // The engine↔scheduler contract is split in two: policies *observe* the
 // execution through the read-only sim::EngineView handed to step() (clocks,
@@ -64,6 +69,7 @@
 #include <vector>
 
 #include "sim/agent.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/sharding.hpp"
 #include "support/rng.hpp"
 
@@ -91,6 +97,18 @@ class Scheduler {
   /// ensure_started() (directly or via an execution primitive) before
   /// touching agents.
   virtual double step(EngineCore& core, const EngineView& view) = 0;
+
+  /// True when the policy tracks its own pending-event set and therefore
+  /// knows, in O(1), when nothing is left to schedule.  Engine::run loops
+  /// such policies on exhausted() instead of the O(n) all_done() scan — the
+  /// event-driven path's run-loop cost drops from O(n) to O(log n) per
+  /// event.
+  virtual bool self_terminating() const noexcept { return false; }
+
+  /// For self-terminating policies: true once no live pending event
+  /// remains, i.e. the next step() would return 0.0.  Policies that are not
+  /// self-terminating always report false (the run loop ignores it).
+  virtual bool exhausted() const noexcept { return false; }
 };
 
 using SchedulerPtr = std::unique_ptr<Scheduler>;
@@ -351,6 +369,16 @@ class ReactiveAdversarialScheduler final : public PhaseAdversarialScheduler {
 /// discrete event count matches the sequential model's step count in
 /// distribution of wake choices, so step budgets transfer; only the time
 /// axis changes.
+///
+/// Trace contract (bumped in PR 6): agents that finish after attach() no
+/// longer absorb wake draws as no-ops — a drawn agent observed done() is
+/// swap-removed from the active set and the draw repeats, so simulated time
+/// is never spent waking dead clocks and the aggregate rate λ·|active|
+/// shrinks as agents complete.  The compaction is *lazy*: an agent stops
+/// contributing to the rate the first time it is drawn after finishing, not
+/// the instant it finishes.  Runs over never-done agent populations (the
+/// pinned uniformity/determinism suites) draw the exact pre-bump sequence;
+/// done-capable workloads see fewer events to completion.
 class PoissonClockScheduler final : public Scheduler {
  public:
   static constexpr std::uint64_t kStream = 0x9015u;
@@ -366,8 +394,54 @@ class PoissonClockScheduler final : public Scheduler {
  private:
   double rate_;
   rfc::support::Xoshiro256 rng_{0};
-  std::vector<AgentId> active_;  ///< Labels eligible to wake.
-  bool active_built_ = false;
+  ActiveSet active_;  ///< Wakeable labels; done agents swap-removed lazily.
+};
+
+/// The Poisson-clock model simulated event-driven (`poisson:queue=heap`):
+/// every active agent's *next* wake time is pre-drawn — independent Exp(λ)
+/// inter-arrival per agent, the superposition theorem's other face — and
+/// held in a pending-event min-heap (sim/event_queue.hpp).  Each step pops
+/// the earliest event, wakes that agent, and re-draws its next tick; agents
+/// observed done() at pop time are dropped from the heap instead of wasting
+/// a redraw, and agents that finish during their own activation are simply
+/// not rescheduled.  Per event the cost is O(log n), and because the policy
+/// is self_terminating() the engine's run loop skips its O(n) completion
+/// scan — the whole continuous-time path becomes O(log n) per event.
+///
+/// Distribution contract: wake choices are uniform over the live set and
+/// inter-event times are Exp(λ·|live|) — identical in law to the scan
+/// path (chi-square-tested in scheduler_differential_test) — but the RNG
+/// stream and draw order differ, so traces are *not* bit-comparable with
+/// `queue=scan`; end states under matched seeds are compared
+/// distributionally instead.
+class EventDrivenPoissonScheduler final : public Scheduler {
+ public:
+  /// Distinct stream tag: the heap path draws per-agent exponentials, not
+  /// the scan path's (uniform agent, aggregate exponential) pairs, so the
+  /// streams must never be conflated.
+  static constexpr std::uint64_t kStream = 0x93B7u;
+
+  /// `rate` is each agent's clock rate λ; must be positive.
+  explicit EventDrivenPoissonScheduler(double rate = 1.0);
+
+  const char* name() const noexcept override { return "poisson-heap"; }
+  double rate() const noexcept { return rate_; }
+  bool self_terminating() const noexcept override { return true; }
+  bool exhausted() const noexcept override {
+    return built_ && queue_.empty();
+  }
+  void attach(EngineCore& core) override;
+  double step(EngineCore& core, const EngineView& view) override;
+
+ private:
+  /// One Exp(rate_) inter-arrival draw.
+  double exp_interarrival();
+
+  double rate_;
+  rfc::support::Xoshiro256 rng_{0};
+  EventQueue queue_;
+  double now_ = 0.0;  ///< Time of the last popped event.
+  bool built_ = false;
 };
 
 SchedulerPtr make_synchronous_scheduler(ShardingConfig sharding = {});
@@ -377,5 +451,6 @@ SchedulerPtr make_partial_async_scheduler(double wake_probability,
 SchedulerPtr make_batched_delivery_scheduler(BatchedDeliveryConfig cfg = {});
 SchedulerPtr make_adversarial_scheduler(AdversarialConfig cfg = {});
 SchedulerPtr make_poisson_clock_scheduler(double rate = 1.0);
+SchedulerPtr make_event_driven_poisson_scheduler(double rate = 1.0);
 
 }  // namespace rfc::sim

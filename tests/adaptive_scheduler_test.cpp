@@ -4,6 +4,7 @@
 // semantics, and the batched-delivery rotation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <string>
@@ -547,6 +548,45 @@ TEST(ReactiveAdversary, BudgetCapsSpentDenialsExactly) {
   engine.run(200);
   EXPECT_EQ(engine.metrics().denials, kCap);
   EXPECT_GT(progress_activation_counts(engine)[0], 0u);
+}
+
+TEST(ReactiveAdversary, SelectionMatchesFullSortTopKWithLabelTiebreak) {
+  // Pins the O(n) nth_element victim selection to the full-sort reference:
+  // the (key, label) order is strict and total, so the starved *set* is
+  // unique even under key ties, and a partial selection must reproduce it
+  // exactly.  Keys here tie four agents at 0.5 while k = 3, so a selection
+  // bug that resolves ties by heap order instead of label would starve the
+  // wrong subset.
+  const std::uint32_t n = 8;
+  const std::vector<double> progress = {1.0, 0.5, 0.5, 0.5,
+                                        2.0, 0.5, 3.0, 4.0};
+  // Full-sort reference: sort (progress, label) ascending, take the first
+  // k = ceil(3/8 * 8) = 3 → labels {1, 2, 3}; the fourth 0.5 holder
+  // (label 5) loses every tie and stays wakeable.
+  std::vector<AgentId> reference(n);
+  for (AgentId i = 0; i < n; ++i) reference[i] = i;
+  std::sort(reference.begin(), reference.end(),
+            [&](AgentId a, AgentId b) {
+              if (progress[a] != progress[b]) {
+                return progress[a] < progress[b];
+              }
+              return a < b;
+            });
+  Engine engine = progress_engine(
+      n, 61, reactive_spec(ReactiveTarget::kMinCert, 3.0 / n), progress);
+  engine.run(160);
+  const auto counts = progress_activation_counts(engine);
+  for (AgentId i = 0; i < n; ++i) {
+    const bool starved =
+        std::find(reference.begin(), reference.begin() + 3, i) !=
+        reference.begin() + 3;
+    if (starved) {
+      EXPECT_EQ(counts[i], 0u) << "victim " << i << " woke";
+    } else {
+      EXPECT_GT(counts[i], 0u) << "non-victim " << i << " starved";
+    }
+  }
+  EXPECT_GT(engine.metrics().denials, 0u);
 }
 
 TEST(ReactiveAdversary, ComposesWithThePhaseGate) {

@@ -104,8 +104,12 @@ rfc::sim::SchedulerSpec random_valid_spec(rfc::support::Xoshiro256& rng) {
       return SchedulerSpec::batched(
           static_cast<std::uint32_t>(1 + rng.below(12)),
           {.shards = static_cast<std::uint32_t>(1 + rng.below(4))});
-    case 4:
-      return SchedulerSpec::poisson(0.25 + rng.uniform01() * 4.0);
+    case 4: {
+      // Both continuous-time queue substrates, uniformly.
+      const double rate = 0.25 + rng.uniform01() * 4.0;
+      return rng.bernoulli(0.5) ? SchedulerSpec::poisson(rate)
+                                : SchedulerSpec::poisson_heap(rate);
+    }
     case 5: {
       rfc::sim::AdversarialConfig cfg;
       cfg.victim_fraction = rng.uniform01();
@@ -216,6 +220,8 @@ TEST(SchedulerSpecFuzz, StructurallyMalformedTextThrowsAtParse) {
   const std::vector<std::string> bad_values = {
       "sequential:warp=1",
       "poisson:rate=fast",
+      "poisson:queue=wheel",
+      "poisson:queue=heap,rate=-1",
       "batched:block=0",
       "batched:block=-3",
       "adversarial:victims=1+x",

@@ -1,0 +1,195 @@
+// The pending-event queue under the continuous-time path
+// (sim/event_queue.hpp): pop order, lazy deletion via generations, the
+// compaction invariant, generation wraparound, and a randomized property
+// test against a sorted-map oracle.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "support/rng.hpp"
+
+namespace rfc::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrderWithLabelTiebreak) {
+  EventQueue q(8);
+  q.schedule(3, 2.0);
+  q.schedule(1, 1.0);
+  q.schedule(5, 2.0);  // Same time as 3: smaller label pops first.
+  q.schedule(7, 0.5);
+  EXPECT_EQ(q.live(), 4u);
+  const AgentId order[] = {7, 1, 3, 5};
+  const double times[] = {0.5, 1.0, 2.0, 2.0};
+  for (int i = 0; i < 4; ++i) {
+    const auto e = q.pop();
+    EXPECT_EQ(e.id, order[i]) << i;
+    EXPECT_DOUBLE_EQ(e.time, times[i]) << i;
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RescheduleReplacesThePendingEvent) {
+  EventQueue q(4);
+  q.schedule(0, 5.0);
+  q.schedule(1, 2.0);
+  EXPECT_DOUBLE_EQ(q.time_of(0), 5.0);
+  q.schedule(0, 1.0);  // Move agent 0 ahead of agent 1...
+  EXPECT_EQ(q.live(), 2u);  // ...one live event per agent, still.
+  EXPECT_DOUBLE_EQ(q.time_of(0), 1.0);
+  EXPECT_EQ(q.pop().id, 0u);
+  EXPECT_EQ(q.pop().id, 1u);
+  EXPECT_TRUE(q.empty());
+  // The stale 5.0 entry died lazily: nothing left to pop.
+  EXPECT_EQ(q.live(), 0u);
+}
+
+TEST(EventQueue, CancelIsLazyAndIdempotent) {
+  EventQueue q(4);
+  q.schedule(0, 1.0);
+  q.schedule(1, 2.0);
+  q.cancel(0);
+  q.cancel(0);  // Idempotent.
+  q.cancel(3);  // Never scheduled: a no-op.
+  EXPECT_EQ(q.live(), 1u);
+  EXPECT_FALSE(q.scheduled(0));
+  EXPECT_TRUE(q.scheduled(1));
+  EXPECT_EQ(q.pop().id, 1u);
+  EXPECT_TRUE(q.empty());
+  // A cancelled agent can come back with a fresh event.
+  q.schedule(0, 3.0);
+  EXPECT_EQ(q.pop().id, 0u);
+}
+
+TEST(EventQueue, GenerationWraparoundIsHarmless) {
+  // Start the per-agent counters two short of the wrap: schedule/cancel
+  // cycles drive them across 2^64 - 1 -> 0, and liveness (an equality
+  // test) must keep discriminating stale entries from fresh ones.
+  EventQueue q(2, std::numeric_limits<EventQueue::Generation>::max() - 2);
+  q.schedule(0, 1.0);  // gen max-1
+  q.schedule(0, 2.0);  // gen max      (1.0 entry goes stale)
+  q.schedule(0, 3.0);  // gen 0        (wrap; 2.0 entry goes stale)
+  q.schedule(1, 2.5);  // other agent, pre-wrap generation
+  EXPECT_EQ(q.live(), 2u);
+  auto e = q.pop();
+  EXPECT_EQ(e.id, 1u);
+  EXPECT_DOUBLE_EQ(e.time, 2.5);
+  e = q.pop();
+  EXPECT_EQ(e.id, 0u);
+  EXPECT_DOUBLE_EQ(e.time, 3.0);  // The post-wrap entry, not a stale one.
+  EXPECT_TRUE(q.empty());
+  // And across a cancel at the wrap boundary.
+  q.schedule(0, 4.0);
+  q.cancel(0);
+  q.schedule(0, 5.0);
+  EXPECT_DOUBLE_EQ(q.pop().time, 5.0);
+}
+
+TEST(EventQueue, ResetClearsStateAndReusesStorage) {
+  EventQueue q(4);
+  q.schedule(0, 1.0);
+  q.schedule(1, 2.0);
+  q.reset(6);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.n(), 6u);
+  EXPECT_EQ(q.heap_size(), 0u);
+  EXPECT_FALSE(q.scheduled(0));
+  q.schedule(5, 1.5);
+  EXPECT_EQ(q.pop().id, 5u);
+}
+
+// The oracle: per-agent pending time in a std::map, popped by exhaustive
+// (time, label) minimum — trivially correct, O(n) per op.
+struct Oracle {
+  std::map<AgentId, double> pending;
+
+  void schedule(AgentId u, double t) { pending[u] = t; }
+  void cancel(AgentId u) { pending.erase(u); }
+  EventQueue::Event pop() {
+    auto best = pending.begin();
+    for (auto it = pending.begin(); it != pending.end(); ++it) {
+      if (it->second < best->second ||
+          (it->second == best->second && it->first < best->first)) {
+        best = it;
+      }
+    }
+    const EventQueue::Event e{best->second, best->first};
+    pending.erase(best);
+    return e;
+  }
+};
+
+TEST(EventQueueProperty, MatchesOracleUnderRandomInterleaving) {
+  const std::uint32_t kN = 48;
+  rfc::support::Xoshiro256 rng(0xE0E1u);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Some trials start at the generation wrap boundary so the property
+    // test also sweeps the counters across it.
+    const EventQueue::Generation g0 =
+        trial % 3 == 0
+            ? std::numeric_limits<EventQueue::Generation>::max() - 5
+            : 0;
+    EventQueue q(kN, g0);
+    Oracle oracle;
+    for (int op = 0; op < 600; ++op) {
+      const auto dice = rng.below(10);
+      const AgentId u = static_cast<AgentId>(rng.below(kN));
+      if (dice < 5) {
+        const double t = rng.uniform01() * 100.0;
+        q.schedule(u, t);
+        oracle.schedule(u, t);
+      } else if (dice < 7) {
+        q.cancel(u);
+        oracle.cancel(u);
+      } else if (!oracle.pending.empty()) {
+        const auto expected = oracle.pop();
+        const auto got = q.pop();
+        ASSERT_EQ(got.id, expected.id) << "op " << op;
+        ASSERT_DOUBLE_EQ(got.time, expected.time) << "op " << op;
+      }
+      // Shared invariants after every operation.
+      ASSERT_EQ(q.live(), oracle.pending.size()) << "op " << op;
+      ASSERT_EQ(q.empty(), oracle.pending.empty()) << "op " << op;
+      // The lazy-deletion bound: stale entries never outnumber live ones
+      // by more than the compaction slack.
+      ASSERT_LE(q.heap_size(), 2 * q.live() + EventQueue::kCompactionSlack)
+          << "op " << op;
+      if (!oracle.pending.empty()) {
+        const AgentId probe = oracle.pending.begin()->first;
+        ASSERT_TRUE(q.scheduled(probe));
+        ASSERT_DOUBLE_EQ(q.time_of(probe), oracle.pending.begin()->second);
+      }
+    }
+    // Drain both completely: the full pop orders must agree.
+    while (!oracle.pending.empty()) {
+      const auto expected = oracle.pop();
+      const auto got = q.pop();
+      ASSERT_EQ(got.id, expected.id);
+      ASSERT_DOUBLE_EQ(got.time, expected.time);
+    }
+    ASSERT_TRUE(q.empty());
+  }
+}
+
+TEST(ActiveSet, BuildSampleSwapRemove) {
+  ActiveSet s;
+  EXPECT_FALSE(s.built());
+  s.build({2, 4, 6, 8});
+  EXPECT_TRUE(s.built());
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.at(1), 4u);
+  s.swap_remove(1);  // 4 replaced by the tail (8).
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.at(1), 8u);
+  s.swap_remove(2);
+  s.swap_remove(0);
+  s.swap_remove(0);
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.built());  // Emptied, not unbuilt.
+}
+
+}  // namespace
+}  // namespace rfc::sim
