@@ -1,0 +1,118 @@
+// Shared CLI plumbing of the transport binaries: `node` (one node process)
+// and `exp_socket` (the launcher) must agree on every workload flag — both
+// sides derive the same Workload from the same flags, or the cross-check
+// is comparing different experiments.  The NODE-REPORT line is the
+// machine-readable channel from a node process back to the launcher.
+#pragma once
+
+#include <cinttypes>
+#include <cstdio>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "net/harness.hpp"
+#include "sim/fault_model.hpp"
+#include "support/cli.hpp"
+
+namespace rfc::benchnet {
+
+inline rfc::sim::FaultPlacement parse_placement(const std::string& text) {
+  for (const auto p : rfc::sim::all_fault_placements()) {
+    if (rfc::sim::to_string(p) == text) return p;
+  }
+  throw std::invalid_argument("unknown fault placement '" + text + "'");
+}
+
+inline rfc::gossip::Mechanism parse_mechanism(const std::string& text) {
+  for (const auto m : rfc::gossip::all_mechanisms()) {
+    if (rfc::gossip::to_string(m) == text) return m;
+  }
+  throw std::invalid_argument("unknown gossip mechanism '" + text + "'");
+}
+
+/// Builds the cluster spec for one workload kind from the shared flags:
+/// --n, --seed, --scheduler, --faulty, --placement, --mechanism,
+/// --rumor-bits, --gamma, --nodes, --timeout-ms.
+inline rfc::net::ClusterSpec cluster_spec_from_cli(
+    const rfc::support::CliArgs& args, rfc::net::ClusterSpec::Kind kind) {
+  rfc::net::ClusterSpec spec;
+  spec.kind = kind;
+  spec.num_nodes = static_cast<std::uint32_t>(args.get_uint("nodes", 4));
+  spec.sync_timeout_ms =
+      static_cast<int>(args.get_uint("timeout-ms", 30000));
+
+  const auto n = static_cast<std::uint32_t>(args.get_uint("n", 48));
+  const std::uint64_t seed = args.get_uint("seed", 1234);
+  const auto scheduler =
+      rfc::sim::SchedulerSpec::parse(args.get("scheduler", "synchronous"));
+  const auto num_faulty =
+      static_cast<std::uint32_t>(args.get_uint("faulty", 0));
+  const auto placement =
+      num_faulty == 0
+          ? rfc::sim::FaultPlacement::kNone
+          : parse_placement(args.get("placement", "random"));
+
+  if (kind == rfc::net::ClusterSpec::Kind::kRumor) {
+    spec.rumor.n = n;
+    spec.rumor.seed = seed;
+    spec.rumor.scheduler = scheduler;
+    spec.rumor.num_faulty = num_faulty;
+    spec.rumor.placement = placement;
+    spec.rumor.mechanism = parse_mechanism(args.get("mechanism", "push-pull"));
+    spec.rumor.rumor_bits = args.get_uint("rumor-bits", 64);
+  } else {
+    spec.protocol.n = n;
+    spec.protocol.seed = seed;
+    spec.protocol.scheduler = scheduler;
+    spec.protocol.num_faulty = num_faulty;
+    spec.protocol.placement = placement;
+    spec.protocol.gamma = args.get_double("gamma", 4.0);
+  }
+  return spec;
+}
+
+/// One line per node process, parsed back by the launcher.
+inline std::string format_node_report(const rfc::net::NodeReport& r) {
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof buffer,
+      "NODE-REPORT node=%" PRIu32 " first=%" PRIu32 " end=%" PRIu32
+      " complete=%d rounds=%" PRIu64 " digest=0x%016" PRIx64
+      " pushes=%" PRIu64 " pull_requests=%" PRIu64 " pull_replies=%" PRIu64
+      " total_bits=%" PRIu64 " max_message_bits=%" PRIu64
+      " active_links=%" PRIu64 " denials=%" PRIu64,
+      r.node_id, r.first_label, r.end_label, r.complete ? 1 : 0, r.rounds,
+      r.state_digest, r.metrics.pushes, r.metrics.pull_requests,
+      r.metrics.pull_replies, r.metrics.total_bits,
+      r.metrics.max_message_bits, r.metrics.active_links, r.metrics.denials);
+  return buffer;
+}
+
+/// Inverse of format_node_report; std::nullopt for any other line.
+inline std::optional<rfc::net::NodeReport> parse_node_report(
+    const std::string& line) {
+  const auto start = line.find("NODE-REPORT ");
+  if (start == std::string::npos) return std::nullopt;
+
+  rfc::net::NodeReport r;
+  int complete = 0;
+  const int fields = std::sscanf(
+      line.c_str() + start,
+      "NODE-REPORT node=%" SCNu32 " first=%" SCNu32 " end=%" SCNu32
+      " complete=%d rounds=%" SCNu64 " digest=0x%" SCNx64
+      " pushes=%" SCNu64 " pull_requests=%" SCNu64 " pull_replies=%" SCNu64
+      " total_bits=%" SCNu64 " max_message_bits=%" SCNu64
+      " active_links=%" SCNu64 " denials=%" SCNu64,
+      &r.node_id, &r.first_label, &r.end_label, &complete, &r.rounds,
+      &r.state_digest, &r.metrics.pushes, &r.metrics.pull_requests,
+      &r.metrics.pull_replies, &r.metrics.total_bits,
+      &r.metrics.max_message_bits, &r.metrics.active_links,
+      &r.metrics.denials);
+  if (fields != 13) return std::nullopt;
+  r.complete = complete != 0;
+  return r;
+}
+
+}  // namespace rfc::benchnet

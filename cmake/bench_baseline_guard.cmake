@@ -1,0 +1,15 @@
+# Refuses to refresh BENCH_engine.json from a non-Release tree.
+#
+# Invoked as the first command of the bench-baseline target with
+# -DENGINE_BUILD_TYPE=${CMAKE_BUILD_TYPE}.  The committed baseline is the
+# engine-perf trajectory compared across PRs; numbers measured with
+# assertions on or without -O3 are not comparable to it, and a baseline
+# quietly regenerated from such a tree would read as a perf regression (or
+# a fake win) to every later PR.
+if(NOT ENGINE_BUILD_TYPE STREQUAL "Release")
+  message(FATAL_ERROR
+    "bench-baseline: this tree is configured as "
+    "'${ENGINE_BUILD_TYPE}', not 'Release'.  BENCH_engine.json records "
+    "Release numbers only — reconfigure with "
+    "-DCMAKE_BUILD_TYPE=Release and rerun.")
+endif()

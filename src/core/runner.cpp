@@ -116,7 +116,7 @@ GoodExecutionEvents collect_events(const sim::Engine& engine,
 
 }  // namespace
 
-RunResult run_protocol(const RunConfig& cfg) {
+std::unique_ptr<sim::Engine> build_protocol_engine(const RunConfig& cfg) {
   ProtocolParams params =
       ProtocolParams::make(cfg.n, cfg.gamma, cfg.strict_verification);
   params.coherence_digest = cfg.coherence_digest;
@@ -130,10 +130,11 @@ RunResult run_protocol(const RunConfig& cfg) {
         "labels and are not shard-safe; use shards=1");
   }
 
-  sim::Engine engine({cfg.n, cfg.seed, cfg.topology, cfg.scheduler.make()});
+  auto engine = std::make_unique<sim::Engine>(
+      sim::EngineConfig{cfg.n, cfg.seed, cfg.topology, cfg.scheduler.make()});
   rfc::support::Xoshiro256 fault_rng(
       rfc::support::derive_seed(cfg.seed, 0x0fau));
-  engine.apply_fault_plan(
+  engine->apply_fault_plan(
       sim::make_fault_plan(cfg.placement, cfg.n, cfg.num_faulty, fault_rng));
 
   std::vector<bool> in_coalition(cfg.n, false);
@@ -150,8 +151,21 @@ RunResult run_protocol(const RunConfig& cfg) {
     if (agent == nullptr) {
       agent = std::make_unique<ProtocolAgent>(params, colors.at(i));
     }
-    engine.set_agent(i, std::move(agent));
+    engine->set_agent(i, std::move(agent));
   }
+  return engine;
+}
+
+RunResult run_protocol_on(sim::Engine& engine, const RunConfig& cfg) {
+  ProtocolParams params =
+      ProtocolParams::make(cfg.n, cfg.gamma, cfg.strict_verification);
+  params.coherence_digest = cfg.coherence_digest;
+
+  std::vector<bool> in_coalition(cfg.n, false);
+  for (sim::AgentId id : cfg.coalition) in_coalition.at(id) = true;
+
+  const std::vector<Color> colors =
+      cfg.colors.empty() ? leader_election_colors(cfg.n) : cfg.colors;
 
   std::uint64_t agreement_round = RunResult::kNotMeasured;
   if (cfg.measure_convergence) {
@@ -226,6 +240,11 @@ RunResult run_protocol(const RunConfig& cfg) {
     result.winner_agent = winner_agent;
   }
   return result;
+}
+
+RunResult run_protocol(const RunConfig& cfg) {
+  const std::unique_ptr<sim::Engine> engine = build_protocol_engine(cfg);
+  return run_protocol_on(*engine, cfg);
 }
 
 }  // namespace rfc::core

@@ -107,6 +107,19 @@ struct RunResult {
   std::map<Color, std::uint32_t> active_colors;
 };
 
+/// Builds the engine of a Protocol P run — params derived, fault plan
+/// applied, honest/deviating agents installed — without stepping it.  Split
+/// out so harnesses that need the engine afterwards (e.g. the transport
+/// cross-check digesting per-agent end state, net/harness.hpp) drive the
+/// exact engine the entry point runs.
+std::unique_ptr<sim::Engine> build_protocol_engine(const RunConfig& cfg);
+
+/// Runs the protocol loop on an engine built by build_protocol_engine and
+/// extracts the outcome (params, colors, and coalition membership are
+/// re-derived from cfg, deterministically).
+RunResult run_protocol_on(sim::Engine& engine, const RunConfig& cfg);
+
+/// Equivalent to build_protocol_engine + run_protocol_on.
 RunResult run_protocol(const RunConfig& cfg);
 
 /// Convenience: the color vector for fair leader election (c_u = u).

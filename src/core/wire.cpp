@@ -4,6 +4,18 @@
 
 namespace rfc::core {
 
+const char* to_string(WireError error) noexcept {
+  switch (error) {
+    case WireError::kNone: return "ok";
+    case WireError::kTruncated: return "truncated";
+    case WireError::kCountOverflow: return "count-overflow";
+    case WireError::kRangeViolation: return "range-violation";
+    case WireError::kBadFrame: return "bad-frame";
+    case WireError::kUnsupportedTag: return "unsupported-tag";
+  }
+  return "unknown";
+}
+
 void BitWriter::write(std::uint64_t value, std::uint32_t bits) {
   for (std::uint32_t i = bits; i-- > 0;) {
     const std::uint64_t bit = (value >> i) & 1u;
@@ -38,8 +50,31 @@ void encode_intention(BitWriter& w, const ProtocolParams& params,
   }
 }
 
+WireResult<VoteIntention> decode_intention_checked(
+    BitReader& r, const ProtocolParams& params) {
+  VoteIntention intention(params.q);
+  for (VoteEntry& e : intention) {
+    const auto value = r.read(params.value_bits());
+    const auto target = r.read(params.label_bits());
+    if (!value || !target) {
+      return WireResult<VoteIntention>::failure(WireError::kTruncated);
+    }
+    if (*target >= params.n) {
+      return WireResult<VoteIntention>::failure(WireError::kRangeViolation);
+    }
+    e.value = *value;
+    e.target = static_cast<sim::AgentId>(*target);
+  }
+  return WireResult<VoteIntention>::success(std::move(intention));
+}
+
 std::optional<VoteIntention> decode_intention(BitReader& r,
                                               const ProtocolParams& params) {
+  // The legacy lenient decoder, kept for in-memory call sites: any
+  // structured failure collapses to nullopt.  Note this path historically
+  // accepted out-of-range vote targets (they cost their target a vote and
+  // nothing else); the checked variant rejects them because transport input
+  // is hostile by assumption.
   VoteIntention intention(params.q);
   for (VoteEntry& e : intention) {
     const auto value = r.read(params.value_bits());
@@ -79,28 +114,47 @@ void encode_certificate(BitWriter& w, const ProtocolParams& params,
   w.write(certificate.owner, params.label_bits());
 }
 
-std::optional<Certificate> decode_certificate(BitReader& r,
-                                              const ProtocolParams& params) {
+WireResult<Certificate> decode_certificate_checked(
+    BitReader& r, const ProtocolParams& params) {
+  using R = WireResult<Certificate>;
   Certificate c;
   const auto k = r.read(params.value_bits());
   const auto count = r.read(certificate_count_bits(params));
-  if (!k || !count) return std::nullopt;
+  if (!k || !count) return R::failure(WireError::kTruncated);
+  // The count prefix's domain bound: at most every vote in the system
+  // (n*q) can land on one agent.  Checking it *before* the reserve is what
+  // turns a hostile count into a clean rejection instead of a gigabyte
+  // allocation — and an overlong count always either violates this bound or
+  // runs the stream dry below, so overlong buffers cannot smuggle votes in.
+  if (*count > static_cast<std::uint64_t>(params.n) * params.q) {
+    return R::failure(WireError::kCountOverflow);
+  }
   c.k = *k;
   c.votes.reserve(static_cast<std::size_t>(*count));
   for (std::uint64_t i = 0; i < *count; ++i) {
     const auto voter = r.read(params.label_bits());
     const auto round = r.read(params.round_bits());
     const auto value = r.read(params.value_bits());
-    if (!voter || !round || !value) return std::nullopt;
+    if (!voter || !round || !value) return R::failure(WireError::kTruncated);
+    if (*voter >= params.n) return R::failure(WireError::kRangeViolation);
+    if (*round >= params.q) return R::failure(WireError::kRangeViolation);
     c.votes.push_back({static_cast<sim::AgentId>(*voter),
                        static_cast<std::uint32_t>(*round), *value});
   }
   const auto color = r.read(params.color_bits());
   const auto owner = r.read(params.label_bits());
-  if (!color || !owner) return std::nullopt;
+  if (!color || !owner) return R::failure(WireError::kTruncated);
+  if (*owner >= params.n) return R::failure(WireError::kRangeViolation);
   c.color = static_cast<Color>(*color);
   c.owner = static_cast<sim::AgentId>(*owner);
-  return c;
+  return R::success(std::move(c));
+}
+
+std::optional<Certificate> decode_certificate(BitReader& r,
+                                              const ProtocolParams& params) {
+  auto result = decode_certificate_checked(r, params);
+  if (!result.ok()) return std::nullopt;
+  return std::move(result.value);
 }
 
 std::uint64_t encoded_certificate_bits(const ProtocolParams& params,

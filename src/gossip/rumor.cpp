@@ -51,23 +51,28 @@ void RumorAgent::on_push(const sim::Context&, sim::AgentId,
   informed_ = true;
 }
 
-SpreadResult run_rumor_spreading(const SpreadConfig& cfg) {
-  sim::Engine engine({cfg.n, cfg.seed, cfg.topology, cfg.scheduler.make()});
+std::unique_ptr<sim::Engine> build_spread_engine(const SpreadConfig& cfg) {
+  auto engine = std::make_unique<sim::Engine>(
+      sim::EngineConfig{cfg.n, cfg.seed, cfg.topology, cfg.scheduler.make()});
   rfc::support::Xoshiro256 fault_rng(
       rfc::support::derive_seed(cfg.seed, 0x0fau));
-  engine.apply_fault_plan(
+  engine->apply_fault_plan(
       sim::make_fault_plan(cfg.placement, cfg.n, cfg.num_faulty, fault_rng));
 
   // Place the sources on the first `initial_informed` *active* labels so a
   // fault plan cannot silence the rumor at birth.
   std::uint32_t sources = cfg.initial_informed;
   for (std::uint32_t i = 0; i < cfg.n; ++i) {
-    const bool informed = !engine.is_faulty(i) && sources > 0;
+    const bool informed = !engine->is_faulty(i) && sources > 0;
     if (informed) --sources;
-    engine.set_agent(i, std::make_unique<RumorAgent>(cfg.mechanism, informed,
-                                                     cfg.rumor_bits));
+    engine->set_agent(i, std::make_unique<RumorAgent>(cfg.mechanism, informed,
+                                                      cfg.rumor_bits));
   }
+  return engine;
+}
 
+SpreadResult run_rumor_spreading_on(sim::Engine& engine,
+                                    const SpreadConfig& cfg) {
   SpreadResult result;
   const auto all_informed = [&engine] {
     for (std::uint32_t i = 0; i < engine.n(); ++i) {
@@ -108,6 +113,11 @@ SpreadResult run_rumor_spreading(const SpreadConfig& cfg) {
   result.virtual_time = engine.virtual_time();
   result.metrics = engine.metrics();
   return result;
+}
+
+SpreadResult run_rumor_spreading(const SpreadConfig& cfg) {
+  const std::unique_ptr<sim::Engine> engine = build_spread_engine(cfg);
+  return run_rumor_spreading_on(*engine, cfg);
 }
 
 }  // namespace rfc::gossip

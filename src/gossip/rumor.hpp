@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -114,9 +115,21 @@ struct SpreadResult {
   sim::Metrics metrics;
 };
 
+/// Builds the engine of a rumor-spreading run — fault plan applied, sources
+/// placed on the first `initial_informed` active labels, a RumorAgent on
+/// every label — without stepping it.  Split out so harnesses that need the
+/// engine afterwards (e.g. the transport cross-check digesting per-agent
+/// end state, net/harness.hpp) drive the exact engine the entry point runs.
+std::unique_ptr<sim::Engine> build_spread_engine(const SpreadConfig& cfg);
+
+/// Runs the spread loop on an engine built by build_spread_engine.
+SpreadResult run_rumor_spreading_on(sim::Engine& engine,
+                                    const SpreadConfig& cfg);
+
 /// Runs a full rumor-spreading execution under cfg.scheduler and reports
 /// its convergence time.  This is the single entry point for every
 /// activation model; select the policy through the SchedulerSpec.
+/// Equivalent to build_spread_engine + run_rumor_spreading_on.
 SpreadResult run_rumor_spreading(const SpreadConfig& cfg);
 
 }  // namespace rfc::gossip

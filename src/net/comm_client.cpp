@@ -1,0 +1,44 @@
+#include "net/comm_client.hpp"
+
+#include <stdexcept>
+
+#include "net/loopback.hpp"
+#include "net/socket_client.hpp"
+
+namespace rfc::net {
+
+const char* to_string(TransportKind kind) noexcept {
+  switch (kind) {
+    case TransportKind::kLoopback: return "loopback";
+    case TransportKind::kUdp: return "udp";
+    case TransportKind::kTcp: return "tcp";
+  }
+  return "unknown";
+}
+
+TransportKind parse_transport_kind(const std::string& text) {
+  if (text == "loopback") return TransportKind::kLoopback;
+  if (text == "udp") return TransportKind::kUdp;
+  if (text == "tcp") return TransportKind::kTcp;
+  throw std::invalid_argument(
+      "unknown transport '" + text + "' (expected loopback, udp, or tcp)");
+}
+
+CommClientPtr make_comm_client(TransportKind kind, LoopbackHub* hub) {
+  switch (kind) {
+    case TransportKind::kLoopback:
+      if (hub == nullptr) {
+        throw std::invalid_argument(
+            "make_comm_client: the loopback transport needs the shared "
+            "LoopbackHub every in-process node attaches to");
+      }
+      return make_loopback_client(*hub);
+    case TransportKind::kUdp:
+      return make_udp_client();
+    case TransportKind::kTcp:
+      return make_tcp_mesh_client();
+  }
+  throw std::invalid_argument("make_comm_client: unknown transport kind");
+}
+
+}  // namespace rfc::net

@@ -1,0 +1,230 @@
+#include "net/harness.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "net/loopback.hpp"
+#include "sim/sharding.hpp"
+
+namespace rfc::net {
+
+namespace {
+
+void append_mismatch(std::ostringstream& out, const char* field,
+                     std::uint64_t cluster, std::uint64_t reference) {
+  out << field << ": cluster=" << cluster << " reference=" << reference
+      << "; ";
+}
+
+}  // namespace
+
+Workload make_cluster_workload(const ClusterSpec& spec) {
+  if (spec.kind == ClusterSpec::Kind::kRumor) {
+    return make_rumor_workload(spec.rumor);
+  }
+  return make_protocol_workload(spec.protocol);
+}
+
+ClusterResult merge_reports(const Workload& workload,
+                            const std::vector<NodeReport>& reports) {
+  if (reports.empty()) {
+    throw std::runtime_error("merge_reports: no node reports");
+  }
+  std::vector<const NodeReport*> by_node(reports.size(), nullptr);
+  for (const NodeReport& r : reports) {
+    if (r.node_id >= by_node.size() || by_node[r.node_id] != nullptr) {
+      throw std::runtime_error("merge_reports: missing or duplicate node id " +
+                               std::to_string(r.node_id));
+    }
+    by_node[r.node_id] = &r;
+  }
+
+  const auto num_nodes = static_cast<std::uint32_t>(by_node.size());
+  ClusterResult result;
+  result.complete = by_node[0]->complete;
+  result.rounds = by_node[0]->rounds;
+  for (std::uint32_t b = 0; b < num_nodes; ++b) {
+    const NodeReport& r = *by_node[b];
+    const std::uint32_t lo = sim::contiguous_block_begin(workload.n,
+                                                         num_nodes, b);
+    const std::uint32_t hi = sim::contiguous_block_begin(workload.n,
+                                                         num_nodes, b + 1);
+    if (r.first_label != lo || r.end_label != hi) {
+      throw std::runtime_error("merge_reports: node " + std::to_string(b) +
+                               " does not own block [" + std::to_string(lo) +
+                               ", " + std::to_string(hi) + ")");
+    }
+    if (r.complete != result.complete || r.rounds != result.rounds) {
+      throw std::runtime_error(
+          "merge_reports: node " + std::to_string(b) +
+          " disagrees on the run outcome (rounds/completion)");
+    }
+    result.metrics.merge_from(r.metrics);
+    result.block_digests.push_back(r.state_digest);
+  }
+  // Node metrics carry only message counters; the common round count is the
+  // cluster's, and every executed round advances virtual time by 1 under
+  // the (discrete) round-based policies the driver supports.
+  result.metrics.rounds = result.rounds;
+  result.metrics.virtual_time = static_cast<double>(result.rounds);
+  result.digest = combine_block_digests(result.block_digests);
+  return result;
+}
+
+ClusterResult reference_result(const ClusterSpec& spec) {
+  const Workload workload = make_cluster_workload(spec);
+  std::unique_ptr<sim::Engine> engine;
+  if (spec.kind == ClusterSpec::Kind::kRumor) {
+    engine = gossip::build_spread_engine(spec.rumor);
+    gossip::run_rumor_spreading_on(*engine, spec.rumor);
+  } else {
+    engine = core::build_protocol_engine(spec.protocol);
+    core::run_protocol_on(*engine, spec.protocol);
+  }
+
+  ClusterResult result;
+  result.rounds = engine->round();
+  result.metrics = engine->metrics();
+  result.complete = true;
+  for (std::uint32_t i = 0; i < workload.n; ++i) {
+    if (!engine->is_faulty(i) && !workload.agent_complete(engine->agent(i))) {
+      result.complete = false;
+      break;
+    }
+  }
+  for (std::uint32_t b = 0; b < spec.num_nodes; ++b) {
+    const std::uint32_t lo = sim::contiguous_block_begin(workload.n,
+                                                         spec.num_nodes, b);
+    const std::uint32_t hi = sim::contiguous_block_begin(workload.n,
+                                                         spec.num_nodes,
+                                                         b + 1);
+    Fnv1a fnv;
+    for (std::uint32_t l = lo; l < hi; ++l) {
+      workload.digest_agent(fnv, engine->agent(l), l, engine->is_faulty(l));
+    }
+    result.block_digests.push_back(fnv.value());
+  }
+  result.digest = combine_block_digests(result.block_digests);
+  return result;
+}
+
+std::vector<NodeReport> run_local_cluster(const ClusterSpec& spec,
+                                          TransportKind kind,
+                                          std::uint16_t port_base) {
+  const Workload workload = make_cluster_workload(spec);
+  const std::uint32_t num_nodes = spec.num_nodes;
+  if (kind != TransportKind::kLoopback && port_base == 0) {
+    throw std::invalid_argument(
+        "run_local_cluster: socket transports need a port_base");
+  }
+
+  LoopbackHub hub(num_nodes);
+  std::vector<PeerEndpoint> peers(num_nodes);
+  for (std::uint32_t i = 0; i < num_nodes; ++i) {
+    peers[i].host = "127.0.0.1";
+    peers[i].port = static_cast<std::uint16_t>(port_base + i);
+  }
+
+  std::vector<NodeReport> reports(num_nodes);
+  std::vector<std::exception_ptr> errors(num_nodes);
+  std::vector<std::thread> threads;
+  threads.reserve(num_nodes);
+  for (std::uint32_t id = 0; id < num_nodes; ++id) {
+    threads.emplace_back([&, id] {
+      try {
+        const CommClientPtr client = make_comm_client(kind, &hub);
+        NodeOptions options;
+        options.node_id = id;
+        options.num_nodes = num_nodes;
+        options.sync_timeout_ms = spec.sync_timeout_ms;
+        NodeDriver driver(workload, options, *client);
+        reports[id] = driver.run(peers);
+      } catch (...) {
+        errors[id] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return reports;
+}
+
+std::string cross_check(const ClusterResult& cluster,
+                        const ClusterResult& reference) {
+  std::ostringstream out;
+  if (cluster.complete != reference.complete) {
+    append_mismatch(out, "complete", cluster.complete ? 1 : 0,
+                    reference.complete ? 1 : 0);
+  }
+  if (cluster.rounds != reference.rounds) {
+    append_mismatch(out, "rounds", cluster.rounds, reference.rounds);
+  }
+  const sim::Metrics& cm = cluster.metrics;
+  const sim::Metrics& rm = reference.metrics;
+  if (cm.rounds != rm.rounds) {
+    append_mismatch(out, "metrics.rounds", cm.rounds, rm.rounds);
+  }
+  if (cm.virtual_time != rm.virtual_time) {
+    out << "metrics.virtual_time: cluster=" << cm.virtual_time
+        << " reference=" << rm.virtual_time << "; ";
+  }
+  if (cm.pushes != rm.pushes) {
+    append_mismatch(out, "metrics.pushes", cm.pushes, rm.pushes);
+  }
+  if (cm.pull_requests != rm.pull_requests) {
+    append_mismatch(out, "metrics.pull_requests", cm.pull_requests,
+                    rm.pull_requests);
+  }
+  if (cm.pull_replies != rm.pull_replies) {
+    append_mismatch(out, "metrics.pull_replies", cm.pull_replies,
+                    rm.pull_replies);
+  }
+  if (cm.total_bits != rm.total_bits) {
+    append_mismatch(out, "metrics.total_bits", cm.total_bits, rm.total_bits);
+  }
+  if (cm.max_message_bits != rm.max_message_bits) {
+    append_mismatch(out, "metrics.max_message_bits", cm.max_message_bits,
+                    rm.max_message_bits);
+  }
+  if (cm.active_links != rm.active_links) {
+    append_mismatch(out, "metrics.active_links", cm.active_links,
+                    rm.active_links);
+  }
+  if (cm.denials != rm.denials) {
+    append_mismatch(out, "metrics.denials", cm.denials, rm.denials);
+  }
+  if (cluster.block_digests.size() != reference.block_digests.size()) {
+    append_mismatch(out, "block count", cluster.block_digests.size(),
+                    reference.block_digests.size());
+  } else {
+    for (std::size_t b = 0; b < cluster.block_digests.size(); ++b) {
+      if (cluster.block_digests[b] != reference.block_digests[b]) {
+        out << "block " << b << " digest: cluster=" << std::hex
+            << cluster.block_digests[b] << " reference="
+            << reference.block_digests[b] << std::dec << "; ";
+      }
+    }
+  }
+  if (cluster.digest != reference.digest) {
+    out << "combined digest: cluster=" << std::hex << cluster.digest
+        << " reference=" << reference.digest << std::dec << "; ";
+  }
+  return out.str();
+}
+
+std::string cross_check_local(const ClusterSpec& spec, TransportKind kind,
+                              std::uint16_t port_base) {
+  const Workload workload = make_cluster_workload(spec);
+  const std::vector<NodeReport> reports =
+      run_local_cluster(spec, kind, port_base);
+  return cross_check(merge_reports(workload, reports),
+                     reference_result(spec));
+}
+
+}  // namespace rfc::net

@@ -1,0 +1,150 @@
+// NodeDriver — one node process of a distributed GOSSIP run.
+//
+// Each node owns a contiguous label block (the partition rule shared with
+// the sharded executor: block b is [contiguous_block_begin(n, K, b),
+// contiguous_block_begin(n, K, b+1))) and replicates EngineCore's phased
+// synchronous round locally, moving every cross-block interaction over a
+// CommClient as wire frames.  The adaptation into asynchronous rounds with
+// explicit sync points follows ACP's ac_protocol: a round advances through
+// three barriers, each a mark frame that also *counts* the data frames
+// preceding it so the barrier is exact even over a reordering transport:
+//
+//   1. round-status  — exchanged at round *start*, carrying each block's
+//      completion flag (computed from post-previous-round state, matching
+//      the engine's check-before-step loop).  All blocks complete, or the
+//      round budget spent → the run ends here.
+//   2. actions-done  — after phase A: every local agent's action collected
+//      (in label order, under the partial-async mask when configured) and
+//      every cross-block pull request / push sent.
+//   3. replies-done  — after phase B: every pull on a local pullee served
+//      in global requester-label order from round-start state, and every
+//      cross-block reply (empty ones included) sent.
+//
+// Phases C (deliver pull replies, requester order) and D (deliver pushes,
+// sender order) then run locally — all their inputs arrived by barrier 3.
+//
+// Determinism: agent RNG streams are derive_seed(seed, label), the fault
+// plan and the partial-async mask stream (one Bernoulli per label per
+// round, faulty included) are derived identically on every node, and all
+// per-phase processing is sorted by label — so the distributed execution
+// is the engine's execution, bit for bit, regardless of message arrival
+// interleaving.  Metrics are charged exactly once cluster-wide on the side
+// the engine charges them (requester: pull requests; pullee owner:
+// replies; sender: pushes), so per-node Metrics sum to the engine's.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/comm_client.hpp"
+#include "net/wire_frame.hpp"
+#include "net/workload.hpp"
+#include "sim/metrics.hpp"
+#include "support/rng.hpp"
+
+namespace rfc::net {
+
+struct NodeOptions {
+  NodeId node_id = 0;
+  std::uint32_t num_nodes = 1;
+  /// How long a sync-point wait may stall before the driver gives up and
+  /// throws (a peer crash would otherwise hang the cluster forever).
+  int sync_timeout_ms = 30000;
+};
+
+struct NodeReport {
+  NodeId node_id = 0;
+  std::uint32_t first_label = 0;  ///< Local block [first_label, end_label).
+  std::uint32_t end_label = 0;
+  bool complete = false;          ///< Every block completed (global flag).
+  std::uint64_t rounds = 0;       ///< Rounds executed (identical on all nodes).
+  /// Locally charged message counters; rounds/virtual_time left zero so the
+  /// harness can merge node metrics by plain summation.
+  sim::Metrics metrics;
+  std::uint64_t state_digest = 0;  ///< FNV-1a over the local block's agents.
+};
+
+class NodeDriver final : public CommClientCallback {
+ public:
+  /// `workload` and `client` must outlive the driver.
+  NodeDriver(const Workload& workload, const NodeOptions& options,
+             CommClient& client);
+
+  /// Brings the transport up, runs the workload to completion (or budget),
+  /// tears the transport down, and reports the local block's outcome.
+  /// Throws std::runtime_error on transport failure, a malformed frame, or
+  /// a sync-point timeout.
+  NodeReport run(const std::vector<PeerEndpoint>& peers);
+
+  // CommClientCallback (invoked from inside client.poll()):
+  void on_message(NodeId from, const std::uint8_t* data,
+                  std::size_t size) override;
+  void on_peer_state(NodeId peer, bool connected) override;
+
+ private:
+  /// Per-round frame buffers: peers may run up to one stage-cycle ahead, so
+  /// everything is bucketed by round and consumed when the local round
+  /// catches up.
+  struct RoundInbox {
+    std::map<NodeId, bool> status;              ///< round-status flags.
+    std::map<NodeId, std::uint32_t> actions_announced;
+    std::map<NodeId, std::uint32_t> replies_announced;
+    std::map<NodeId, std::uint32_t> data_received;     ///< requests + pushes.
+    std::map<NodeId, std::uint32_t> replies_received;
+    std::vector<Frame> pull_requests;
+    std::vector<Frame> pull_replies;
+    std::vector<Frame> pushes;
+  };
+
+  sim::Context make_context(sim::AgentId label) noexcept;
+  sim::Agent& local_agent(sim::AgentId label) {
+    return *agents_[label - first_];
+  }
+  bool block_complete() const;
+  std::uint64_t local_digest() const;
+
+  void broadcast(Frame frame);
+  void send_frame(NodeId to, const Frame& frame);
+  /// Polls until `satisfied(p)` holds for every peer p; throws after
+  /// options_.sync_timeout_ms.  A disconnected peer is fatal only while
+  /// this barrier still needs something from it: a node that finishes the
+  /// run closes its connections while slower peers are still collecting
+  /// *other* peers' final frames, and (TCP/loopback being ordered) its own
+  /// contribution is guaranteed to have been delivered before its EOF.
+  template <typename Satisfied>
+  void wait_for(const char* what, Satisfied satisfied);
+
+  /// True once the status barrier has all flags; sets `all_complete`.
+  bool exchange_status(bool local_complete, bool* all_complete);
+  void execute_round();
+
+  const Workload* workload_;
+  NodeOptions options_;
+  CommClient* client_;
+  FrameCodec codec_;
+
+  std::uint32_t first_ = 0;               ///< Local block begin.
+  std::uint32_t end_ = 0;                 ///< Local block end.
+  std::vector<NodeId> owner_;             ///< label -> owning node.
+  std::vector<std::unique_ptr<sim::Agent>> agents_;  ///< Local block only.
+  std::vector<rfc::support::Xoshiro256> rngs_;       ///< Local block only.
+
+  bool partial_async_ = false;
+  double awake_p_ = 1.0;
+  rfc::support::Xoshiro256 mask_rng_{0};
+  std::vector<bool> mask_;                ///< Full n, redrawn per round.
+
+  std::uint64_t round_ = 0;
+  sim::Metrics metrics_;
+  std::map<std::uint64_t, RoundInbox> inbox_;
+  std::vector<bool> peer_down_;           ///< tcp disconnects, fail-fast.
+
+  // Per-round scratch, reused.
+  std::vector<sim::Action> actions_;      ///< Local agents' actions.
+  std::vector<sim::Payload> reply_for_;   ///< Replies to local requesters.
+  std::vector<bool> reply_ready_;
+};
+
+}  // namespace rfc::net

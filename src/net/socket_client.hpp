@@ -1,0 +1,37 @@
+// Real-socket CommClient backends (POSIX only): UDP datagrams and an
+// ACP-style TCP mesh.
+//
+// Both run single-threaded and poll(2)-driven — no reader threads, no
+// locks; poll() on the client pumps the sockets and dispatches callbacks on
+// the caller's stack, matching the CommClient threading contract.
+//
+// Wire envelopes:
+//   * udp — one message per datagram, prefixed with the sender's node id
+//     (u32, network byte order).  The socket itself carries no identity, so
+//     the id travels in-band; endpoints are not authenticated (the model's
+//     secure-channel assumption holds only for loopback/tcp runs).
+//     Best-effort: datagrams may drop or reorder; the NodeDriver's counted
+//     sync points tolerate reordering but a lost datagram times the run
+//     out (localhost loss is negligible in practice).
+//   * tcp — full mesh in the comm_client_tcp_mesh shape: node i dials
+//     every peer j < i and accepts from every j > i, each accepted
+//     connection is identified by a 4-byte hello carrying the dialer's
+//     node id, and every message is length-prefixed (u32, network byte
+//     order) on the stream.  Reliable and FIFO per peer pair.
+#pragma once
+
+#include "net/comm_client.hpp"
+
+namespace rfc::net {
+
+/// Builds the UDP backend.  start() binds peers[self].port and resolves
+/// every peer endpoint; all peers are reported up immediately.
+CommClientPtr make_udp_client();
+
+/// Builds the TCP-mesh backend.  start() listens on peers[self].port,
+/// dials lower-id peers (retrying while they come up), accepts higher-id
+/// peers, and returns once the mesh is complete; throws std::runtime_error
+/// if the mesh cannot be established within the dial timeout.
+CommClientPtr make_tcp_mesh_client();
+
+}  // namespace rfc::net

@@ -1,0 +1,56 @@
+// FNV-1a end-state digests for the socket cross-check.
+//
+// A distributed run proves itself against the in-memory engine by hashing
+// the per-agent end state on both sides and comparing: each node digests
+// its own label block, the reference digests the same blocks from the
+// engine, and equal digests mean equal states — including, for Protocol P,
+// the *wire-encoded* certificates, so "identical certificates" is checked
+// at the bit level rather than through a lossy summary.
+//
+// FNV-1a (64-bit) is deliberate: order-sensitive, trivially portable, and
+// stable across processes — no std::hash, whose value is implementation-
+// defined and would break the cross-process comparison.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rfc::net {
+
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ull;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ull;
+
+  void mix_byte(std::uint8_t byte) noexcept {
+    hash_ = (hash_ ^ byte) * kPrime;
+  }
+
+  void mix_bytes(const std::uint8_t* data, std::size_t size) noexcept {
+    for (std::size_t i = 0; i < size; ++i) mix_byte(data[i]);
+  }
+
+  void mix_u64(std::uint64_t value) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      mix_byte(static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+  }
+
+  void mix_bool(bool value) noexcept { mix_byte(value ? 1 : 0); }
+
+  std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = kOffsetBasis;
+};
+
+/// Chains per-block digests into one run digest (block order is part of the
+/// hash, so node reports must be combined in node-id order).
+inline std::uint64_t combine_block_digests(
+    const std::vector<std::uint64_t>& blocks) noexcept {
+  Fnv1a fnv;
+  for (std::uint64_t b : blocks) fnv.mix_u64(b);
+  return fnv.value();
+}
+
+}  // namespace rfc::net

@@ -1,0 +1,85 @@
+// Transport frames of the distributed round protocol.
+//
+// Every byte a NodeDriver puts on a CommClient is one Frame, encoded with
+// core/wire's BitWriter (MSB-first) and parsed back with the checked
+// decoders — transport input is hostile by assumption, so every decode
+// returns a structured core::WireError instead of asserting.
+//
+// Frame layout (bit-packed, then padded to a byte boundary):
+//
+//   magic     u8   0xC5 — rejects stray datagrams and framing slips
+//   kind      u8   FrameKind
+//   round     u32  engine round the frame belongs to
+//   agent     u32  acting agent label (requester / pusher); kNoAgent on marks
+//   target    u32  pullee / push destination label; kNoAgent on marks
+//   complete  u8   kRoundStatus: the sender's block completion flag
+//   count     u32  kActionsDone / kRepliesDone: data frames the sender put
+//                  on the wire to *this* destination this round — the
+//                  receiver waits until that many arrived, which makes the
+//                  sync points exact even over a reordering transport (UDP)
+//   payload        kPullReply / kPush: see below
+//
+// Payload encoding: a 16-bit tag, then tag-dependent content.  Tag 0 is the
+// empty payload (a silent pull reply).  The boxed core tags (0x22 vote
+// intentions, 0x23 certificates) use the exact bit-level encodings of
+// core/wire — the same bits the accounting model charges — and therefore
+// need the run's ProtocolParams in the codec.  Every other tag is an inline
+// payload and travels generically as (bits u32, 3 x u64 words).  The async
+// boxed tag 0x29 has no wire form and is rejected as kUnsupportedTag.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/wire.hpp"
+#include "sim/agent.hpp"
+#include "sim/payload.hpp"
+
+namespace rfc::net {
+
+enum class FrameKind : std::uint8_t {
+  kRoundStatus = 1,  ///< Round-start barrier, carries the block's completion.
+  kActionsDone = 2,  ///< All pull requests / pushes of the round are sent.
+  kRepliesDone = 3,  ///< All pull replies of the round are sent.
+  kPullRequest = 4,  ///< agent pulls target (a local label of the receiver).
+  kPullReply = 5,    ///< Reply to agent's pull on target; payload may be empty.
+  kPush = 6,         ///< agent pushes payload to target.
+};
+
+const char* to_string(FrameKind kind) noexcept;
+
+struct Frame {
+  FrameKind kind = FrameKind::kRoundStatus;
+  std::uint64_t round = 0;
+  sim::AgentId agent = sim::kNoAgent;
+  sim::AgentId target = sim::kNoAgent;
+  bool complete = false;
+  std::uint32_t count = 0;
+  sim::Payload payload;
+};
+
+/// Encodes `payload` after its 16-bit tag.  Throws std::invalid_argument on
+/// a boxed payload the wire has no encoding for, or on a protocol payload
+/// without `params`.
+void encode_payload(core::BitWriter& w, const sim::Payload& payload,
+                    const core::ProtocolParams* params);
+
+/// Inverse of encode_payload; structured errors on truncated, overlong, or
+/// out-of-domain input.
+core::WireResult<sim::Payload> decode_payload(
+    core::BitReader& r, const core::ProtocolParams* params);
+
+/// Frame codec bound to one run's geometry: `n` validates agent labels
+/// (0 = unknown, labels pass unchecked) and `params` enables the boxed
+/// protocol payloads.
+struct FrameCodec {
+  std::uint32_t n = 0;
+  const core::ProtocolParams* params = nullptr;
+
+  std::vector<std::uint8_t> encode(const Frame& frame) const;
+  core::WireResult<Frame> decode(const std::uint8_t* data,
+                                 std::size_t size) const;
+};
+
+}  // namespace rfc::net

@@ -1,0 +1,154 @@
+// Loopback transport: the distributed node protocol must be *bit-identical*
+// to the in-memory engine.  The loopback backend has no network
+// nondeterminism, so any divergence here is a protocol bug in the
+// NodeDriver, not a flaky socket — which is what makes these the tier-1
+// guards of the transport layer.
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/harness.hpp"
+#include "net/loopback.hpp"
+#include "net/workload.hpp"
+#include "sim/scheduler.hpp"
+
+namespace rfc::net {
+namespace {
+
+ClusterSpec rumor_spec(std::uint32_t num_nodes, std::uint32_t num_faulty,
+                       const char* scheduler = "synchronous") {
+  ClusterSpec spec;
+  spec.kind = ClusterSpec::Kind::kRumor;
+  spec.num_nodes = num_nodes;
+  spec.rumor.n = 48;
+  spec.rumor.seed = 1234;
+  spec.rumor.mechanism = gossip::Mechanism::kPushPull;
+  spec.rumor.num_faulty = num_faulty;
+  spec.rumor.placement = num_faulty == 0 ? sim::FaultPlacement::kNone
+                                         : sim::FaultPlacement::kRandom;
+  spec.rumor.scheduler = sim::SchedulerSpec::parse(scheduler);
+  return spec;
+}
+
+ClusterSpec protocol_spec(std::uint32_t num_nodes, std::uint32_t num_faulty,
+                          const char* scheduler = "synchronous") {
+  ClusterSpec spec;
+  spec.kind = ClusterSpec::Kind::kProtocol;
+  spec.num_nodes = num_nodes;
+  spec.protocol.n = 48;
+  spec.protocol.seed = 99;
+  spec.protocol.num_faulty = num_faulty;
+  spec.protocol.placement = num_faulty == 0 ? sim::FaultPlacement::kNone
+                                            : sim::FaultPlacement::kRandom;
+  spec.protocol.scheduler = sim::SchedulerSpec::parse(scheduler);
+  return spec;
+}
+
+TEST(LoopbackHub, DeliversFifoPerSenderAndValidatesDestinations) {
+  LoopbackHub hub(3);
+  const std::uint8_t a = 1, b = 2;
+  hub.post(0, 2, &a, 1);
+  hub.post(1, 2, &b, 1);
+  hub.post(0, 2, &b, 1);
+  const auto drained = hub.drain(2, 0);
+  ASSERT_EQ(drained.size(), 3u);
+  // FIFO within each (sender, receiver) pair.
+  std::vector<std::uint8_t> from0;
+  for (const auto& [from, bytes] : drained) {
+    if (from == 0) from0.push_back(bytes.at(0));
+  }
+  ASSERT_EQ(from0.size(), 2u);
+  EXPECT_EQ(from0[0], a);
+  EXPECT_EQ(from0[1], b);
+  EXPECT_TRUE(hub.drain(2, 0).empty());
+  EXPECT_THROW(hub.post(0, 3, &a, 1), std::invalid_argument);
+}
+
+TEST(ClusterWorkload, RejectsActivationBasedSchedulers) {
+  // The node protocol reproduces the engine's *round-based* phases; an
+  // activation-based policy has no distributed counterpart and must be
+  // rejected up front rather than silently diverging.
+  ClusterSpec spec = rumor_spec(2, 0, "sequential");
+  EXPECT_THROW(make_cluster_workload(spec), std::invalid_argument);
+}
+
+TEST(LoopbackCluster, RumorMatchesEngineAcrossNodeCounts) {
+  for (const std::uint32_t nodes : {1u, 2u, 3u, 5u}) {
+    EXPECT_EQ(cross_check_local(rumor_spec(nodes, 0), TransportKind::kLoopback),
+              "")
+        << "nodes=" << nodes;
+  }
+}
+
+TEST(LoopbackCluster, RumorWithFaultsMatchesEngine) {
+  for (const std::uint32_t nodes : {2u, 4u}) {
+    EXPECT_EQ(
+        cross_check_local(rumor_spec(nodes, 6), TransportKind::kLoopback), "")
+        << "nodes=" << nodes;
+  }
+}
+
+TEST(LoopbackCluster, ProtocolMatchesEngineAcrossNodeCounts) {
+  for (const std::uint32_t nodes : {1u, 3u}) {
+    EXPECT_EQ(
+        cross_check_local(protocol_spec(nodes, 0), TransportKind::kLoopback),
+        "")
+        << "nodes=" << nodes;
+  }
+}
+
+TEST(LoopbackCluster, ProtocolWithFaultsMatchesEngine) {
+  EXPECT_EQ(cross_check_local(protocol_spec(4, 4), TransportKind::kLoopback),
+            "");
+}
+
+TEST(LoopbackCluster, PartialAsyncSchedulerMatchesEngine) {
+  // The shared Bernoulli awake-mask stream must stay aligned across blocks:
+  // every node draws the full n-label mask per round.
+  EXPECT_EQ(cross_check_local(rumor_spec(3, 4, "partial-async:p=0.5"),
+                              TransportKind::kLoopback),
+            "");
+  EXPECT_EQ(cross_check_local(protocol_spec(3, 0, "partial-async:p=0.75"),
+                              TransportKind::kLoopback),
+            "");
+}
+
+TEST(LoopbackCluster, RunsAreBitReproducible) {
+  // Same spec, two runs: identical digests and metrics — the loopback
+  // transport adds no nondeterminism on top of the seeded workload.
+  const ClusterSpec spec = rumor_spec(3, 6);
+  const Workload wl = make_cluster_workload(spec);
+  const ClusterResult a =
+      merge_reports(wl, run_local_cluster(spec, TransportKind::kLoopback));
+  const ClusterResult b =
+      merge_reports(wl, run_local_cluster(spec, TransportKind::kLoopback));
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.block_digests, b.block_digests);
+  EXPECT_EQ(cross_check(a, b), "");
+}
+
+TEST(MergeReports, RejectsInconsistentReportSets) {
+  const ClusterSpec spec = rumor_spec(2, 0);
+  const Workload wl = make_cluster_workload(spec);
+  std::vector<NodeReport> reports =
+      run_local_cluster(spec, TransportKind::kLoopback);
+  ASSERT_EQ(reports.size(), 2u);
+
+  std::vector<NodeReport> duplicated = reports;
+  duplicated[1] = duplicated[0];
+  EXPECT_THROW(merge_reports(wl, duplicated), std::runtime_error);
+
+  std::vector<NodeReport> disagreeing = reports;
+  disagreeing[1].rounds += 1;
+  EXPECT_THROW(merge_reports(wl, disagreeing), std::runtime_error);
+
+  std::vector<NodeReport> missing(reports.begin(), reports.begin() + 1);
+  EXPECT_THROW(merge_reports(wl, missing), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rfc::net

@@ -1,0 +1,73 @@
+// Real-socket transports driven in-process: N node threads over actual
+// TCP/UDP sockets on localhost must still reproduce the in-memory engine
+// bit for bit.  The multi-*process* variant of the same cross-check runs as
+// the socket_smoke_* CTest entries (bench/exp_socket); this test keeps the
+// socket paths under the ordinary unit-test (and sanitizer) umbrella.
+#include <unistd.h>
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "net/harness.hpp"
+#include "sim/scheduler.hpp"
+
+namespace rfc::net {
+namespace {
+
+/// Distinct per-process port block, away from the ephemeral range; each
+/// test case offsets further so parallel ctest jobs on one box do not
+/// collide (the CTest RESOURCE_LOCK serializes the socket tests anyway).
+std::uint16_t port_base(std::uint16_t lane) {
+  return static_cast<std::uint16_t>(18000 + (getpid() % 2000) +
+                                    lane * 16);
+}
+
+ClusterSpec rumor_spec(std::uint32_t num_nodes, std::uint32_t num_faulty) {
+  ClusterSpec spec;
+  spec.kind = ClusterSpec::Kind::kRumor;
+  spec.num_nodes = num_nodes;
+  spec.rumor.n = 48;
+  spec.rumor.seed = 1234;
+  spec.rumor.mechanism = gossip::Mechanism::kPushPull;
+  spec.rumor.num_faulty = num_faulty;
+  spec.rumor.placement = num_faulty == 0 ? sim::FaultPlacement::kNone
+                                         : sim::FaultPlacement::kRandom;
+  return spec;
+}
+
+ClusterSpec protocol_spec(std::uint32_t num_nodes) {
+  ClusterSpec spec;
+  spec.kind = ClusterSpec::Kind::kProtocol;
+  spec.num_nodes = num_nodes;
+  spec.protocol.n = 48;
+  spec.protocol.seed = 99;
+  return spec;
+}
+
+TEST(TcpCluster, RumorMatchesEngine) {
+  EXPECT_EQ(
+      cross_check_local(rumor_spec(3, 6), TransportKind::kTcp, port_base(0)),
+      "");
+}
+
+TEST(TcpCluster, ProtocolMatchesEngine) {
+  EXPECT_EQ(
+      cross_check_local(protocol_spec(3), TransportKind::kTcp, port_base(1)),
+      "");
+}
+
+TEST(UdpCluster, RumorMatchesEngine) {
+  EXPECT_EQ(
+      cross_check_local(rumor_spec(3, 0), TransportKind::kUdp, port_base(2)),
+      "");
+}
+
+TEST(UdpCluster, ProtocolMatchesEngine) {
+  EXPECT_EQ(
+      cross_check_local(protocol_spec(3), TransportKind::kUdp, port_base(3)),
+      "");
+}
+
+}  // namespace
+}  // namespace rfc::net

@@ -40,6 +40,7 @@
 #include "core/async_protocol.hpp"
 #include "core/runner.hpp"
 #include "gossip/rumor.hpp"
+#include "net/harness.hpp"
 #include "sim/engine.hpp"
 #include "sim/fault_model.hpp"
 #include "sim/metrics.hpp"
@@ -519,6 +520,50 @@ TEST(SchedulerDifferential, DenialsSumExactlyUnderMonteCarloPooling) {
   EXPECT_GT(serial_sum, 0u);
   EXPECT_EQ(pooled_sum, serial_sum);
   EXPECT_EQ(pooled_total.denials, serial_sum);
+}
+
+// --------------------------------------------------------------------------
+// Transport differential: the distributed node protocol (net/) over the
+// deterministic loopback backend must be bit-identical to the in-memory
+// engine for every round-based scheduler it supports, at matched seeds —
+// the same identity the rest of this harness pins across schedulers, now
+// pinned across the *execution substrate*.
+// --------------------------------------------------------------------------
+
+TEST(SchedulerDifferential, LoopbackTransportMatchesInMemoryEngine) {
+  using rfc::net::ClusterSpec;
+  for (const char* scheduler : {"synchronous", "partial-async:p=0.5"}) {
+    for (const bool faults : {false, true}) {
+      ClusterSpec rumor;
+      rumor.kind = ClusterSpec::Kind::kRumor;
+      rumor.num_nodes = 3;
+      rumor.rumor.n = 48;
+      rumor.rumor.seed = 4321;
+      rumor.rumor.mechanism = gossip::Mechanism::kPushPull;
+      rumor.rumor.num_faulty = faults ? 6 : 0;
+      rumor.rumor.placement =
+          faults ? FaultPlacement::kRandom : FaultPlacement::kNone;
+      rumor.rumor.scheduler = SchedulerSpec::parse(scheduler);
+      EXPECT_EQ(rfc::net::cross_check_local(rumor,
+                                            rfc::net::TransportKind::kLoopback),
+                "")
+          << scheduler << " faults=" << faults;
+
+      ClusterSpec protocol;
+      protocol.kind = ClusterSpec::Kind::kProtocol;
+      protocol.num_nodes = 3;
+      protocol.protocol.n = 48;
+      protocol.protocol.seed = 4321;
+      protocol.protocol.num_faulty = faults ? 4 : 0;
+      protocol.protocol.placement =
+          faults ? FaultPlacement::kRandom : FaultPlacement::kNone;
+      protocol.protocol.scheduler = SchedulerSpec::parse(scheduler);
+      EXPECT_EQ(rfc::net::cross_check_local(protocol,
+                                            rfc::net::TransportKind::kLoopback),
+                "")
+          << scheduler << " faults=" << faults;
+    }
+  }
 }
 
 }  // namespace
