@@ -76,7 +76,16 @@ void BM_EngineRumorRound(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_EngineRumorRound)->Arg(256)->Arg(1024)->Arg(4096);
+// The two large args exercise the cache-blocked delivery path (it activates
+// at n >= 2^16): the acceptance bar for the million-agent engine is the
+// n=2^20 single-thread ns/agent staying within 1.5x of the seed's n=4096
+// figure.
+BENCHMARK(BM_EngineRumorRound)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(1 << 17)
+    ->Arg(1 << 20);
 
 // The sharded synchronous round (sim/sharding.hpp) on the same push-pull
 // rumor workload as BM_EngineRumorRound: args are (n, shards, threads), so
@@ -104,7 +113,9 @@ BENCHMARK(BM_ShardedRound)
     ->Args({4096, 4, 2})
     ->Args({4096, 4, 4})
     ->Args({16384, 4, 4})
-    ->Args({65536, 8, 4});
+    ->Args({65536, 8, 4})
+    ->Args({1 << 17, 8, 4})
+    ->Args({1 << 20, 8, 4});
 
 // Engine setup cost at scale: construction + agent installation + the
 // per-agent RNG-stream derivation + one idle round — the fixed cost every

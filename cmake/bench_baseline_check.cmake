@@ -1,0 +1,29 @@
+# Post-write sanity check of BENCH_engine.json, run as the last command of
+# the bench-baseline target with -DBASELINE_FILE=<path>.
+#
+# The pre-run guard (bench_baseline_guard.cmake) refuses to *start* from a
+# wrong tree; this check refuses to *keep* a baseline whose recorded
+# context disagrees — e.g. a file edited by hand, a partial write from an
+# interrupted run, or a benchmark binary that silently ignored the context
+# flag.  Together they make "BENCH_engine.json is committed" mean "these
+# are Release numbers" without trusting the invoker.
+if(NOT EXISTS "${BASELINE_FILE}")
+  message(FATAL_ERROR
+    "bench-baseline: ${BASELINE_FILE} was not written — the benchmark run "
+    "failed before producing output.")
+endif()
+file(READ "${BASELINE_FILE}" BASELINE_JSON)
+if(NOT BASELINE_JSON MATCHES "\"engine_build_type\": \"Release\"")
+  message(FATAL_ERROR
+    "bench-baseline: ${BASELINE_FILE} does not record "
+    "engine_build_type=Release in its context — refusing to keep it.  "
+    "Regenerate from a Release tree with `make bench-baseline`.")
+endif()
+# Structural smoke test: a complete Google Benchmark JSON ends with the
+# benchmarks array closed; an interrupted run truncates mid-array.
+if(NOT BASELINE_JSON MATCHES "BM_EngineRumorRound")
+  message(FATAL_ERROR
+    "bench-baseline: ${BASELINE_FILE} is missing BM_EngineRumorRound — "
+    "truncated or incomplete run; regenerate.")
+endif()
+message(STATUS "bench-baseline: ${BASELINE_FILE} verified (Release context)")

@@ -1,15 +1,35 @@
 # Refuses to refresh BENCH_engine.json from a non-Release tree.
 #
 # Invoked as the first command of the bench-baseline target with
-# -DENGINE_BUILD_TYPE=${CMAKE_BUILD_TYPE}.  The committed baseline is the
-# engine-perf trajectory compared across PRs; numbers measured with
-# assertions on or without -O3 are not comparable to it, and a baseline
-# quietly regenerated from such a tree would read as a perf regression (or
-# a fake win) to every later PR.
+# -DENGINE_BUILD_TYPE=${CMAKE_BUILD_TYPE} and
+# -DENGINE_RELEASE_FLAGS=${CMAKE_CXX_FLAGS_RELEASE}.  The committed
+# baseline is the engine-perf trajectory compared across PRs; numbers
+# measured with assertions on or without optimization are not comparable
+# to it, and a baseline quietly regenerated from such a tree would read as
+# a perf regression (or a fake win) to every later PR.
 if(NOT ENGINE_BUILD_TYPE STREQUAL "Release")
   message(FATAL_ERROR
     "bench-baseline: this tree is configured as "
     "'${ENGINE_BUILD_TYPE}', not 'Release'.  BENCH_engine.json records "
     "Release numbers only — reconfigure with "
     "-DCMAKE_BUILD_TYPE=Release and rerun.")
+endif()
+# Closing the escape hatch: CMAKE_BUILD_TYPE=Release with overridden
+# CMAKE_CXX_FLAGS_RELEASE (cleared by a cache edit or a toolchain file)
+# would pass the name check yet benchmark an unoptimized or
+# assertion-enabled engine.  Require the flags that make "Release" mean
+# what the baseline assumes.
+if(NOT ENGINE_RELEASE_FLAGS MATCHES "-O[123s]")
+  message(FATAL_ERROR
+    "bench-baseline: CMAKE_CXX_FLAGS_RELEASE is "
+    "'${ENGINE_RELEASE_FLAGS}', which carries no optimization level — "
+    "a 'Release' tree with overridden flags.  Restore -O2/-O3 before "
+    "refreshing the baseline.")
+endif()
+if(NOT ENGINE_RELEASE_FLAGS MATCHES "-DNDEBUG")
+  message(FATAL_ERROR
+    "bench-baseline: CMAKE_CXX_FLAGS_RELEASE is "
+    "'${ENGINE_RELEASE_FLAGS}', which does not define NDEBUG — asserts "
+    "would run inside the measured rounds.  Restore -DNDEBUG before "
+    "refreshing the baseline.")
 endif()

@@ -33,7 +33,8 @@ struct AsyncReply {
   Certificate cert;
 };
 
-sim::Payload make_async_reply_payload(const VoteIntention& intention,
+sim::Payload make_async_reply_payload(rfc::support::Arena* arena,
+                                      const VoteIntention& intention,
                                       const Certificate* min_cert,
                                       const ProtocolParams& params) {
   const bool has_cert = min_cert != nullptr;
@@ -41,8 +42,10 @@ sim::Payload make_async_reply_payload(const VoteIntention& intention,
       intention.size() * (static_cast<std::uint64_t>(params.value_bits()) +
                           params.label_bits()) +
       1 + (has_cert ? min_cert->bit_size(params) : 0);
-  return sim::Payload::make_boxed<AsyncReply>(
-      kAsyncReplyPayloadTag, bits,
+  // Transient by construction: the reply is consumed by the puller's
+  // on_pull_reply within the same activation, so the round arena owns it.
+  return sim::Payload::make_boxed_in<AsyncReply>(
+      arena, kAsyncReplyPayloadTag, bits,
       AsyncReply{intention, has_cert,
                  has_cert ? *min_cert : Certificate{}});
 }
@@ -138,8 +141,11 @@ sim::Action AsyncProtocolAgent::on_round(const sim::Context& ctx) {
       return sim::Action::pull(ctx.random_peer());
     case AsyncSchedule::LocalPhase::kCoherence:
       in_coherence_ = true;
+      // The pushed certificate is copied out by every receiver's
+      // consider_certificate within the round — arena-transient.
       return sim::Action::push(
-          ctx.random_peer(), make_certificate_payload(min_cert_, params_));
+          ctx.random_peer(),
+          make_certificate_payload_in(ctx.arena, min_cert_, params_));
     case AsyncSchedule::LocalPhase::kFinished:
       finalize();
       return sim::Action::idle();
@@ -149,14 +155,14 @@ sim::Action AsyncProtocolAgent::on_round(const sim::Context& ctx) {
   return sim::Action::idle();
 }
 
-sim::Payload AsyncProtocolAgent::serve_pull(const sim::Context&,
+sim::Payload AsyncProtocolAgent::serve_pull(const sim::Context& ctx,
                                             sim::AgentId) {
   if (failed_) return {};  // Invalid state: quiescent.
   // Decided agents keep serving: in the sequential model fast agents finish
   // while slow auditors are still working, and refusing them would make
   // honest agents look faulty.
   return make_async_reply_payload(
-      intention_, has_min_cert_ ? &min_cert_ : nullptr, params_);
+      ctx.arena, intention_, has_min_cert_ ? &min_cert_ : nullptr, params_);
 }
 
 void AsyncProtocolAgent::on_pull_reply(const sim::Context&,

@@ -13,6 +13,16 @@ sim::Payload make_intention_payload(VoteIntention intention,
                                                  std::move(intention));
 }
 
+sim::Payload make_intention_payload_in(rfc::support::Arena* arena,
+                                       VoteIntention intention,
+                                       const ProtocolParams& params) {
+  const std::uint64_t bits =
+      intention.size() * (static_cast<std::uint64_t>(params.value_bits()) +
+                          params.label_bits());
+  return sim::Payload::make_boxed_in<VoteIntention>(
+      arena, kIntentionPayloadTag, bits, std::move(intention));
+}
+
 sim::Payload make_vote_payload(std::uint64_t value,
                                const ProtocolParams& params) {
   return sim::Payload::inline_words(kVotePayloadTag, params.value_bits(),
@@ -24,6 +34,14 @@ sim::Payload make_certificate_payload(Certificate certificate,
   const std::uint64_t bits = certificate.bit_size(params);
   return sim::Payload::make_boxed<Certificate>(kCertificatePayloadTag, bits,
                                                std::move(certificate));
+}
+
+sim::Payload make_certificate_payload_in(rfc::support::Arena* arena,
+                                         Certificate certificate,
+                                         const ProtocolParams& params) {
+  const std::uint64_t bits = certificate.bit_size(params);
+  return sim::Payload::make_boxed_in<Certificate>(
+      arena, kCertificatePayloadTag, bits, std::move(certificate));
 }
 
 sim::Payload make_digest_payload(std::uint64_t digest) noexcept {

@@ -33,6 +33,15 @@ inline constexpr sim::PayloadTag kAsyncReplyPayloadTag = 0x29;  // AsyncReply
 sim::Payload make_intention_payload(VoteIntention intention,
                                     const ProtocolParams& params);
 
+/// Arena-boxed variant for *transient* replies (consumed in this round's
+/// delivery hook, never cached): bump-allocates in the engine's round arena
+/// when one is live (Context::arena), falling back to the shared form when
+/// `arena` is null.  Producers that cache the payload across rounds
+/// (ProtocolAgent's reply caches) must keep the plain factory.
+sim::Payload make_intention_payload_in(rfc::support::Arena* arena,
+                                       VoteIntention intention,
+                                       const ProtocolParams& params);
+
 /// Voting-phase push: a single vote value h (the voting round is implied by
 /// synchrony; the voter label travels in the authenticated channel header).
 sim::Payload make_vote_payload(std::uint64_t value,
@@ -41,6 +50,12 @@ sim::Payload make_vote_payload(std::uint64_t value,
 /// Find-Min reply / Coherence push: a full certificate.
 sim::Payload make_certificate_payload(Certificate certificate,
                                       const ProtocolParams& params);
+
+/// Arena-boxed variant (same transient-only contract as
+/// make_intention_payload_in).
+sim::Payload make_certificate_payload_in(rfc::support::Arena* arena,
+                                         Certificate certificate,
+                                         const ProtocolParams& params);
 
 /// Coherence push under the digest optimization: a 64-bit certificate
 /// fingerprint instead of the full certificate.

@@ -179,7 +179,9 @@ sim::Payload EquivocatingAgent::commitment_reply(const sim::Context& ctx,
     e.value = ctx.rng->below(params_.m);
     e.target = static_cast<sim::AgentId>(ctx.rng->below(params_.n));
   }
-  return core::make_intention_payload(std::move(fake), params_);
+  // Never cached by this agent — each auditor gets a fresh lie — so the
+  // round arena owns it.
+  return core::make_intention_payload_in(ctx.arena, std::move(fake), params_);
 }
 
 // ---------------------------------------------------------------------------
@@ -201,11 +203,12 @@ sim::Payload PlayDeadAgent::commitment_reply(const sim::Context&,
 // kFindMinSuppress
 // ---------------------------------------------------------------------------
 
-sim::Payload FindMinSuppressAgent::find_min_reply(const sim::Context&,
+sim::Payload FindMinSuppressAgent::find_min_reply(const sim::Context& ctx,
                                                   sim::AgentId) {
   if (!has_own_certificate_) return {};
-  // Serve our own certificate, never the smaller ones we have seen.
-  return core::make_certificate_payload(own_cert_, params_);
+  // Serve our own certificate, never the smaller ones we have seen; the
+  // auditor copies it out within the round, so it is arena-transient.
+  return core::make_certificate_payload_in(ctx.arena, own_cert_, params_);
 }
 
 // ---------------------------------------------------------------------------

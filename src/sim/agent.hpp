@@ -27,6 +27,10 @@
 #include "sim/topology.hpp"
 #include "support/rng.hpp"
 
+namespace rfc::support {
+class Arena;
+}  // namespace rfc::support
+
 namespace rfc::sim {
 
 inline constexpr AgentId kNoAgent = static_cast<AgentId>(-1);
@@ -62,6 +66,12 @@ struct Context {
   std::uint64_t round = 0;          ///< Current round, starting at 0.
   rfc::support::Xoshiro256* rng = nullptr;  ///< This agent's private stream.
   const Topology* topology = nullptr;  ///< Null means the complete graph.
+  /// Round-lifetime allocator for transient boxed payloads (null outside an
+  /// engine round, e.g. in direct test calls).  Payloads built here via
+  /// Payload::make_boxed_in are valid until the next round's shard-barrier
+  /// reset — use it for messages consumed in this round's delivery hooks,
+  /// never for payloads cached across rounds.
+  rfc::support::Arena* arena = nullptr;
 
   /// A neighbor chosen uniformly at random — the "choose a neighbor u.a.r."
   /// primitive of the GOSSIP model.  On the complete graph this is a label
@@ -148,6 +158,16 @@ class Agent {
   /// coalition blackboard) override to false; the sharded executor then
   /// refuses to run them instead of silently racing.
   virtual bool shard_safe() const noexcept { return true; }
+
+  /// True when done()/phase()/progress() can only change inside this
+  /// agent's own callbacks — never through state mutated from outside the
+  /// engine (a test fixture poking shared memory, a wall clock, ...).  When
+  /// every installed agent returns true (and is shard_safe), the engine
+  /// mirrors these observations into structure-of-arrays caches refreshed
+  /// at activation time instead of virtual-calling per read; agents backed
+  /// by externally mutable state must keep the default so observers always
+  /// see the live value.  The provided protocol/gossip agents opt in.
+  virtual bool cacheable_observations() const noexcept { return false; }
 };
 
 }  // namespace rfc::sim

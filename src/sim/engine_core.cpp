@@ -13,7 +13,7 @@ EngineCore::EngineCore(std::uint32_t n, std::uint64_t seed,
     : n_(n), seed_(seed), topology_(std::move(topology)) {
   if (n_ == 0) throw std::invalid_argument("Engine: n must be positive");
   agents_.resize(n_);
-  faulty_.assign(n_, false);
+  faulty_.assign(n_, 0);
   // Stream slots only; the SplitMix expansions are deferred to
   // seed_rng_block so the sharded executor can derive each shard's block on
   // its own worker before the agents start (shard-local RNG prefetch).
@@ -37,8 +37,8 @@ void EngineCore::set_faulty(AgentId id, bool faulty) {
   if (started_) {
     throw std::logic_error("Engine: fault plan is permanent; set before run");
   }
-  if (faulty_.at(id) != faulty) {
-    faulty_[id] = faulty;
+  if ((faulty_.at(id) != 0) != faulty) {
+    faulty_[id] = faulty ? 1 : 0;
     num_faulty_ += faulty ? 1u : -1u;
   }
 }
@@ -51,34 +51,95 @@ void EngineCore::apply_fault_plan(const std::vector<bool>& plan) {
 }
 
 bool EngineCore::all_done() const {
-  // Deliberately a fresh scan every call (see the header): completion can
-  // arrive outside the agent's own callbacks, so nothing cheaper is sound.
+  if (obs_cache_enabled_ && started_) {
+    return num_done_ == n_ - num_faulty_;
+  }
+  // Without the caches, a fresh scan every call: completion can arrive
+  // outside the agent's own callbacks (coalition blackboard), so nothing
+  // cheaper is sound.
   for (std::uint32_t i = 0; i < n_; ++i) {
-    if (!faulty_[i] && !agents_[i]->done()) return false;
+    if (faulty_[i] == 0 && !agents_[i]->done()) return false;
   }
   return true;
 }
 
+AgentPhase EngineCore::agent_phase(AgentId id) const {
+  if (!obs_cache_enabled_) return agents_[id]->phase();
+  if ((obs_valid_[id] & kPhaseValid) == 0) {
+    phase_cache_[id] = agents_[id]->phase();
+    obs_valid_[id] |= kPhaseValid;
+  }
+  return phase_cache_[id];
+}
+
+double EngineCore::agent_progress(AgentId id) const {
+  if (!obs_cache_enabled_) return agents_[id]->progress();
+  if ((obs_valid_[id] & kProgressValid) == 0) {
+    progress_cache_[id] = agents_[id]->progress();
+    obs_valid_[id] |= kProgressValid;
+  }
+  return progress_cache_[id];
+}
+
+void EngineCore::recount_done() noexcept {
+  if (!obs_cache_enabled_) return;
+  std::uint32_t count = 0;
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    count += static_cast<std::uint32_t>(faulty_[i] == 0 && done_[i] != 0);
+  }
+  num_done_ = count;
+}
+
 std::vector<AgentId> EngineCore::active_labels() const {
   std::vector<AgentId> labels;
-  labels.reserve(num_active());
-  for (std::uint32_t i = 0; i < n_; ++i) {
-    if (!faulty_[i]) labels.push_back(i);
-  }
+  active_labels(labels);
   return labels;
+}
+
+void EngineCore::active_labels(std::vector<AgentId>& out) const {
+  out.clear();
+  out.reserve(num_active());
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    if (faulty_[i] == 0) out.push_back(i);
+  }
 }
 
 std::uint64_t EngineCore::pull_request_bits() const noexcept {
   return rfc::support::bit_width_for_domain(n_);
 }
 
+void EngineCore::ensure_arenas(std::uint32_t count) {
+  while (arenas_.size() < count) {
+    arenas_.push_back(std::make_unique<support::Arena>());
+  }
+}
+
+void EngineCore::reset_round_arenas() noexcept {
+  for (auto& arena : arenas_) arena->reset();
+}
+
+void EngineCore::set_blocked_delivery(std::uint32_t min_n,
+                                      std::uint32_t block_labels) {
+  if (block_labels == 0) {
+    throw std::invalid_argument("Engine: block_labels must be positive");
+  }
+  blocked_min_n_ = min_n;
+  block_shift_ = 0;
+  while ((1u << block_shift_) < block_labels) ++block_shift_;
+}
+
 Context EngineCore::make_context(AgentId id) noexcept {
+  return make_context(id, serial_arena());
+}
+
+Context EngineCore::make_context(AgentId id, support::Arena* arena) noexcept {
   Context ctx;
   ctx.self = id;
   ctx.n = n_;
   ctx.round = time_;
   ctx.rng = &rngs_[id];
   ctx.topology = topology_.get();
+  ctx.arena = arena;
   return ctx;
 }
 
@@ -88,15 +149,37 @@ void EngineCore::ensure_started() {
     seed_rng_block(0, n_);
     rngs_seeded_ = true;
   }
+  ensure_arenas(1);
+  // The SoA observation caches are sound exactly when observations change
+  // only through the agent's own callbacks: cacheable_observations() rules
+  // out externally mutated state, shard_safe() rules out one label's
+  // callback moving another label's observations (coalition blackboards).
+  bool cacheable = true;
   for (std::uint32_t i = 0; i < n_; ++i) {
     if (agents_[i] == nullptr) {
       throw std::logic_error("Engine: agent " + std::to_string(i) +
                              " not installed");
     }
-    if (!faulty_[i]) {
-      const Context ctx = make_context(i);
+    cacheable = cacheable && agents_[i]->shard_safe() &&
+                agents_[i]->cacheable_observations();
+  }
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    if (faulty_[i] == 0) {
+      const Context ctx = make_context(i, serial_arena());
       agents_[i]->on_start(ctx);
     }
+  }
+  if (cacheable) {
+    done_.assign(n_, 0);
+    obs_valid_.assign(n_, 0);
+    phase_cache_.assign(n_, AgentPhase::kUnknown);
+    progress_cache_.assign(n_, 0.0);
+    num_done_ = 0;
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      done_[i] = agents_[i]->done() ? 1 : 0;
+      if (faulty_[i] == 0 && done_[i] != 0) ++num_done_;
+    }
+    obs_cache_enabled_ = true;
   }
   started_ = true;
 }
@@ -107,9 +190,10 @@ void EngineCore::charge_pull_request(Metrics& metrics) {
 }
 
 Payload EngineCore::serve_and_charge_pull(AgentId v, AgentId requester,
-                                          Metrics& metrics) {
-  if (faulty_[v]) return {};  // Silence: the puller observes no reply.
-  Payload reply = agents_[v]->serve_pull(make_context(v), requester);
+                                          Metrics& metrics,
+                                          support::Arena* arena) {
+  if (faulty_[v] != 0) return {};  // Silence: the puller observes no reply.
+  Payload reply = agents_[v]->serve_pull(make_context(v, arena), requester);
   if (!reply.empty()) {
     ++metrics.pull_replies;
     metrics.note_message(reply.bit_size());
@@ -117,29 +201,48 @@ Payload EngineCore::serve_and_charge_pull(AgentId v, AgentId requester,
   return reply;
 }
 
-void EngineCore::execute_push(AgentId sender, const Action& action,
-                              Metrics& metrics) {
+void EngineCore::execute_push(AgentId sender, AgentId target,
+                              const Payload& payload, Metrics& metrics,
+                              support::Arena* arena) {
   ++metrics.pushes;
-  metrics.note_message(action.payload.bit_size());
-  const AgentId v = action.target;
-  if (!faulty_[v]) {
-    agents_[v]->on_push(make_context(v), sender, action.payload);
+  metrics.note_message(payload.bit_size());
+  if (faulty_[target] == 0) {
+    agents_[target]->on_push(make_context(target, arena), sender, payload);
   }
 }
 
 void EngineCore::run_synchronous_round(const std::vector<bool>* awake_mask) {
   ensure_started();
+  // The shard-barrier arena reset: payloads allocated last round die here,
+  // so an arena-boxed payload is valid for exactly one full round.
+  reset_round_arenas();
+  if (use_blocked_round()) {
+    run_blocked_round(awake_mask);
+  } else {
+    run_serial_round(awake_mask);
+  }
+}
+
+void EngineCore::run_serial_round(const std::vector<bool>* awake_mask) {
+  support::Arena* arena = serial_arena();
+
+  // One Context for the whole round, re-aimed per agent (see
+  // run_blocked_round): only self and the RNG pointer vary per callback.
+  Context ctx = make_context(0, arena);
 
   // Phase A: collect each awake agent's single active operation.
   std::uint32_t num_pulls = 0;
   std::uint32_t num_pushes = 0;
   for (std::uint32_t i = 0; i < n_; ++i) {
-    if (faulty_[i] || agents_[i]->done() ||
+    if (faulty_[i] != 0 || agent_done(i) ||
         (awake_mask != nullptr && !(*awake_mask)[i])) {
       actions_[i] = Action::idle();
       continue;
     }
-    actions_[i] = agents_[i]->on_round(make_context(i));
+    ctx.self = i;
+    ctx.rng = &rngs_[i];
+    actions_[i] = agents_[i]->on_round(ctx);
+    note_activation(i);
     const ActionKind kind = actions_[i].kind;
     if (kind != ActionKind::kIdle) {
       assert(actions_[i].target < n_);
@@ -160,24 +263,170 @@ void EngineCore::run_synchronous_round(const std::vector<bool>* awake_mask) {
       const Action& a = actions_[i];
       if (a.kind != ActionKind::kPull) continue;
       charge_pull_request(metrics_);
-      pull_replies_[i] = serve_and_charge_pull(a.target, i, metrics_);
+      pull_replies_[i] = serve_and_charge_pull(a.target, i, metrics_, arena);
+      note_activation(a.target);
     }
 
     // Phase C: deliver pull replies in puller-label order.
     for (std::uint32_t i = 0; i < n_; ++i) {
       const Action& a = actions_[i];
       if (a.kind != ActionKind::kPull) continue;
-      agents_[i]->on_pull_reply(make_context(i), a.target, pull_replies_[i]);
+      ctx.self = i;
+      ctx.rng = &rngs_[i];
+      agents_[i]->on_pull_reply(ctx, a.target, pull_replies_[i]);
       pull_replies_[i] = {};
+      note_activation(i);
     }
   }
 
-  // Phase D: deliver pushes in sender-label order.
+  // Phase D: deliver pushes in sender-label order (execute_push inlined
+  // onto the hoisted Context; metrics charged identically for faulty
+  // targets, and note_activation keeps the cache-off path sound).
   if (num_pushes != 0) {
     for (std::uint32_t i = 0; i < n_; ++i) {
       const Action& a = actions_[i];
       if (a.kind != ActionKind::kPush) continue;
-      execute_push(i, a, metrics_);
+      ++metrics_.pushes;
+      metrics_.note_message(a.payload.bit_size());
+      if (faulty_[a.target] == 0) {
+        ctx.self = a.target;
+        ctx.rng = &rngs_[a.target];
+        agents_[a.target]->on_push(ctx, i, a.payload);
+      }
+      note_activation(a.target);
+    }
+  }
+
+  ++time_;
+  metrics_.rounds = time_;
+}
+
+void EngineCore::run_blocked_round(const std::vector<bool>* awake_mask) {
+  support::Arena* arena = serial_arena();
+  const std::uint32_t shift = block_shift_;
+  const std::uint32_t blocks = ((n_ - 1) >> shift) + 1;
+  if (push_blocks_.size() < blocks) {
+    push_blocks_.resize(blocks);
+    pull_blocks_.resize(blocks);
+  }
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    push_blocks_[b].clear();  // Capacity kept: steady state allocates nothing.
+    pull_blocks_[b].clear();
+  }
+  if (action_kind_.size() != n_) {
+    action_kind_.resize(n_);
+    pull_target_.resize(n_);
+  }
+
+  // One Context for the whole round, re-aimed per agent: only self and the
+  // RNG pointer vary, so the hot loops skip rebuilding the other fields
+  // (make_context) once per callback.
+  Context ctx = make_context(0, arena);
+
+  // Phase A: collect actions; route each one to its destination block.  The
+  // full Action (payload included) moves into the block queue, so delivery
+  // streams the queue instead of random-reading an n-sized action buffer.
+  std::uint32_t num_pulls = 0;
+  std::uint32_t num_pushes = 0;
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    if (faulty_[i] != 0 || done_[i] != 0 ||
+        (awake_mask != nullptr && !(*awake_mask)[i])) {
+      action_kind_[i] = static_cast<std::uint8_t>(ActionKind::kIdle);
+      continue;
+    }
+    ctx.self = i;
+    ctx.rng = &rngs_[i];
+    Agent* agent = agents_[i].get();
+    Action a = agent->on_round(ctx);
+    // note_activation body, minus the faulty recheck (i is non-faulty here)
+    // and minus the done_ compare (done_[i] was 0 at the gate above).
+    obs_valid_[i] = 0;
+    if (agent->done()) {
+      done_[i] = 1;
+      ++num_done_;
+    }
+    action_kind_[i] = static_cast<std::uint8_t>(a.kind);
+    if (a.kind == ActionKind::kIdle) continue;
+    assert(a.target < n_);
+    ++metrics_.active_links;
+    if (a.kind == ActionKind::kPull) {
+      ++num_pulls;
+      pull_target_[i] = a.target;
+      // Charged at collect time, as on the sharded path (sums are
+      // merge-order independent, so totals match the serial round).
+      charge_pull_request(metrics_);
+      pull_blocks_[a.target >> shift].push_back(PullEntry{i, a.target});
+    } else {
+      ++num_pushes;
+      push_blocks_[a.target >> shift].push_back(
+          PushEntry{std::move(a.payload), i, a.target});
+    }
+  }
+
+  if (num_pulls != 0) {
+    // Phase B: serve pulls block by block.  Within a block entries are in
+    // requester-label order and a server lives in exactly one block, so
+    // every server sees its pullers in the serial round's order (same RNG
+    // stream consumption); only the cross-server interleaving differs, and
+    // servers' streams are independent.
+    for (std::uint32_t b = 0; b < blocks; ++b) {
+      for (const PullEntry& e : pull_blocks_[b]) {
+        pull_replies_[e.requester] =
+            serve_and_charge_pull(e.server, e.requester, metrics_, arena);
+        note_activation(e.server);
+      }
+    }
+
+    // Phase C: deliver pull replies in puller-label order (each puller is
+    // touched once, so the serial walk is already the contract's order).
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      if (action_kind_[i] != static_cast<std::uint8_t>(ActionKind::kPull)) {
+        continue;
+      }
+      ctx.self = i;
+      ctx.rng = &rngs_[i];
+      agents_[i]->on_pull_reply(ctx, pull_target_[i], pull_replies_[i]);
+      pull_replies_[i] = {};
+      note_activation(i);
+    }
+  }
+
+  // Phase D: deliver pushes block by block — per receiver the sender order
+  // is the serial round's (entries are in sender-label order within the
+  // receiver's block), and one block's receivers stay cache-resident while
+  // its queue streams through.
+  if (num_pushes != 0) {
+    for (std::uint32_t b = 0; b < blocks; ++b) {
+      const PushEntry* q = push_blocks_[b].data();
+      const std::size_t m = push_blocks_[b].size();
+      for (std::size_t j = 0; j < m; ++j) {
+        // Two-stage software prefetch: the agent-pointer line a few entries
+        // ahead, then the agent object itself one stage later (its address
+        // needs the pointer already resident) — hides the scattered-target
+        // latency the queue's streaming reads cannot.
+        if (j + 8 < m) {
+          __builtin_prefetch(&agents_[q[j + 8].target]);
+        }
+        if (j + 4 < m) {
+          __builtin_prefetch(agents_[q[j + 4].target].get());
+        }
+        const PushEntry& e = q[j];
+        // execute_push + note_activation, sharing one faulty_ load and the
+        // hoisted Context (metrics charged identically for faulty targets).
+        ++metrics_.pushes;
+        metrics_.note_message(e.payload.bit_size());
+        if (faulty_[e.target] != 0) continue;
+        ctx.self = e.target;
+        ctx.rng = &rngs_[e.target];
+        Agent* agent = agents_[e.target].get();
+        agent->on_push(ctx, e.sender, e.payload);
+        obs_valid_[e.target] = 0;
+        const std::uint8_t d = agent->done() ? 1 : 0;
+        if (d != done_[e.target]) {
+          done_[e.target] = d;
+          num_done_ += d != 0 ? 1 : -1;
+        }
+      }
     }
   }
 
@@ -187,11 +436,14 @@ void EngineCore::run_synchronous_round(const std::vector<bool>* awake_mask) {
 
 void EngineCore::sequential_activation(AgentId u) {
   ensure_started();
+  reset_round_arenas();  // One activation = one message lifetime.
   ++time_;
   metrics_.rounds = time_;
-  if (agents_[u]->done()) return;  // A wasted activation.
+  if (agent_done(u)) return;  // A wasted activation.
 
-  const Action action = agents_[u]->on_round(make_context(u));
+  support::Arena* arena = serial_arena();
+  const Action action = agents_[u]->on_round(make_context(u, arena));
+  note_activation(u);
   switch (action.kind) {
     case ActionKind::kIdle:
       return;
@@ -203,13 +455,16 @@ void EngineCore::sequential_activation(AgentId u) {
       // agent keeps serving is the agent's own policy (as in the
       // synchronous round).
       const Payload reply =
-          serve_and_charge_pull(action.target, u, metrics_);
-      agents_[u]->on_pull_reply(make_context(u), action.target, reply);
+          serve_and_charge_pull(action.target, u, metrics_, arena);
+      note_activation(action.target);
+      agents_[u]->on_pull_reply(make_context(u, arena), action.target, reply);
+      note_activation(u);
       return;
     }
     case ActionKind::kPush: {
       ++metrics_.active_links;
-      execute_push(u, action, metrics_);
+      execute_push(u, action.target, action.payload, metrics_, arena);
+      note_activation(action.target);
       return;
     }
   }

@@ -20,6 +20,27 @@
 // label shards on a thread pool, bit-identical to the serial round by
 // construction (ShardedRoundExecutor is a friend so the two
 // implementations share buffers and accounting).
+//
+// Hot state is structure-of-arrays.  The polymorphic Agent objects remain
+// the behavior, but everything the round loop and the observers touch per
+// agent lives in contiguous parallel arrays: the fault flags, the per-agent
+// RNG streams, and SoA caches of the hot observations (done()/phase()/
+// progress()) refreshed on activation.  The caches are enabled only when
+// every agent is shard_safe() — an agent whose done() can flip without its
+// own callback running (the coalition blackboard) declares shard_safe()
+// false and gets the virtual-scan behavior unchanged.
+//
+// At large n the synchronous round switches to cache-blocked delivery:
+// phase A routes each action into a destination *block* queue (contiguous
+// label ranges sized to stay cache-resident), and phases B/D drain the
+// queues block by block, so serving and delivering touch one block's agents
+// at a time instead of hopping the whole array per message.  Per receiver
+// the sender order, every RNG stream's consumption, and all metric sums are
+// exactly the serial round's — the same argument that makes the sharded
+// round bit-identical (per-receiver sender-label order is preserved because
+// a receiver lives in exactly one block and queues fill in label order;
+// metrics are order-independent sums).  tests/sharded_equivalence_test.cpp
+// pins this against pre-refactor digests.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +49,7 @@
 
 #include "sim/agent.hpp"
 #include "sim/metrics.hpp"
+#include "support/arena.hpp"
 #include "support/rng.hpp"
 
 namespace rfc::sim {
@@ -46,7 +68,7 @@ class EngineCore {
   /// Applies a full fault plan (see sim/fault_model.hpp).
   void apply_fault_plan(const std::vector<bool>& plan);
 
-  bool is_faulty(AgentId id) const { return faulty_.at(id); }
+  bool is_faulty(AgentId id) const { return faulty_.at(id) != 0; }
   std::uint32_t num_faulty() const noexcept { return num_faulty_; }
   std::uint32_t num_active() const noexcept { return n_ - num_faulty_; }
 
@@ -75,19 +97,59 @@ class EngineCore {
   Agent& agent(AgentId id) { return *agents_.at(id); }
   const Agent& agent(AgentId id) const { return *agents_.at(id); }
 
-  /// True when every non-faulty agent reports done().  An O(n) scan by
-  /// necessity: done() can flip without the agent's own callback running
-  /// (e.g. through a coalition blackboard), so no counter can cache it.
-  /// Run loops over self-terminating schedulers (Scheduler::exhausted())
-  /// avoid paying it per event.
+  // --- Hot observations, cached SoA-side. ---------------------------------
+  //
+  // done() is refreshed eagerly on every activation (the round loop needs
+  // it anyway); phase()/progress() are cached lazily — invalidated on
+  // activation, recomputed on the first observer read after it.  With any
+  // non-shard-safe agent installed every accessor falls back to the virtual
+  // call, byte-identically to the pre-SoA engine.
+
+  /// The agent's done() report (cached; identical to agent(id).done()).
+  bool agent_done(AgentId id) const {
+    return obs_cache_enabled_ ? done_[id] != 0 : agents_[id]->done();
+  }
+  /// The agent's phase observation; kUnknown for agents exposing none.
+  AgentPhase agent_phase(AgentId id) const;
+  /// The agent's numeric pipeline position (Agent::progress()).
+  double agent_progress(AgentId id) const;
+
+  /// True when every non-faulty agent reports done().  O(1) off the cached
+  /// done counter when the SoA caches are live; otherwise the legacy scan
+  /// (done() can flip without the agent's own callback running, e.g.
+  /// through a coalition blackboard, so no counter is sound there).
   bool all_done() const;
 
   /// Non-faulty labels, in label order.
   std::vector<AgentId> active_labels() const;
+  /// Allocation-free overload: clears and refills `out` (capacity reused by
+  /// the caller across calls — scheduler attach/rebuild paths use this).
+  void active_labels(std::vector<AgentId>& out) const;
 
   /// Bits charged for a pull *request* (the "send me your X" control
   /// message): one peer label, per the paper's accounting.
   std::uint64_t pull_request_bits() const noexcept;
+
+  // --- Round arenas. -------------------------------------------------------
+
+  /// Grows the per-shard arena set to `count` (the serial paths use arena
+  /// 0; the sharded executor one per shard).
+  void ensure_arenas(std::uint32_t count);
+  /// The round arena for shard `idx` (valid after ensure_arenas).
+  support::Arena* round_arena(std::uint32_t idx) noexcept {
+    return arenas_[idx].get();
+  }
+  /// Resets every round arena — the shard-barrier reset at round start.
+  /// Payloads built in an arena live until the NEXT round begins.
+  void reset_round_arenas() noexcept;
+
+  /// Tunes the cache-blocked delivery path of the synchronous round: it
+  /// activates at n >= min_n (and only with the SoA caches live), routing
+  /// deliveries through blocks of `block_labels` labels (rounded up to a
+  /// power of two).  Defaults: min_n = 2^16, blocks of 2^15 labels (~a few
+  /// MB of agent state per block).  Tests force tiny thresholds to pin the
+  /// blocked path bit-identical at small n.
+  void set_blocked_delivery(std::uint32_t min_n, std::uint32_t block_labels);
 
   // --- Execution primitives, composed by Scheduler policies. ---
 
@@ -106,11 +168,25 @@ class EngineCore {
   /// activation, as in the sequential model's analyses.
   void sequential_activation(AgentId u);
 
-  /// The per-callback view handed to agent `id` at the current time.
+  /// The per-callback view handed to agent `id` at the current time (serial
+  /// paths: carries round arena 0).
   Context make_context(AgentId id) noexcept;
 
  private:
   friend class ShardedRoundExecutor;  // sim/sharding.hpp
+
+  /// One routed push awaiting cache-blocked delivery: the payload travels
+  /// in the queue so phase D never random-reads the action buffer.
+  struct PushEntry {
+    Payload payload;
+    AgentId sender;
+    AgentId target;
+  };
+  /// One routed pull: `requester` pulls `server` (server's block serves).
+  struct PullEntry {
+    AgentId requester;
+    AgentId server;
+  };
 
   /// Expands the per-agent RNG streams for labels [lo, hi) from the master
   /// seed.  Stream values are a pure function of (seed, label), so *where*
@@ -119,37 +195,109 @@ class EngineCore {
   /// worker thread instead (sim/sharding.hpp), off the serial path.
   void seed_rng_block(std::uint32_t lo, std::uint32_t hi) noexcept;
 
+  Context make_context(AgentId id, support::Arena* arena) noexcept;
+  support::Arena* serial_arena() noexcept {
+    return arenas_.empty() ? nullptr : arenas_[0].get();
+  }
+
+  /// Refreshes the SoA observation caches after agent `i` ran a callback:
+  /// re-reads done() (maintaining the done counter) and invalidates the
+  /// lazy phase/progress entries.  No-op for faulty labels and with the
+  /// caches disabled.  Serial paths only — the sharded round uses the
+  /// counter-free variant below plus a barrier recount.
+  void note_activation(AgentId i) {
+    if (!obs_cache_enabled_ || faulty_[i] != 0) return;
+    obs_valid_[i] = 0;
+    const std::uint8_t d = agents_[i]->done() ? 1 : 0;
+    if (d != done_[i]) {
+      done_[i] = d;
+      num_done_ += d != 0 ? 1 : -1;
+    }
+  }
+  /// Cache refresh safe inside a sharded phase: each agent is owned by one
+  /// shard per phase, so the byte stores cannot race — but the shared done
+  /// counter could, so it is recomputed at the barrier (recount_done).
+  void note_activation_sharded(AgentId i) {
+    if (!obs_cache_enabled_ || faulty_[i] != 0) return;
+    obs_valid_[i] = 0;
+    done_[i] = agents_[i]->done() ? 1 : 0;
+  }
+  /// Recomputes the done counter from the done_ bytes (executor, post-round).
+  void recount_done() noexcept;
+
+  /// True when the synchronous round should take the cache-blocked path.
+  bool use_blocked_round() const noexcept {
+    return obs_cache_enabled_ && n_ >= blocked_min_n_;
+  }
+  void run_blocked_round(const std::vector<bool>* awake_mask);
+  void run_serial_round(const std::vector<bool>* awake_mask);
+
   // Shared accounting/delivery between the synchronous phases, the
   // sequential activation path, and the sharded round — one definition
   // keeps every execution model's metrics bit-identical by construction.
   // `metrics` is metrics_ on the serial paths and a per-shard delta on the
-  // sharded one (merged after the round).
+  // sharded one (merged after the round); `arena` is the round arena the
+  // served/delivered agent's callbacks allocate from.
   void charge_pull_request(Metrics& metrics);
   /// Serves `requester`'s pull on `v` (silence if `v` is faulty), charging
   /// the reply if any.  Delivery to the requester is the caller's job:
   /// the synchronous round defers it to phase C, the sequential path
-  /// delivers immediately.
+  /// delivers immediately.  The caller refreshes v's observation cache.
   Payload serve_and_charge_pull(AgentId v, AgentId requester,
-                                Metrics& metrics);
+                                Metrics& metrics, support::Arena* arena);
   /// Charges `sender`'s push and delivers it unless the target is faulty
-  /// (the message still travels, and is charged, either way).
-  void execute_push(AgentId sender, const Action& action, Metrics& metrics);
+  /// (the message still travels, and is charged, either way).  The caller
+  /// refreshes the target's observation cache.
+  void execute_push(AgentId sender, AgentId target, const Payload& payload,
+                    Metrics& metrics, support::Arena* arena);
+
   std::uint32_t n_;
   std::uint64_t seed_;
   TopologyPtr topology_;
   std::vector<std::unique_ptr<Agent>> agents_;
-  std::vector<bool> faulty_;
+
+  // --- Structure-of-arrays hot state (one entry per label). ---------------
+  std::vector<std::uint8_t> faulty_;
   std::vector<rfc::support::Xoshiro256> rngs_;
+  std::vector<std::uint8_t> done_;      ///< Cached Agent::done() (eager).
+  mutable std::vector<std::uint8_t> obs_valid_;  ///< Lazy-cache valid bits.
+  mutable std::vector<AgentPhase> phase_cache_;
+  mutable std::vector<double> progress_cache_;
+  static constexpr std::uint8_t kPhaseValid = 1;
+  static constexpr std::uint8_t kProgressValid = 2;
+
   std::uint32_t num_faulty_ = 0;
+  std::uint32_t num_done_ = 0;  ///< Non-faulty labels with done_[i] set.
+  /// SoA observation caches live?  Set at ensure_started iff every agent is
+  /// shard_safe() (their observations change only through their own
+  /// callbacks, so activation-keyed refresh is sound).
+  bool obs_cache_enabled_ = false;
   std::uint64_t time_ = 0;
   bool started_ = false;
   bool rngs_seeded_ = false;
   Metrics metrics_;
 
+  // --- Round arenas (one per shard; serial paths use index 0). ------------
+  std::vector<std::unique_ptr<support::Arena>> arenas_;
+
   // Scratch buffers reused across rounds to avoid per-round allocation;
   // both carry payloads by value (no per-message heap traffic).
   std::vector<Action> actions_;
   std::vector<Payload> pull_replies_;
+
+  // --- Cache-blocked delivery scratch (large-n synchronous rounds). -------
+  std::uint32_t blocked_min_n_ = 1u << 16;
+  /// Labels per block = 1 << shift.  2^17 measured fastest at n = 2^20
+  /// (52 ns/agent-round vs 64 at 2^15 and 107 serial on the 1-CPU dev
+  /// box): fewer, longer queues beat tighter receiver working sets — even
+  /// a single block beats the serial path at n = 2^17, because delivery
+  /// streams the queue instead of random-reading the n-sized action
+  /// buffer.  Tunable per run via set_blocked_delivery.
+  std::uint32_t block_shift_ = 17;
+  std::vector<std::uint8_t> action_kind_;   ///< Per-agent ActionKind byte.
+  std::vector<AgentId> pull_target_;        ///< Valid where kind == kPull.
+  std::vector<std::vector<PushEntry>> push_blocks_;
+  std::vector<std::vector<PullEntry>> pull_blocks_;
 };
 
 }  // namespace rfc::sim

@@ -43,15 +43,16 @@ class EngineView {
   std::uint32_t num_faulty() const noexcept { return core_->num_faulty(); }
 
   bool faulty(AgentId id) const { return core_->is_faulty(id); }
-  /// The agent's own done() report.  Faulty agents never wake regardless.
-  bool done(AgentId id) const { return core_->agent(id).done(); }
+  /// The agent's own done() report (served from the core's SoA cache when
+  /// live).  Faulty agents never wake regardless.
+  bool done(AgentId id) const { return core_->agent_done(id); }
   /// The agent's phase observation (sim::AgentPhase); kUnknown for agents
   /// that expose none.
-  AgentPhase phase(AgentId id) const { return core_->agent(id).phase(); }
+  AgentPhase phase(AgentId id) const { return core_->agent_phase(id); }
   /// The agent's numeric pipeline position (Agent::progress(): completed
   /// stages + fraction of the current stage); 0 for agents that expose
   /// none.  Reactive adversaries rank victims by this observation.
-  double progress(AgentId id) const { return core_->agent(id).progress(); }
+  double progress(AgentId id) const { return core_->agent_progress(id); }
   /// True when every non-faulty agent reports done().
   bool all_done() const { return core_->all_done(); }
 

@@ -10,7 +10,16 @@
 //     variable-size messages (certificates, vote intentions).  A push to k
 //     recipients or a reply served to many pullers shares one allocation,
 //     exactly like the former shared_ptr<const Payload> hierarchy, but the
-//     handle itself travels by value.
+//     handle itself travels by value;
+//   * arena-boxed     — the same immutable object, bump-allocated in the
+//     engine's per-round arena (support/arena.hpp) instead of make_shared.
+//     Valid for one round only: EngineCore resets its arenas at the shard
+//     barrier, so producers use it for genuinely transient messages (a
+//     reply consumed in this round's delivery hook) and consumers must copy
+//     the value out, never retain the payload across rounds.  Every shipped
+//     delivery hook already copies; agents that cache a payload across
+//     rounds (ProtocolAgent's intention/certificate caches) keep the
+//     shared_ptr form.
 //
 // This replaces the old virtual `Payload` class: the simulation hot path
 // (Action buffers, pull-reply scratch, per-message delivery) now moves
@@ -42,6 +51,8 @@
 #include <utility>
 #include <variant>
 
+#include "support/arena.hpp"
+
 namespace rfc::sim {
 
 /// Application-level message-kind discriminator (see the tag-range table
@@ -71,6 +82,9 @@ class Payload {
   std::uint64_t bit_size() const noexcept {
     if (const Inline* in = std::get_if<Inline>(&data_)) return in->bits;
     if (const Boxed* bx = std::get_if<Boxed>(&data_)) return bx->bits;
+    if (const ArenaBoxed* ab = std::get_if<ArenaBoxed>(&data_)) {
+      return ab->bits;
+    }
     return 0;
   }
 
@@ -78,6 +92,9 @@ class Payload {
   PayloadTag tag() const noexcept {
     if (const Inline* in = std::get_if<Inline>(&data_)) return in->tag;
     if (const Boxed* bx = std::get_if<Boxed>(&data_)) return bx->tag;
+    if (const ArenaBoxed* ab = std::get_if<ArenaBoxed>(&data_)) {
+      return ab->tag;
+    }
     return kUntaggedPayload;
   }
 
@@ -121,14 +138,37 @@ class Payload {
                     std::make_shared<const T>(std::forward<Args>(args)...));
   }
 
+  /// Constructs the boxed object in `arena` (pointer bump, no control
+  /// block; the arena owns destruction at its round-barrier reset).  Falls
+  /// back to make_boxed when `arena` is null — producers route through the
+  /// Context's arena unconditionally and callers outside an engine round
+  /// (tests, the transport driver) simply get the shared form.
+  template <typename T, typename... Args>
+  static Payload make_boxed_in(rfc::support::Arena* arena, PayloadTag tag,
+                               std::uint64_t bits, Args&&... args) {
+    if (arena == nullptr) {
+      return make_boxed<T>(tag, bits, std::forward<Args>(args)...);
+    }
+    Payload p;
+    p.data_.emplace<ArenaBoxed>(
+        ArenaBoxed{arena->create<T>(std::forward<Args>(args)...), bits, tag});
+    return p;
+  }
+
   /// The boxed object, or null unless this payload is boxed AND carries
   /// `expected_tag`.  Replaces dynamic_cast over payload subclasses; safe
   /// because a tag maps to exactly one boxed type (see header comment).
   template <typename T>
   const T* boxed_as(PayloadTag expected_tag) const noexcept {
-    const Boxed* bx = std::get_if<Boxed>(&data_);
-    if (bx == nullptr || bx->tag != expected_tag) return nullptr;
-    return static_cast<const T*>(bx->object.get());
+    if (const Boxed* bx = std::get_if<Boxed>(&data_)) {
+      return bx->tag == expected_tag ? static_cast<const T*>(bx->object.get())
+                                     : nullptr;
+    }
+    if (const ArenaBoxed* ab = std::get_if<ArenaBoxed>(&data_)) {
+      return ab->tag == expected_tag ? static_cast<const T*>(ab->object)
+                                     : nullptr;
+    }
+    return nullptr;
   }
 
  private:
@@ -142,8 +182,13 @@ class Payload {
     std::uint64_t bits = 0;
     PayloadTag tag = kUntaggedPayload;
   };
+  struct ArenaBoxed {
+    const void* object;  ///< Arena-owned; valid until the round-barrier reset.
+    std::uint64_t bits = 0;
+    PayloadTag tag = kUntaggedPayload;
+  };
 
-  std::variant<std::monostate, Inline, Boxed> data_;
+  std::variant<std::monostate, Inline, Boxed, ArenaBoxed> data_;
 };
 
 }  // namespace rfc::sim

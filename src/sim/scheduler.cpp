@@ -29,7 +29,7 @@ void SequentialScheduler::attach(EngineCore& core) {
 double SequentialScheduler::step(EngineCore& core,
                                  const EngineView& /*view*/) {
   if (!active_built_) {
-    active_ = core.active_labels();
+    core.active_labels(active_);
     active_built_ = true;
   }
   if (active_.empty()) return 0.0;
@@ -146,7 +146,7 @@ void PhaseAdversarialScheduler::attach(EngineCore& core) {
 }
 
 void PhaseAdversarialScheduler::build_order(EngineCore& core) {
-  pool_ = core.active_labels();
+  core.active_labels(pool_);
   walk_stamp_.assign(core.n(), 0);
   for (std::size_t i = pool_.size(); i > 1; --i) {
     std::swap(pool_[i - 1], pool_[rng_.below(i)]);
@@ -192,7 +192,7 @@ double PhaseAdversarialScheduler::step(EngineCore& core,
   while (!pool_.empty() && slots_left > 0) {
     if (cursor_ >= pool_.size()) cursor_ = 0;
     const AgentId u = pool_[cursor_];
-    if (core.agent(u).done()) {
+    if (core.agent_done(u)) {
       // Done for good (the Agent contract has no way back); consumes no
       // walk slot.
       pool_[cursor_] = pool_.back();
@@ -264,7 +264,7 @@ void ReactiveAdversarialScheduler::plan_victims(EngineCore& core,
   //                wake-up short of a phase boundary rank first.
   ranked_.clear();
   for (const AgentId u : pool_) {
-    if (core.agent(u).done()) continue;
+    if (core.agent_done(u)) continue;
     double key = 0.0;
     switch (cfg_.target) {
       case ReactiveTarget::kMinCert:
@@ -322,7 +322,11 @@ void PoissonClockScheduler::attach(EngineCore& core) {
 double PoissonClockScheduler::step(EngineCore& core,
                                    const EngineView& /*view*/) {
   core.ensure_started();  // The done() observations below read agent state.
-  if (!active_.built()) active_.build(core.active_labels());
+  if (!active_.built()) {
+    std::vector<AgentId> labels;
+    core.active_labels(labels);
+    active_.build(std::move(labels));
+  }
   // Superposition of |active| independent rate-λ clocks: the next tick is
   // uniform over agents and Exp(λ·|active|)-distributed in time.  Agent
   // first, time second — the pinned draw order.  A drawn agent observed
@@ -333,7 +337,7 @@ double PoissonClockScheduler::step(EngineCore& core,
   while (!active_.empty()) {
     const std::size_t k = rng_.below(active_.size());
     const AgentId candidate = active_.at(k);
-    if (core.agent(candidate).done()) {
+    if (core.agent_done(candidate)) {
       active_.swap_remove(k);
       continue;
     }
@@ -375,20 +379,22 @@ double EventDrivenPoissonScheduler::step(EngineCore& core,
     // Seed every live clock in label order (the deterministic build order):
     // faulty agents are excluded by active_labels(), already-done agents
     // never enter the heap.
-    for (const AgentId u : core.active_labels()) {
-      if (!core.agent(u).done()) queue_.schedule(u, exp_interarrival());
+    std::vector<AgentId> labels;
+    core.active_labels(labels);
+    for (const AgentId u : labels) {
+      if (!core.agent_done(u)) queue_.schedule(u, exp_interarrival());
     }
     built_ = true;
   }
   while (!queue_.empty()) {
     const EventQueue::Event event = queue_.pop();
-    if (core.agent(event.id).done()) continue;  // Finished off-turn: drop.
+    if (core.agent_done(event.id)) continue;  // Finished off-turn: drop.
     const double dt = event.time - now_;
     now_ = event.time;
     core.sequential_activation(event.id);
     // Re-arm the clock unless the activation completed the agent — done()
     // is monotone ("done for good"), so a dropped clock never returns.
-    if (!core.agent(event.id).done()) {
+    if (!core.agent_done(event.id)) {
       queue_.schedule(event.id, now_ + exp_interarrival());
     }
     return dt;

@@ -36,8 +36,13 @@ void ShardedRoundExecutor::bind(EngineCore& core) {
     }
   }
   shard_metrics_.assign(shards_, Metrics{});
-  pull_queues_.assign(static_cast<std::size_t>(shards_) * shards_, {});
-  push_queues_.assign(static_cast<std::size_t>(shards_) * shards_, {});
+  // resize + clear instead of assign: a rebind to the same geometry keeps
+  // the queues' grown capacity (assign would discard it).
+  pull_queues_.resize(static_cast<std::size_t>(shards_) * shards_);
+  push_queues_.resize(static_cast<std::size_t>(shards_) * shards_);
+  for (auto& q : pull_queues_) q.clear();
+  for (auto& q : push_queues_) q.clear();
+  core.ensure_arenas(shards_);  // One round arena per shard.
   if (shards_ <= 1) return;
   // Agents sharing mutable state across labels (Agent::shard_safe() ==
   // false, e.g. the rational::Coalition blackboard) would race the parallel
@@ -107,6 +112,8 @@ void ShardedRoundExecutor::run_round(EngineCore& core,
     return;
   }
   const std::uint32_t S = shards_;
+  // The shard-barrier arena reset: last round's arena payloads die here.
+  core.reset_round_arenas();
   for (Metrics& m : shard_metrics_) m = Metrics{};
   for (auto& q : pull_queues_) q.clear();
   for (auto& q : push_queues_) q.clear();
@@ -115,13 +122,16 @@ void ShardedRoundExecutor::run_round(EngineCore& core,
   // self-shard) and route it to its destination shard.
   parallel_phase([&](std::uint32_t s) {
     Metrics& m = shard_metrics_[s];
+    support::Arena* arena = core.round_arena(s);
     for (std::uint32_t i = shard_begin_[s]; i < shard_begin_[s + 1]; ++i) {
-      if (core.faulty_[i] || core.agents_[i]->done() ||
+      if (core.faulty_[i] || core.agent_done(i) ||
           (awake_mask != nullptr && !(*awake_mask)[i])) {
         core.actions_[i] = Action::idle();
         continue;
       }
-      core.actions_[i] = core.agents_[i]->on_round(core.make_context(i));
+      core.actions_[i] =
+          core.agents_[i]->on_round(core.make_context(i, arena));
+      core.note_activation_sharded(i);
       const Action& a = core.actions_[i];
       if (a.kind == ActionKind::kIdle) continue;
       assert(a.target < core.n_);
@@ -150,25 +160,29 @@ void ShardedRoundExecutor::run_round(EngineCore& core,
   // requester-label order per server.
   if (any_pull) parallel_phase([&](std::uint32_t d) {
     Metrics& m = shard_metrics_[d];
+    support::Arena* arena = core.round_arena(d);
     for (std::uint32_t s = 0; s < S; ++s) {
       for (const PullItem& item :
            pull_queues_[static_cast<std::size_t>(s) * S + d]) {
         // Each requester pulls at most once per round, so this slot is
         // written by exactly one shard.
         core.pull_replies_[item.requester] =
-            core.serve_and_charge_pull(item.server, item.requester, m);
+            core.serve_and_charge_pull(item.server, item.requester, m, arena);
+        core.note_activation_sharded(item.server);
       }
     }
   });
 
   // Phase C: deliver pull replies in puller-label order, by puller-shard.
   if (any_pull) parallel_phase([&](std::uint32_t s) {
+    support::Arena* arena = core.round_arena(s);
     for (std::uint32_t i = shard_begin_[s]; i < shard_begin_[s + 1]; ++i) {
       const Action& a = core.actions_[i];
       if (a.kind != ActionKind::kPull) continue;
-      core.agents_[i]->on_pull_reply(core.make_context(i), a.target,
+      core.agents_[i]->on_pull_reply(core.make_context(i, arena), a.target,
                                      core.pull_replies_[i]);
       core.pull_replies_[i] = {};
+      core.note_activation_sharded(i);
     }
   });
 
@@ -176,10 +190,13 @@ void ShardedRoundExecutor::run_round(EngineCore& core,
   // global sender-label order at every receiver.
   if (any_push) parallel_phase([&](std::uint32_t d) {
     Metrics& m = shard_metrics_[d];
+    support::Arena* arena = core.round_arena(d);
     for (std::uint32_t s = 0; s < S; ++s) {
       for (const AgentId sender :
            push_queues_[static_cast<std::size_t>(s) * S + d]) {
-        core.execute_push(sender, core.actions_[sender], m);
+        const Action& a = core.actions_[sender];
+        core.execute_push(sender, a.target, a.payload, m, arena);
+        core.note_activation_sharded(a.target);
       }
     }
   });
@@ -187,6 +204,9 @@ void ShardedRoundExecutor::run_round(EngineCore& core,
   // Shard deltas carry no rounds/virtual_time (the scheduler owns those),
   // so the general merge is exact here.
   for (const Metrics& m : shard_metrics_) core.metrics_.merge_from(m);
+  // The phases refreshed done_ bytes only (the shared counter would race);
+  // recount it at the barrier so all_done() stays O(1) and exact.
+  core.recount_done();
   ++core.time_;
   core.metrics_.rounds = core.time_;
 }

@@ -17,10 +17,12 @@
 #include <string>
 #include <vector>
 
+#include "end_state_digest.hpp"
 #include "gossip/rumor.hpp"
 #include "sim/engine.hpp"
 #include "sim/fault_model.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/scheduler_spec.hpp"
 #include "support/math_util.hpp"
 
 namespace rfc::sim {
@@ -454,6 +456,50 @@ TEST(SchedulerSmoke, PartialAsyncRunsRumorToCompletion) {
 TEST(SchedulerSmoke, AdversarialRunsRumorToCompletion) {
   EXPECT_TRUE(spread_completes(
       make_adversarial_scheduler({.victim_fraction = 0.25}), 400'000));
+}
+
+// --------------------------------------------------------------------------
+// Pinned pre-refactor digests: captured from the engine BEFORE the
+// SoA/arena refactor.  They freeze the full observable run — outcome,
+// every Metrics field, per-agent end state — under the activation-based
+// schedulers at n ∈ {64, 4096}.  If these change, the refactored engine
+// consumes a different RNG stream or produces different state: fix the
+// engine, never the constants.
+// --------------------------------------------------------------------------
+
+std::uint64_t pinned_sched_digest(std::uint32_t n, const char* spec,
+                                  std::uint64_t max_rounds) {
+  gossip::SpreadConfig cfg;
+  cfg.n = n;
+  cfg.mechanism = gossip::Mechanism::kPushPull;
+  cfg.seed = 20260808;
+  cfg.num_faulty = n / 8;
+  cfg.placement = FaultPlacement::kRandom;
+  cfg.scheduler = SchedulerSpec::parse(spec);
+  cfg.max_rounds = max_rounds;
+  return rfc::testing::rumor_end_state_digest(cfg);
+}
+
+TEST(SchedulerEquivalence, PinnedDigestsAtN64) {
+  EXPECT_EQ(12715222893965880738ull,
+            pinned_sched_digest(64, "synchronous", 10'000));
+  EXPECT_EQ(2982810673277185428ull,
+            pinned_sched_digest(64, "sequential", 200'000));
+  EXPECT_EQ(43729312433838413ull,
+            pinned_sched_digest(64, "partial-async:p=0.4", 10'000));
+  EXPECT_EQ(12773505966425255158ull,
+            pinned_sched_digest(64, "adversarial:victim_fraction=0.25",
+                                400'000));
+  EXPECT_EQ(2101983261708445093ull,
+            pinned_sched_digest(64, "poisson", 200'000));
+}
+
+TEST(SchedulerEquivalence, PinnedDigestsAtN4096) {
+  // Sequential needs Θ(n log n) activations at this size; the cap covers it.
+  EXPECT_EQ(9461341282772828440ull,
+            pinned_sched_digest(4096, "synchronous", 10'000));
+  EXPECT_EQ(13871016384705893468ull,
+            pinned_sched_digest(4096, "sequential", 2'000'000));
 }
 
 }  // namespace

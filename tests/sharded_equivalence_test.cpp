@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/runner.hpp"
+#include "end_state_digest.hpp"
 #include "gossip/rumor.hpp"
 #include "rational/strategies.hpp"
 #include "sim/engine.hpp"
@@ -291,6 +292,119 @@ TEST(ShardedEquivalence, RunProtocolRejectsCoalitionWithShards) {
   EXPECT_THROW(core::run_protocol(cfg), std::invalid_argument);
   cfg.scheduler = SchedulerSpec::synchronous();
   EXPECT_NO_THROW(core::run_protocol(cfg));
+}
+
+// --------------------------------------------------------------------------
+// Pinned pre-refactor digests: the constants below were captured from the
+// engine BEFORE the SoA/arena/blocked-delivery refactor (PR 7 tree).  They
+// freeze the full observable trace — outcome, every Metrics field, and the
+// per-agent end state — at n ∈ {64, 4096}, serial AND sharded.  If any of
+// these change, the engine is no longer bit-identical to the pre-refactor
+// one: fix the engine, never the constants.
+// --------------------------------------------------------------------------
+
+gossip::SpreadConfig pinned_spread_config(std::uint32_t n,
+                                          const SchedulerSpec& spec) {
+  gossip::SpreadConfig cfg;
+  cfg.n = n;
+  cfg.mechanism = gossip::Mechanism::kPushPull;
+  cfg.seed = 20260726;
+  cfg.num_faulty = n / 4;
+  cfg.placement = FaultPlacement::kRandom;
+  cfg.scheduler = spec;
+  return cfg;
+}
+
+core::RunConfig pinned_protocol_config(std::uint32_t n,
+                                       const SchedulerSpec& spec) {
+  core::RunConfig cfg;
+  cfg.n = n;
+  cfg.gamma = 3.0;
+  cfg.seed = 987654321;
+  cfg.num_faulty = n / 8;
+  cfg.placement = FaultPlacement::kRandom;
+  cfg.scheduler = spec;
+  return cfg;
+}
+
+constexpr std::uint64_t kPinnedRumorDigest64 = 2641881396828198800ull;
+constexpr std::uint64_t kPinnedRumorDigest4096 = 16758659222488018666ull;
+constexpr std::uint64_t kPinnedProtocolDigest64 = 4567136017251614761ull;
+constexpr std::uint64_t kPinnedProtocolDigest4096 = 6452961838860156847ull;
+
+TEST(ShardedEquivalence, PinnedRumorDigests) {
+  for (std::uint32_t n : {64u, 4096u}) {
+    const std::uint64_t expected =
+        n == 64 ? kPinnedRumorDigest64 : kPinnedRumorDigest4096;
+    EXPECT_EQ(expected, rfc::testing::rumor_end_state_digest(
+                            pinned_spread_config(n, SchedulerSpec::synchronous())))
+        << "serial n=" << n;
+    for (const ShardCase& c : shard_cases()) {
+      EXPECT_EQ(expected, rfc::testing::rumor_end_state_digest(
+                              pinned_spread_config(n, sharded_spec(c))))
+          << "n=" << n << " " << case_name(c);
+    }
+  }
+}
+
+TEST(ShardedEquivalence, PinnedProtocolDigests) {
+  EXPECT_EQ(kPinnedProtocolDigest64,
+            rfc::testing::protocol_end_state_digest(
+                pinned_protocol_config(64, SchedulerSpec::synchronous())))
+      << "serial n=64";
+  for (const ShardCase& c : shard_cases()) {
+    EXPECT_EQ(kPinnedProtocolDigest64,
+              rfc::testing::protocol_end_state_digest(
+                  pinned_protocol_config(64, sharded_spec(c))))
+        << "n=64 " << case_name(c);
+  }
+  // n=4096 runs in ~0.6 s apiece: serial plus one non-dividing sharded case.
+  EXPECT_EQ(kPinnedProtocolDigest4096,
+            rfc::testing::protocol_end_state_digest(
+                pinned_protocol_config(4096, SchedulerSpec::synchronous())))
+      << "serial n=4096";
+  EXPECT_EQ(kPinnedProtocolDigest4096,
+            rfc::testing::protocol_end_state_digest(
+                pinned_protocol_config(4096, sharded_spec({7, 4}))))
+      << "n=4096 shards=7,threads=4";
+}
+
+TEST(ShardedEquivalence, PinnedDigestsUnderForcedBlockedDelivery) {
+  // The cache-blocked delivery path normally activates only at n >= 2^16;
+  // force it on at tiny n with several block sizes (1 label per block is
+  // the degenerate extreme, 8 cuts n=64 into 8 blocks, 4096 makes a single
+  // block).  Every combination must reproduce the serial constants exactly
+  // — the blocked round is bit-identical by construction, and this is the
+  // test that keeps it honest.
+  for (const std::uint32_t block_labels : {1u, 8u, 4096u}) {
+    const auto force = [block_labels](Engine& engine) {
+      engine.set_blocked_delivery(1, block_labels);
+    };
+    EXPECT_EQ(kPinnedRumorDigest64,
+              rfc::testing::rumor_end_state_digest(
+                  pinned_spread_config(64, SchedulerSpec::synchronous()),
+                  force))
+        << "rumor blocked n=64 block_labels=" << block_labels;
+    EXPECT_EQ(kPinnedProtocolDigest64,
+              rfc::testing::protocol_end_state_digest(
+                  pinned_protocol_config(64, SchedulerSpec::synchronous()),
+                  force))
+        << "protocol blocked n=64 block_labels=" << block_labels;
+  }
+  // One larger run: n=4096 over 512-label blocks.
+  const auto force = [](Engine& engine) {
+    engine.set_blocked_delivery(1, 512);
+  };
+  EXPECT_EQ(kPinnedRumorDigest4096,
+            rfc::testing::rumor_end_state_digest(
+                pinned_spread_config(4096, SchedulerSpec::synchronous()),
+                force))
+      << "rumor blocked n=4096 block_labels=512";
+  EXPECT_EQ(kPinnedProtocolDigest4096,
+            rfc::testing::protocol_end_state_digest(
+                pinned_protocol_config(4096, SchedulerSpec::synchronous()),
+                force))
+      << "protocol blocked n=4096 block_labels=512";
 }
 
 // --------------------------------------------------------------------------
