@@ -87,6 +87,42 @@ BENCHMARK(BM_EngineRumorRound)
     ->Arg(1 << 17)
     ->Arg(1 << 20);
 
+/// Tail-regime agent for the sparse-round benchmark: a fixed 90% of labels
+/// are done() from the start, the rest idle forever.  Opts into cacheable
+/// observations (like every shipped protocol agent) so the engine's SoA
+/// caches — and with them the incremental live list — are enabled.
+class SparseTailAgent final : public Agent {
+ public:
+  explicit SparseTailAgent(bool is_done) noexcept : done_(is_done) {}
+  Action on_round(const Context&) override { return Action::idle(); }
+  rfc::sim::Payload serve_pull(const Context&, rfc::sim::AgentId) override {
+    return {};
+  }
+  bool done() const override { return done_; }
+  bool cacheable_observations() const noexcept override { return true; }
+
+ private:
+  bool done_;
+};
+
+// The sparse tail of a long run: 90% of agents already finished.  The
+// live-list round costs O(active + messages) instead of the pre-sparse
+// engine's O(n) label scan, so the per-*live*-agent time (items/sec counts
+// live agents only) must stay flat as n grows 64x — if it climbs with n,
+// the dead 90% are being walked again.
+void BM_EngineSparseRound(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Engine engine({n, 42});
+  for (std::uint32_t i = 0; i < n; ++i) {
+    engine.set_agent(i, std::make_unique<SparseTailAgent>(i % 10 != 0));
+  }
+  for (auto _ : state) {
+    engine.step();
+  }
+  state.SetItemsProcessed(state.iterations() * ((n + 9) / 10));
+}
+BENCHMARK(BM_EngineSparseRound)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+
 // The sharded synchronous round (sim/sharding.hpp) on the same push-pull
 // rumor workload as BM_EngineRumorRound: args are (n, shards, threads), so
 // {n, 1, 1} is the serial engine via the executor's delegation path and the

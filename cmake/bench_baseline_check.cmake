@@ -19,6 +19,34 @@ if(NOT BASELINE_JSON MATCHES "\"engine_build_type\": \"Release\"")
     "engine_build_type=Release in its context — refusing to keep it.  "
     "Regenerate from a Release tree with `make bench-baseline`.")
 endif()
+# The Google Benchmark *library's* own build type.  A debug libbenchmark
+# inflates the measurement harness overhead (timer reads, counter
+# bookkeeping) around the engine code being measured, so by default the
+# baseline is rejected unless the library itself was built Release.  Distro
+# packages sometimes ship a debug build (Debian's libbenchmark does) that
+# cannot be rebuilt on a sealed box — pass
+# -DRFC_ALLOW_DEBUG_BENCHMARK_LIB=ON at configure time to accept the
+# baseline anyway; the JSON keeps the honest "debug" context entry so
+# readers can see which harness produced it.
+string(REGEX MATCH "\"library_build_type\": \"([^\"]*)\"" _lbt_match
+       "${BASELINE_JSON}")
+string(TOLOWER "${CMAKE_MATCH_1}" LIBRARY_BUILD_TYPE)
+if(NOT LIBRARY_BUILD_TYPE STREQUAL "release")
+  if(ALLOW_DEBUG_BENCHMARK_LIB)
+    message(WARNING
+      "bench-baseline: Google Benchmark library_build_type is "
+      "'${LIBRARY_BUILD_TYPE}', not 'release' — keeping the baseline "
+      "because RFC_ALLOW_DEBUG_BENCHMARK_LIB=ON.  Harness overhead is "
+      "inflated; compare against baselines from the same harness only.")
+  else()
+    message(FATAL_ERROR
+      "bench-baseline: ${BASELINE_FILE} records Google Benchmark "
+      "library_build_type='${LIBRARY_BUILD_TYPE}' — the benchmark harness "
+      "itself was not a Release build.  Install or build a Release "
+      "libbenchmark, or configure with -DRFC_ALLOW_DEBUG_BENCHMARK_LIB=ON "
+      "to accept the inflated-harness baseline knowingly.")
+  endif()
+endif()
 # Structural smoke test: a complete Google Benchmark JSON ends with the
 # benchmarks array closed; an interrupted run truncates mid-array.
 if(NOT BASELINE_JSON MATCHES "BM_EngineRumorRound")

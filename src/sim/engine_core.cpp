@@ -85,9 +85,20 @@ void EngineCore::recount_done() noexcept {
   if (!obs_cache_enabled_) return;
   std::uint32_t count = 0;
   for (std::uint32_t i = 0; i < n_; ++i) {
-    count += static_cast<std::uint32_t>(faulty_[i] == 0 && done_[i] != 0);
+    const bool done = faulty_[i] == 0 && done_[i] != 0;
+    count += static_cast<std::uint32_t>(done);
+    // The sharded phases refresh done_ bytes without logging (the shared
+    // log would race); append the round's transitions here, in label order.
+    if (done) log_done_transition(i);
   }
   num_done_ = count;
+  // Stable-compact the live list: drop the labels that finished this round
+  // (order preserved, so the next phase A walks label order as ever).
+  std::size_t w = 0;
+  for (const AgentId i : live_list_) {
+    if (done_[i] == 0) live_list_[w++] = i;
+  }
+  live_list_.resize(w);
 }
 
 std::vector<AgentId> EngineCore::active_labels() const {
@@ -174,10 +185,20 @@ void EngineCore::ensure_started() {
     obs_valid_.assign(n_, 0);
     phase_cache_.assign(n_, AgentPhase::kUnknown);
     progress_cache_.assign(n_, 0.0);
+    done_logged_.assign(n_, 0);
+    done_log_.clear();
     num_done_ = 0;
+    live_list_.clear();
+    live_list_.reserve(n_ - num_faulty_);
     for (std::uint32_t i = 0; i < n_; ++i) {
       done_[i] = agents_[i]->done() ? 1 : 0;
-      if (faulty_[i] == 0 && done_[i] != 0) ++num_done_;
+      if (faulty_[i] != 0) continue;
+      if (done_[i] != 0) {
+        ++num_done_;
+        done_logged_[i] = 1;  // Pre-start done: accounted, never logged.
+      } else {
+        live_list_.push_back(i);
+      }
     }
     obs_cache_enabled_ = true;
   }
@@ -230,50 +251,68 @@ void EngineCore::run_serial_round(const std::vector<bool>* awake_mask) {
   // run_blocked_round): only self and the RNG pointer vary per callback.
   Context ctx = make_context(0, arena);
 
-  // Phase A: collect each awake agent's single active operation.
-  std::uint32_t num_pulls = 0;
-  std::uint32_t num_pushes = 0;
-  for (std::uint32_t i = 0; i < n_; ++i) {
-    if (faulty_[i] != 0 || agent_done(i) ||
-        (awake_mask != nullptr && !(*awake_mask)[i])) {
-      actions_[i] = Action::idle();
-      continue;
-    }
+  // Phase A: collect each awake agent's single active operation, recording
+  // who pulled and who pushed so phases B/C/D walk those lists instead of
+  // rescanning all n labels.  push_back in the label-ordered walk keeps the
+  // lists label-ordered — the pinned delivery order.
+  round_pullers_.clear();
+  round_pushers_.clear();
+  const auto collect = [&](AgentId i) {
     ctx.self = i;
     ctx.rng = &rngs_[i];
-    actions_[i] = agents_[i]->on_round(ctx);
+    Action& a = actions_[i];
+    a = agents_[i]->on_round(ctx);
     note_activation(i);
-    const ActionKind kind = actions_[i].kind;
-    if (kind != ActionKind::kIdle) {
-      assert(actions_[i].target < n_);
-      ++metrics_.active_links;
-      if (kind == ActionKind::kPull) ++num_pulls;
-      else ++num_pushes;
+    if (a.kind == ActionKind::kIdle) return;
+    assert(a.target < n_);
+    ++metrics_.active_links;
+    if (a.kind == ActionKind::kPull) round_pullers_.push_back(i);
+    else round_pushers_.push_back(i);
+  };
+  if (obs_cache_enabled_) {
+    // Sparse path: walk the live list, compacting finished labels in place
+    // (done() is monotone, so a dropped label never wakes again).  The list
+    // is label-ordered and contains exactly the labels the 0..n scan would
+    // not have skipped, so the activation sequence is the scan's.
+    std::size_t w = 0;
+    const std::size_t live = live_list_.size();
+    for (std::size_t r = 0; r < live; ++r) {
+      const AgentId i = live_list_[r];
+      if (done_[i] != 0) continue;
+      live_list_[w++] = i;
+      if (awake_mask != nullptr && !(*awake_mask)[i]) continue;
+      collect(i);
+    }
+    live_list_.resize(w);
+  } else {
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      if (faulty_[i] != 0 || agents_[i]->done() ||
+          (awake_mask != nullptr && !(*awake_mask)[i])) {
+        continue;
+      }
+      collect(i);
     }
   }
 
   // A phase with no work is skipped outright — pull-free rounds (e.g. the
-  // push steady state of a spread) drop two O(n) scans.  pull_replies_
-  // slots are only ever written in phase B and cleared again in phase C,
-  // so every slot is empty at round start (which is also why neither this
-  // path nor the sharded one pre-clears them).
-  if (num_pulls != 0) {
+  // push steady state of a spread) cost nothing beyond phase A.
+  // pull_replies_ slots are only ever written in phase B and cleared again
+  // in phase C, so every slot is empty at round start (which is also why
+  // neither this path nor the sharded one pre-clears them).
+  if (!round_pullers_.empty()) {
     // Phase B: serve all pull requests from round-start state.
-    for (std::uint32_t i = 0; i < n_; ++i) {
-      const Action& a = actions_[i];
-      if (a.kind != ActionKind::kPull) continue;
+    for (const AgentId i : round_pullers_) {
       charge_pull_request(metrics_);
-      pull_replies_[i] = serve_and_charge_pull(a.target, i, metrics_, arena);
-      note_activation(a.target);
+      const AgentId target = actions_[i].target;
+      pull_replies_[i] = serve_and_charge_pull(target, i, metrics_, arena);
+      note_activation(target);
     }
 
     // Phase C: deliver pull replies in puller-label order.
-    for (std::uint32_t i = 0; i < n_; ++i) {
-      const Action& a = actions_[i];
-      if (a.kind != ActionKind::kPull) continue;
+    for (const AgentId i : round_pullers_) {
       ctx.self = i;
       ctx.rng = &rngs_[i];
-      agents_[i]->on_pull_reply(ctx, a.target, pull_replies_[i]);
+      agents_[i]->on_pull_reply(ctx, actions_[i].target, pull_replies_[i]);
       pull_replies_[i] = {};
       note_activation(i);
     }
@@ -282,19 +321,16 @@ void EngineCore::run_serial_round(const std::vector<bool>* awake_mask) {
   // Phase D: deliver pushes in sender-label order (execute_push inlined
   // onto the hoisted Context; metrics charged identically for faulty
   // targets, and note_activation keeps the cache-off path sound).
-  if (num_pushes != 0) {
-    for (std::uint32_t i = 0; i < n_; ++i) {
-      const Action& a = actions_[i];
-      if (a.kind != ActionKind::kPush) continue;
-      ++metrics_.pushes;
-      metrics_.note_message(a.payload.bit_size());
-      if (faulty_[a.target] == 0) {
-        ctx.self = a.target;
-        ctx.rng = &rngs_[a.target];
-        agents_[a.target]->on_push(ctx, i, a.payload);
-      }
-      note_activation(a.target);
+  for (const AgentId i : round_pushers_) {
+    const Action& a = actions_[i];
+    ++metrics_.pushes;
+    metrics_.note_message(a.payload.bit_size());
+    if (faulty_[a.target] == 0) {
+      ctx.self = a.target;
+      ctx.rng = &rngs_[a.target];
+      agents_[a.target]->on_push(ctx, i, a.payload);
     }
+    note_activation(a.target);
   }
 
   ++time_;
@@ -313,27 +349,27 @@ void EngineCore::run_blocked_round(const std::vector<bool>* awake_mask) {
     push_blocks_[b].clear();  // Capacity kept: steady state allocates nothing.
     pull_blocks_[b].clear();
   }
-  if (action_kind_.size() != n_) {
-    action_kind_.resize(n_);
-    pull_target_.resize(n_);
-  }
+  if (pull_target_.size() != n_) pull_target_.resize(n_);
+  round_pullers_.clear();
 
   // One Context for the whole round, re-aimed per agent: only self and the
   // RNG pointer vary, so the hot loops skip rebuilding the other fields
   // (make_context) once per callback.
   Context ctx = make_context(0, arena);
 
-  // Phase A: collect actions; route each one to its destination block.  The
+  // Phase A: walk the live list (compacting finished labels in place, as in
+  // run_serial_round) and route each action to its destination block.  The
   // full Action (payload included) moves into the block queue, so delivery
-  // streams the queue instead of random-reading an n-sized action buffer.
-  std::uint32_t num_pulls = 0;
+  // streams the queue instead of random-reading an n-sized action buffer;
+  // pullers are additionally listed for phase C.
   std::uint32_t num_pushes = 0;
-  for (std::uint32_t i = 0; i < n_; ++i) {
-    if (faulty_[i] != 0 || done_[i] != 0 ||
-        (awake_mask != nullptr && !(*awake_mask)[i])) {
-      action_kind_[i] = static_cast<std::uint8_t>(ActionKind::kIdle);
-      continue;
-    }
+  std::size_t w = 0;
+  const std::size_t live = live_list_.size();
+  for (std::size_t r = 0; r < live; ++r) {
+    const AgentId i = live_list_[r];
+    if (done_[i] != 0) continue;
+    live_list_[w++] = i;
+    if (awake_mask != nullptr && !(*awake_mask)[i]) continue;
     ctx.self = i;
     ctx.rng = &rngs_[i];
     Agent* agent = agents_[i].get();
@@ -344,13 +380,13 @@ void EngineCore::run_blocked_round(const std::vector<bool>* awake_mask) {
     if (agent->done()) {
       done_[i] = 1;
       ++num_done_;
+      log_done_transition(i);
     }
-    action_kind_[i] = static_cast<std::uint8_t>(a.kind);
     if (a.kind == ActionKind::kIdle) continue;
     assert(a.target < n_);
     ++metrics_.active_links;
     if (a.kind == ActionKind::kPull) {
-      ++num_pulls;
+      round_pullers_.push_back(i);
       pull_target_[i] = a.target;
       // Charged at collect time, as on the sharded path (sums are
       // merge-order independent, so totals match the serial round).
@@ -362,27 +398,63 @@ void EngineCore::run_blocked_round(const std::vector<bool>* awake_mask) {
           PushEntry{std::move(a.payload), i, a.target});
     }
   }
+  live_list_.resize(w);
 
-  if (num_pulls != 0) {
+  if (!round_pullers_.empty()) {
     // Phase B: serve pulls block by block.  Within a block entries are in
     // requester-label order and a server lives in exactly one block, so
     // every server sees its pullers in the serial round's order (same RNG
     // stream consumption); only the cross-server interleaving differs, and
     // servers' streams are independent.
     for (std::uint32_t b = 0; b < blocks; ++b) {
-      for (const PullEntry& e : pull_blocks_[b]) {
-        pull_replies_[e.requester] =
-            serve_and_charge_pull(e.server, e.requester, metrics_, arena);
+      const PullEntry* q = pull_blocks_[b].data();
+      const std::size_t m = pull_blocks_[b].size();
+      for (std::size_t j = 0; j < m; ++j) {
+        // Same two-stage prefetch as phase D (pointer line, then object),
+        // plus the reply slot the serve is about to write: requesters are
+        // label-ordered but sparse, so the stores stride past what the
+        // hardware prefetcher tracks.
+        if (j + 8 < m) {
+          __builtin_prefetch(&agents_[q[j + 8].server]);
+        }
+        if (j + 4 < m) {
+          __builtin_prefetch(agents_[q[j + 4].server].get());
+          __builtin_prefetch(&pull_replies_[q[j + 4].requester], 1);
+        }
+        const PullEntry& e = q[j];
+        // serve_and_charge_pull on the hoisted Context (identical fields;
+        // only self and the RNG pointer differ per serve).
+        if (faulty_[e.server] != 0) {
+          pull_replies_[e.requester] = {};  // Silence: no reply observed.
+        } else {
+          ctx.self = e.server;
+          ctx.rng = &rngs_[e.server];
+          Payload reply = agents_[e.server]->serve_pull(ctx, e.requester);
+          if (!reply.empty()) {
+            ++metrics_.pull_replies;
+            metrics_.note_message(reply.bit_size());
+          }
+          pull_replies_[e.requester] = std::move(reply);
+        }
         note_activation(e.server);
       }
     }
 
-    // Phase C: deliver pull replies in puller-label order (each puller is
-    // touched once, so the serial walk is already the contract's order).
-    for (std::uint32_t i = 0; i < n_; ++i) {
-      if (action_kind_[i] != static_cast<std::uint8_t>(ActionKind::kPull)) {
-        continue;
+    // Phase C: deliver pull replies in puller-label order (the puller list
+    // was filled by the label-ordered phase-A walk, so it already is the
+    // contract's order).
+    const AgentId* pullers = round_pullers_.data();
+    const std::size_t np = round_pullers_.size();
+    for (std::size_t j = 0; j < np; ++j) {
+      if (j + 8 < np) {
+        __builtin_prefetch(&agents_[pullers[j + 8]]);
       }
+      if (j + 4 < np) {
+        const AgentId ahead = pullers[j + 4];
+        __builtin_prefetch(agents_[ahead].get());
+        __builtin_prefetch(&pull_replies_[ahead], 1);
+      }
+      const AgentId i = pullers[j];
       ctx.self = i;
       ctx.rng = &rngs_[i];
       agents_[i]->on_pull_reply(ctx, pull_target_[i], pull_replies_[i]);
@@ -424,7 +496,13 @@ void EngineCore::run_blocked_round(const std::vector<bool>* awake_mask) {
         const std::uint8_t d = agent->done() ? 1 : 0;
         if (d != done_[e.target]) {
           done_[e.target] = d;
-          num_done_ += d != 0 ? 1 : -1;
+          if (d != 0) {
+            ++num_done_;
+            log_done_transition(e.target);
+          } else {
+            --num_done_;
+            unlog_done_transition(e.target);
+          }
         }
       }
     }

@@ -41,6 +41,18 @@
 // a receiver lives in exactly one block and queues fill in label order;
 // metrics are order-independent sums).  tests/sharded_equivalence_test.cpp
 // pins this against pre-refactor digests.
+//
+// Rounds are *sparse*: with the SoA caches live the engine maintains the
+// label-ordered live list (non-faulty, not-done labels) incrementally —
+// phase A iterates it instead of scanning all n labels, compacting done
+// entries in place as it goes (done() is monotone by the Agent contract),
+// and phases B/C/D walk this round's puller/pusher lists instead of
+// rescanning the label space — so a round costs O(live + messages), not
+// O(n).  The iteration order equals the old 0..n scan's (the list is label-
+// ordered and drops exactly the labels the scan skipped), so traces are
+// bit-identical.  Done 0→1 transitions are also appended to a public *done
+// log* (done_log()), which incremental schedulers drain to prune their own
+// wakeable pools eagerly instead of re-deriving them per step.
 #pragma once
 
 #include <cstdint>
@@ -126,6 +138,29 @@ class EngineCore {
   /// the caller across calls — scheduler attach/rebuild paths use this).
   void active_labels(std::vector<AgentId>& out) const;
 
+  // --- The done log: incremental active-set maintenance for schedulers. ---
+  //
+  // With the SoA caches live (done_log_enabled()), every done() 0→1
+  // transition observed by the engine appends that label to an append-only
+  // log, in observation order on the serial paths and label order at the
+  // sharded barrier.  A scheduler keeping its own wakeable pool drains the
+  // log from a cursor each step and removes exactly the newly finished
+  // agents — O(transitions) total instead of O(pool) per step.  Labels done
+  // before the first step are never logged (pools built from active_labels()
+  // filter them at build time).
+
+  /// True when the engine maintains the done log (== the SoA caches are
+  /// live; with any non-cacheable agent installed the log stays empty and
+  /// consumers must fall back to lazy done() checks).
+  bool done_log_enabled() const noexcept { return obs_cache_enabled_; }
+  /// The append-only done-transition log (labels, first-observed order).
+  const std::vector<AgentId>& done_log() const noexcept { return done_log_; }
+  /// Bumped if a logged agent ever un-reports done() — an Agent-contract
+  /// breach ("done is final").  Consumers treating the log as ground truth
+  /// may resync on a change; the shipped schedulers keep a lazy done()
+  /// check at wake time regardless, so they stay correct without it.
+  std::uint64_t done_log_epoch() const noexcept { return done_epoch_; }
+
   /// Bits charged for a pull *request* (the "send me your X" control
   /// message): one peer label, per the paper's accounting.
   std::uint64_t pull_request_bits() const noexcept;
@@ -146,7 +181,7 @@ class EngineCore {
   /// Tunes the cache-blocked delivery path of the synchronous round: it
   /// activates at n >= min_n (and only with the SoA caches live), routing
   /// deliveries through blocks of `block_labels` labels (rounded up to a
-  /// power of two).  Defaults: min_n = 2^16, blocks of 2^15 labels (~a few
+  /// power of two).  Defaults: min_n = 2^19, blocks of 2^16 labels (~a few
   /// MB of agent state per block).  Tests force tiny thresholds to pin the
   /// blocked path bit-identical at small n.
   void set_blocked_delivery(std::uint32_t min_n, std::uint32_t block_labels);
@@ -200,18 +235,40 @@ class EngineCore {
     return arenas_.empty() ? nullptr : arenas_[0].get();
   }
 
+  /// Appends `i` to the done log at its 0→1 transition (at most once per
+  /// label; done_logged_ also covers pre-start done labels, which are
+  /// accounted but never logged).
+  void log_done_transition(AgentId i) {
+    if (done_logged_[i] == 0) {
+      done_logged_[i] = 1;
+      done_log_.push_back(i);
+    }
+  }
+  /// A logged agent un-reported done() — contract breach; flag it so log
+  /// consumers can resync, and allow a future re-transition to log again.
+  void unlog_done_transition(AgentId i) {
+    done_logged_[i] = 0;
+    ++done_epoch_;
+  }
+
   /// Refreshes the SoA observation caches after agent `i` ran a callback:
-  /// re-reads done() (maintaining the done counter) and invalidates the
-  /// lazy phase/progress entries.  No-op for faulty labels and with the
-  /// caches disabled.  Serial paths only — the sharded round uses the
-  /// counter-free variant below plus a barrier recount.
+  /// re-reads done() (maintaining the done counter and the done log) and
+  /// invalidates the lazy phase/progress entries.  No-op for faulty labels
+  /// and with the caches disabled.  Serial paths only — the sharded round
+  /// uses the counter-free variant below plus a barrier recount.
   void note_activation(AgentId i) {
     if (!obs_cache_enabled_ || faulty_[i] != 0) return;
     obs_valid_[i] = 0;
     const std::uint8_t d = agents_[i]->done() ? 1 : 0;
     if (d != done_[i]) {
       done_[i] = d;
-      num_done_ += d != 0 ? 1 : -1;
+      if (d != 0) {
+        ++num_done_;
+        log_done_transition(i);
+      } else {
+        --num_done_;
+        unlog_done_transition(i);
+      }
     }
   }
   /// Cache refresh safe inside a sharded phase: each agent is owned by one
@@ -222,7 +279,10 @@ class EngineCore {
     obs_valid_[i] = 0;
     done_[i] = agents_[i]->done() ? 1 : 0;
   }
-  /// Recomputes the done counter from the done_ bytes (executor, post-round).
+  /// Recomputes the done counter from the done_ bytes, appends the round's
+  /// unlogged done transitions to the log in label order, and compacts the
+  /// live list (executor, post-round — the sharded phases must not mutate
+  /// the shared list mid-round, so all list maintenance lands here).
   void recount_done() noexcept;
 
   /// True when the synchronous round should take the cache-blocked path.
@@ -268,6 +328,16 @@ class EngineCore {
 
   std::uint32_t num_faulty_ = 0;
   std::uint32_t num_done_ = 0;  ///< Non-faulty labels with done_[i] set.
+  /// Label-ordered live labels (non-faulty, not done) — the sparse round's
+  /// phase-A iteration domain.  Built at ensure_started with the caches;
+  /// done entries compact away in place (serial phase A) or at the sharded
+  /// barrier (recount_done).
+  std::vector<AgentId> live_list_;
+  std::vector<AgentId> done_log_;  ///< Append-only; see done_log().
+  /// 1 once label i is accounted in the log bookkeeping: logged, or done
+  /// before the first step (those are accounted but never logged).
+  std::vector<std::uint8_t> done_logged_;
+  std::uint64_t done_epoch_ = 0;  ///< See done_log_epoch().
   /// SoA observation caches live?  Set at ensure_started iff every agent is
   /// shard_safe() (their observations change only through their own
   /// callbacks, so activation-keyed refresh is sound).
@@ -281,21 +351,32 @@ class EngineCore {
   std::vector<std::unique_ptr<support::Arena>> arenas_;
 
   // Scratch buffers reused across rounds to avoid per-round allocation;
-  // both carry payloads by value (no per-message heap traffic).
+  // actions_/pull_replies_ carry payloads by value (no per-message heap
+  // traffic).  actions_ entries are only written for agents that acted this
+  // round and only read through the round's puller/pusher lists, so no
+  // per-label idle writes are needed (a skipped agent's stale slot is never
+  // read; at worst it keeps one old boxed payload alive).
   std::vector<Action> actions_;
   std::vector<Payload> pull_replies_;
+  std::vector<AgentId> round_pullers_;  ///< This round's pullers, label order.
+  std::vector<AgentId> round_pushers_;  ///< This round's pushers (serial path).
 
   // --- Cache-blocked delivery scratch (large-n synchronous rounds). -------
-  std::uint32_t blocked_min_n_ = 1u << 16;
-  /// Labels per block = 1 << shift.  2^17 measured fastest at n = 2^20
-  /// (52 ns/agent-round vs 64 at 2^15 and 107 serial on the 1-CPU dev
-  /// box): fewer, longer queues beat tighter receiver working sets — even
-  /// a single block beats the serial path at n = 2^17, because delivery
-  /// streams the queue instead of random-reading the n-sized action
-  /// buffer.  Tunable per run via set_blocked_delivery.
-  std::uint32_t block_shift_ = 17;
-  std::vector<std::uint8_t> action_kind_;   ///< Per-agent ActionKind byte.
-  std::vector<AgentId> pull_target_;        ///< Valid where kind == kPull.
+  /// Retuned after the 32-byte payload / 40-byte push entry shrink
+  /// (steady-state push-pull rumor rounds, min-of-5 interleaved reps on
+  /// the 1-CPU dev box): the smaller entries pushed the break-even point
+  /// up a quarter-order — at n = 2^17 the straight serial round now wins
+  /// (32.1 ns/agent vs 35.8 for the best blocked setting), n = 2^18 is a
+  /// wash (34.9 vs 35.8), and from n = 2^19 blocking pays again (38.3 vs
+  /// 44.1 unblocked; at n = 2^20, 48.2 vs 62.2).
+  std::uint32_t blocked_min_n_ = 1u << 19;
+  /// Labels per block = 1 << shift.  2^16 measured fastest at n = 2^20
+  /// (48.2 ns/agent-round vs 49.5 at 2^17, 49.6 at 2^15, and 55.0 at
+  /// 2^18) and at n = 2^19 (38.4, within noise of 2^15's 38.3): fewer,
+  /// longer queues beat tighter receiver working sets until the per-block
+  /// agent state outgrows L2.  Tunable per run via set_blocked_delivery.
+  std::uint32_t block_shift_ = 16;
+  std::vector<AgentId> pull_target_;  ///< Valid for this round's pullers.
   std::vector<std::vector<PushEntry>> push_blocks_;
   std::vector<std::vector<PullEntry>> pull_blocks_;
 };

@@ -123,6 +123,20 @@ class ActiveSet {
     built_ = true;
   }
 
+  /// Clears back to the unbuilt state, keeping the grown capacity — the
+  /// scheduler rebind path (Scheduler::attach may see a different core, so
+  /// the labels must be refilled, but the allocation is reusable exactly
+  /// like the shard routing queues').
+  void reset() noexcept {
+    labels_.clear();
+    built_ = false;
+  }
+
+  /// Allocation-free rebuild: expose the storage for refill (e.g. via
+  /// EngineCore::active_labels(out&)), then call mark_built().
+  std::vector<AgentId>& mutable_labels() noexcept { return labels_; }
+  void mark_built() noexcept { built_ = true; }
+
   bool built() const noexcept { return built_; }
   bool empty() const noexcept { return labels_.empty(); }
   std::size_t size() const noexcept { return labels_.size(); }

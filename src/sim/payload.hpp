@@ -23,8 +23,18 @@
 //
 // This replaces the old virtual `Payload` class: the simulation hot path
 // (Action buffers, pull-reply scratch, per-message delivery) now moves
-// 48-byte values instead of allocating one control block per message, which
+// 32-byte values instead of allocating one control block per message, which
 // is what lifts the single-thread n ceiling of the engine.
+//
+// Layout.  The union is hand-rolled rather than a std::variant: the three
+// inline words are the widest member (24 B), and the discriminator, the
+// 16-bit tag, and the bit size pack into the trailing 8 bytes instead of
+// variant's separately padded index — sizeof(Payload) is exactly 32 (was 48),
+// enforced below.  The savings is pure bandwidth: the blocked-delivery
+// queues, the Action buffers, and the transport scratch all stream payloads
+// by value, so phases A/B/D move 1.5× less data per message.  The bit size
+// is stored in 32 bits; the paper's messages are O(log^2 n) ≤ a few kilobits,
+// so the public uint64_t API cannot overflow it (debug-asserted).
 //
 // Every payload reports its size in bits so the engine can account
 // communication complexity exactly — this is how the O(log^2 n) message-size
@@ -46,10 +56,11 @@
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <utility>
-#include <variant>
 
 #include "support/arena.hpp"
 
@@ -68,35 +79,37 @@ class Payload {
   static constexpr std::size_t kInlineWords = 3;
 
   /// Default-constructed payload is empty — the "no message" value.
-  Payload() = default;
+  Payload() noexcept {}
 
-  bool empty() const noexcept {
-    return std::holds_alternative<std::monostate>(data_);
+  Payload(const Payload& other) { copy_from(other); }
+  Payload(Payload&& other) noexcept { move_from(std::move(other)); }
+  Payload& operator=(const Payload& other) {
+    if (this != &other) {
+      destroy();
+      copy_from(other);
+    }
+    return *this;
   }
+  Payload& operator=(Payload&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+  ~Payload() { destroy(); }
+
+  bool empty() const noexcept { return kind_ == Kind::kEmpty; }
   /// True when a message is present (mirrors the old `ptr != nullptr`).
   bool has_value() const noexcept { return !empty(); }
   explicit operator bool() const noexcept { return !empty(); }
 
   /// Size of this payload on the wire, in bits, under the paper's encoding
   /// model; 0 when empty.
-  std::uint64_t bit_size() const noexcept {
-    if (const Inline* in = std::get_if<Inline>(&data_)) return in->bits;
-    if (const Boxed* bx = std::get_if<Boxed>(&data_)) return bx->bits;
-    if (const ArenaBoxed* ab = std::get_if<ArenaBoxed>(&data_)) {
-      return ab->bits;
-    }
-    return 0;
-  }
+  std::uint64_t bit_size() const noexcept { return bits_; }
 
   /// The message-kind tag; kUntaggedPayload when empty.
-  PayloadTag tag() const noexcept {
-    if (const Inline* in = std::get_if<Inline>(&data_)) return in->tag;
-    if (const Boxed* bx = std::get_if<Boxed>(&data_)) return bx->tag;
-    if (const ArenaBoxed* ab = std::get_if<ArenaBoxed>(&data_)) {
-      return ab->tag;
-    }
-    return kUntaggedPayload;
-  }
+  PayloadTag tag() const noexcept { return tag_; }
 
   // --- Inline payloads ----------------------------------------------------
 
@@ -106,15 +119,15 @@ class Payload {
                               std::uint64_t w0, std::uint64_t w1 = 0,
                               std::uint64_t w2 = 0) noexcept {
     Payload p;
-    p.data_.emplace<Inline>(Inline{{w0, w1, w2}, bits, tag});
+    p.data_.words = {w0, w1, w2};
+    p.set_meta(Kind::kInline, tag, bits);
     return p;
   }
 
   /// Word `i` of an inline payload; 0 for boxed/empty payloads or i out of
   /// range.  Callers gate on tag(), which pins the word layout.
   std::uint64_t word(std::size_t i) const noexcept {
-    const Inline* in = std::get_if<Inline>(&data_);
-    return in != nullptr && i < kInlineWords ? in->words[i] : 0;
+    return kind_ == Kind::kInline && i < kInlineWords ? data_.words[i] : 0;
   }
 
   // --- Boxed payloads -----------------------------------------------------
@@ -125,7 +138,8 @@ class Payload {
   static Payload boxed(PayloadTag tag, std::uint64_t bits,
                        std::shared_ptr<const T> object) noexcept {
     Payload p;
-    p.data_.emplace<Boxed>(Boxed{std::move(object), bits, tag});
+    ::new (&p.data_.object) std::shared_ptr<const void>(std::move(object));
+    p.set_meta(Kind::kBoxed, tag, bits);
     return p;
   }
 
@@ -150,8 +164,8 @@ class Payload {
       return make_boxed<T>(tag, bits, std::forward<Args>(args)...);
     }
     Payload p;
-    p.data_.emplace<ArenaBoxed>(
-        ArenaBoxed{arena->create<T>(std::forward<Args>(args)...), bits, tag});
+    p.data_.arena_object = arena->create<T>(std::forward<Args>(args)...);
+    p.set_meta(Kind::kArenaBoxed, tag, bits);
     return p;
   }
 
@@ -160,35 +174,95 @@ class Payload {
   /// because a tag maps to exactly one boxed type (see header comment).
   template <typename T>
   const T* boxed_as(PayloadTag expected_tag) const noexcept {
-    if (const Boxed* bx = std::get_if<Boxed>(&data_)) {
-      return bx->tag == expected_tag ? static_cast<const T*>(bx->object.get())
-                                     : nullptr;
+    if (tag_ != expected_tag) return nullptr;
+    if (kind_ == Kind::kBoxed) {
+      return static_cast<const T*>(data_.object.get());
     }
-    if (const ArenaBoxed* ab = std::get_if<ArenaBoxed>(&data_)) {
-      return ab->tag == expected_tag ? static_cast<const T*>(ab->object)
-                                     : nullptr;
+    if (kind_ == Kind::kArenaBoxed) {
+      return static_cast<const T*>(data_.arena_object);
     }
     return nullptr;
   }
 
  private:
-  struct Inline {
-    std::array<std::uint64_t, kInlineWords> words{};
-    std::uint64_t bits = 0;
-    PayloadTag tag = kUntaggedPayload;
-  };
-  struct Boxed {
-    std::shared_ptr<const void> object;
-    std::uint64_t bits = 0;
-    PayloadTag tag = kUntaggedPayload;
-  };
-  struct ArenaBoxed {
-    const void* object;  ///< Arena-owned; valid until the round-barrier reset.
-    std::uint64_t bits = 0;
-    PayloadTag tag = kUntaggedPayload;
+  enum class Kind : std::uint8_t { kEmpty, kInline, kBoxed, kArenaBoxed };
+
+  /// The value storage.  Only `object` has a non-trivial lifetime; it is
+  /// placement-constructed by the boxed paths and destroyed by destroy().
+  union Data {
+    std::array<std::uint64_t, kInlineWords> words;  // 24 B, the widest.
+    std::shared_ptr<const void> object;             // kBoxed only.
+    const void* arena_object;  ///< Arena-owned; dies at the barrier reset.
+    Data() noexcept : arena_object(nullptr) {}
+    ~Data() {}  // The discriminator lives outside; Payload destroys.
   };
 
-  std::variant<std::monostate, Inline, Boxed, ArenaBoxed> data_;
+  void set_meta(Kind kind, PayloadTag tag, std::uint64_t bits) noexcept {
+    assert(bits <= 0xFFFFFFFFull);  // O(log^2 n) bits in practice.
+    kind_ = kind;
+    tag_ = tag;
+    bits_ = static_cast<std::uint32_t>(bits);
+  }
+
+  void destroy() noexcept {
+    if (kind_ == Kind::kBoxed) data_.object.~shared_ptr();
+  }
+
+  /// Precondition: *this holds no live shared_ptr (fresh or just destroyed).
+  void copy_from(const Payload& other) {
+    switch (other.kind_) {
+      case Kind::kInline:
+        data_.words = other.data_.words;
+        break;
+      case Kind::kBoxed:
+        ::new (&data_.object) std::shared_ptr<const void>(other.data_.object);
+        break;
+      case Kind::kArenaBoxed:
+        data_.arena_object = other.data_.arena_object;
+        break;
+      case Kind::kEmpty:
+        break;
+    }
+    kind_ = other.kind_;
+    tag_ = other.tag_;
+    bits_ = other.bits_;
+  }
+
+  /// Precondition as copy_from.  The source is left *empty* (stronger than
+  /// variant's valid-but-unspecified): no shipped code reads a moved-from
+  /// payload, and empty is the cheapest state to leave behind.
+  void move_from(Payload&& other) noexcept {
+    switch (other.kind_) {
+      case Kind::kInline:
+        data_.words = other.data_.words;
+        break;
+      case Kind::kBoxed:
+        ::new (&data_.object)
+            std::shared_ptr<const void>(std::move(other.data_.object));
+        other.data_.object.~shared_ptr();
+        break;
+      case Kind::kArenaBoxed:
+        data_.arena_object = other.data_.arena_object;
+        break;
+      case Kind::kEmpty:
+        break;
+    }
+    kind_ = other.kind_;
+    tag_ = other.tag_;
+    bits_ = other.bits_;
+    other.kind_ = Kind::kEmpty;
+    other.tag_ = kUntaggedPayload;
+    other.bits_ = 0;
+  }
+
+  Data data_;                           // 24 B
+  std::uint32_t bits_ = 0;              // wire size in bits (see bit_size()).
+  PayloadTag tag_ = kUntaggedPayload;   // 2 B
+  Kind kind_ = Kind::kEmpty;            // 1 B (+1 padding)
 };
+
+// The whole point of the hand-rolled union: a payload is one half cache
+// line, and the delivery queues stream exactly 40-byte push entries.
+static_assert(sizeof(Payload) <= 32, "Payload must stay within 32 bytes");
 
 }  // namespace rfc::sim

@@ -21,21 +21,45 @@ double SynchronousScheduler::step(EngineCore& core,
   return 1.0;
 }
 
+SequentialScheduler::SequentialScheduler(bool skip_wasted)
+    : skip_wasted_(skip_wasted) {}
+
 void SequentialScheduler::attach(EngineCore& core) {
   rng_ = rfc::support::Xoshiro256(
       rfc::support::derive_seed(core.seed(), kStream));
+  active_.reset();  // Rebind: refill from the new core, capacity kept.
 }
 
 double SequentialScheduler::step(EngineCore& core,
                                  const EngineView& /*view*/) {
-  if (!active_built_) {
-    core.active_labels(active_);
-    active_built_ = true;
+  if (!active_.built()) {
+    if (skip_wasted_) core.ensure_started();  // done() reads agent state.
+    core.active_labels(active_.mutable_labels());
+    active_.mark_built();
   }
-  if (active_.empty()) return 0.0;
-  const AgentId u = active_[rng_.below(active_.size())];
-  core.sequential_activation(u);
-  return 1.0;
+  if (!skip_wasted_) {
+    // The pinned contract: draws cover the initial active list forever, so
+    // a drawn finished agent consumes the step as a wasted activation.
+    if (active_.empty()) return 0.0;
+    const AgentId u = active_.at(rng_.below(active_.size()));
+    core.sequential_activation(u);
+    return 1.0;
+  }
+  // wasted=skip: lazy swap-remove compaction, exactly the Poisson sampler's
+  // discipline — a drawn agent observed done() leaves the pool and the draw
+  // repeats (amortized O(1): each label is removed at most once), so every
+  // step wakes a live agent and an empty pool ends the run.
+  while (!active_.empty()) {
+    const std::size_t k = rng_.below(active_.size());
+    const AgentId u = active_.at(k);
+    if (core.agent_done(u)) {
+      active_.swap_remove(k);
+      continue;
+    }
+    core.sequential_activation(u);
+    return 1.0;
+  }
+  return 0.0;
 }
 
 PartialAsyncScheduler::PartialAsyncScheduler(double wake_probability,
@@ -143,6 +167,39 @@ void PhaseAdversarialScheduler::note_wake(AgentId /*u*/) {}
 void PhaseAdversarialScheduler::attach(EngineCore& core) {
   rng_ = rfc::support::Xoshiro256(
       rfc::support::derive_seed(core.seed(), cfg_.stream));
+  // Rebind: the pool describes the previous core; rebuild it lazily at the
+  // next step.  (attach runs once per Engine bind, never mid-run.)
+  order_built_ = false;
+  cursor_ = 0;
+  done_log_cursor_ = 0;
+}
+
+void PhaseAdversarialScheduler::pool_swap_remove(std::size_t k) {
+  const AgentId removed = pool_[k];
+  pool_[k] = pool_.back();
+  pool_.pop_back();
+  if (!pool_pos_.empty()) {
+    pool_pos_[removed] = kNoPoolPos;
+    if (k < pool_.size()) {
+      pool_pos_[pool_[k]] = static_cast<std::uint32_t>(k);
+    }
+  }
+  // Removing in front of the round-robin head shifts the head's slot left;
+  // removing at the head leaves the moved-in label at the head, exactly the
+  // walk's in-place discipline.  A past-the-end cursor is normalized by the
+  // walk before every read.
+  if (k < cursor_) --cursor_;
+}
+
+void PhaseAdversarialScheduler::prune_pool(EngineCore& core) {
+  if (!cfg_.skip_wasted || !core.done_log_enabled() || pool_pos_.empty()) {
+    return;
+  }
+  const std::vector<AgentId>& log = core.done_log();
+  for (; done_log_cursor_ < log.size(); ++done_log_cursor_) {
+    const std::uint32_t k = pool_pos_[log[done_log_cursor_]];
+    if (k != kNoPoolPos) pool_swap_remove(k);
+  }
 }
 
 void PhaseAdversarialScheduler::build_order(EngineCore& core) {
@@ -150,6 +207,17 @@ void PhaseAdversarialScheduler::build_order(EngineCore& core) {
   walk_stamp_.assign(core.n(), 0);
   for (std::size_t i = pool_.size(); i > 1; --i) {
     std::swap(pool_[i - 1], pool_[rng_.below(i)]);
+  }
+  if (cfg_.skip_wasted) {
+    // Label -> pool index, maintained by pool_swap_remove so the done-log
+    // drain can evict by label in O(1).  Cursor 0: pre-build log entries
+    // (on_start completions) evict on the first prune instead of absorbing
+    // lazy walk slots.
+    pool_pos_.assign(core.n(), kNoPoolPos);
+    for (std::size_t k = 0; k < pool_.size(); ++k) {
+      pool_pos_[pool_[k]] = static_cast<std::uint32_t>(k);
+    }
+    done_log_cursor_ = 0;
   }
   victim_.assign(core.n(), false);
   if (!cfg_.victim_ids.empty()) {
@@ -174,6 +242,7 @@ double PhaseAdversarialScheduler::step(EngineCore& core,
                                        const EngineView& view) {
   core.ensure_started();  // Observations below read agent state.
   if (!order_built_) build_order(core);
+  prune_pool(core);  // wasted=skip: evict done-log entries eagerly.
   plan_victims(core, view);  // Reactive policies re-rank every step.
   // One round-robin walk from the cursor: done agents are swap-removed
   // (amortized O(1) per step), starved victims are passed over with one
@@ -194,9 +263,10 @@ double PhaseAdversarialScheduler::step(EngineCore& core,
     const AgentId u = pool_[cursor_];
     if (core.agent_done(u)) {
       // Done for good (the Agent contract has no way back); consumes no
-      // walk slot.
-      pool_[cursor_] = pool_.back();
-      pool_.pop_back();
+      // walk slot.  Kept even under wasted=skip: the done log is only an
+      // accelerator (it is absent when the SoA caches are off), so the walk
+      // must still tolerate done agents surfacing in the pool.
+      pool_swap_remove(cursor_);
       continue;
     }
     const bool within_budget =
@@ -250,8 +320,17 @@ ReactiveAdversarialScheduler::ReactiveAdversarialScheduler(
 
 void ReactiveAdversarialScheduler::plan_victims(EngineCore& core,
                                                 const EngineView& view) {
-  if (last_wake_.size() != core.n()) last_wake_.assign(core.n(), 0);
-  std::fill(victim_.begin(), victim_.end(), false);
+  if (last_wake_.size() != core.n()) {
+    last_wake_.assign(core.n(), 0);
+    // First plan after a bind: build_order marked its static prefix; wipe
+    // the whole bitmap once, then track our own marks so later plans clear
+    // in O(marked) instead of O(n).
+    std::fill(victim_.begin(), victim_.end(), false);
+    marked_.clear();
+  } else {
+    for (const AgentId u : marked_) victim_[u] = false;
+    marked_.clear();
+  }
   // Candidates: the wakeable pool minus agents already done (the walk
   // removes those lazily; wasting victim slots on them would dilute the
   // attack).  Keys are computed once per agent — one progress() observation
@@ -299,7 +378,10 @@ void ReactiveAdversarialScheduler::plan_victims(EngineCore& core,
     std::nth_element(ranked_.begin(), ranked_.begin() + (starved - 1),
                      ranked_.end(), first);
   }
-  for (std::size_t i = 0; i < starved; ++i) victim_[ranked_[i].id] = true;
+  for (std::size_t i = 0; i < starved; ++i) {
+    victim_[ranked_[i].id] = true;
+    marked_.push_back(ranked_[i].id);
+  }
 }
 
 void ReactiveAdversarialScheduler::note_wake(AgentId u) {
@@ -317,15 +399,15 @@ PoissonClockScheduler::PoissonClockScheduler(double rate) : rate_(rate) {
 void PoissonClockScheduler::attach(EngineCore& core) {
   rng_ = rfc::support::Xoshiro256(
       rfc::support::derive_seed(core.seed(), kStream));
+  active_.reset();  // Rebind: refill from the new core, capacity kept.
 }
 
 double PoissonClockScheduler::step(EngineCore& core,
                                    const EngineView& /*view*/) {
   core.ensure_started();  // The done() observations below read agent state.
   if (!active_.built()) {
-    std::vector<AgentId> labels;
-    core.active_labels(labels);
-    active_.build(std::move(labels));
+    core.active_labels(active_.mutable_labels());
+    active_.mark_built();
   }
   // Superposition of |active| independent rate-λ clocks: the next tick is
   // uniform over agents and Exp(λ·|active|)-distributed in time.  Agent
@@ -364,6 +446,7 @@ EventDrivenPoissonScheduler::EventDrivenPoissonScheduler(double rate)
 void EventDrivenPoissonScheduler::attach(EngineCore& core) {
   rng_ = rfc::support::Xoshiro256(
       rfc::support::derive_seed(core.seed(), kStream));
+  built_ = false;  // Rebind: rebuild the heap from the new core's agents.
 }
 
 double EventDrivenPoissonScheduler::exp_interarrival() {
@@ -378,10 +461,9 @@ double EventDrivenPoissonScheduler::step(EngineCore& core,
     queue_.reset(core.n());
     // Seed every live clock in label order (the deterministic build order):
     // faulty agents are excluded by active_labels(), already-done agents
-    // never enter the heap.
-    std::vector<AgentId> labels;
-    core.active_labels(labels);
-    for (const AgentId u : labels) {
+    // never enter the heap.  The scratch keeps its capacity across rebinds.
+    core.active_labels(labels_scratch_);
+    for (const AgentId u : labels_scratch_) {
       if (!core.agent_done(u)) queue_.schedule(u, exp_interarrival());
     }
     built_ = true;
@@ -406,8 +488,8 @@ SchedulerPtr make_synchronous_scheduler(ShardingConfig sharding) {
   return std::make_unique<SynchronousScheduler>(sharding);
 }
 
-SchedulerPtr make_sequential_scheduler() {
-  return std::make_unique<SequentialScheduler>();
+SchedulerPtr make_sequential_scheduler(bool skip_wasted) {
+  return std::make_unique<SequentialScheduler>(skip_wasted);
 }
 
 SchedulerPtr make_partial_async_scheduler(double wake_probability,

@@ -132,22 +132,32 @@ class SynchronousScheduler final : public Scheduler {
 };
 
 /// One uniformly random active agent wakes per step (the sequential GOSSIP
-/// model).  Wasted activations (done agents) consume steps, as in the
-/// coupon-collector analyses.
+/// model).  By default (`wasted=keep`, the pinned trace contract) wake-ups
+/// are drawn over the *initial* active list for the whole run, so waking a
+/// finished agent consumes the step as a wasted activation — exactly the
+/// coupon-collector semantics of the sequential analyses.  With
+/// `wasted=skip` the scheduler maintains the live set incrementally instead
+/// (ActiveSet swap-remove, as the Poisson sampler does): a drawn agent
+/// observed done() is removed and the draw repeats, so no step is wasted
+/// and an exhausted set ends the run.  Same RNG stream, different
+/// consumption — the two modes are separately pinned, never bit-comparable.
 class SequentialScheduler final : public Scheduler {
  public:
   /// Stream tag of the wake-up RNG; fixed by the legacy AsyncEngine and
   /// load-bearing for trace compatibility.
   static constexpr std::uint64_t kStream = 0xA57Cu;
 
+  explicit SequentialScheduler(bool skip_wasted = false);
+
   const char* name() const noexcept override { return "sequential"; }
+  bool skip_wasted() const noexcept { return skip_wasted_; }
   void attach(EngineCore& core) override;
   double step(EngineCore& core, const EngineView& view) override;
 
  private:
   rfc::support::Xoshiro256 rng_{0};
-  std::vector<AgentId> active_;  ///< Labels eligible to wake.
-  bool active_built_ = false;
+  ActiveSet active_;  ///< Wake pool; done agents swap-removed under skip.
+  bool skip_wasted_;
 };
 
 /// Each round wakes an independent Bernoulli(p) subset of the agents and
@@ -266,6 +276,17 @@ struct AdversarialConfig {
   /// Stream tag mixed into the master seed for the adversary's choices;
   /// vary it to sample different worst-case orderings at a fixed seed.
   std::uint64_t stream = 0xADF0u;
+  /// `wasted=skip`: prune finished agents from the wake pool *eagerly* by
+  /// draining the engine's done log each step, instead of the default lazy
+  /// removal when the round-robin cursor happens upon them (`wasted=keep`,
+  /// the pinned contract).  Pruning swap-removes at different pool
+  /// positions, so the walk order — and hence the trace — differs between
+  /// the modes; each is pinned separately.  The payoff is sparse-tail cost:
+  /// the pool holds only live agents, so the reactive re-ranking pass is
+  /// O(live) rather than O(pool including the dead).  With the done log
+  /// unavailable (non-cacheable agents) skip falls back to keep's lazy
+  /// behavior.
+  bool skip_wasted = false;
 };
 
 /// Seeded worst-case sequential wake orderings, with optional phase-aware
@@ -312,11 +333,24 @@ class PhaseAdversarialScheduler : public Scheduler {
 
  private:
   void build_order(EngineCore& core);
+  /// Swap-removes pool_[k], keeping pool_pos_ and the cursor consistent.
+  void pool_swap_remove(std::size_t k);
+  /// `wasted=skip`: drains the core's done log from the last cursor and
+  /// swap-removes the newly finished agents from the pool (O(1) each via
+  /// the label→position map) — the eager counterpart of the walk's lazy
+  /// removal.
+  void prune_pool(EngineCore& core);
+
+  static constexpr std::uint32_t kNoPoolPos = 0xFFFFFFFFu;
 
   /// Per-label id of the last walk that skipped it — dedups denial charges
   /// when a swap-removal rotates a passed victim back in front of the
   /// cursor within one walk.
   std::vector<std::uint64_t> walk_stamp_;
+  /// Label → index in pool_ (kNoPoolPos when absent); maintained only under
+  /// `wasted=skip`, where prune_pool needs O(1) removal by label.
+  std::vector<std::uint32_t> pool_pos_;
+  std::size_t done_log_cursor_ = 0;  ///< Drained prefix of core.done_log().
   std::uint64_t walk_id_ = 0;
   std::size_t cursor_ = 0;
   std::uint64_t spent_ = 0;
@@ -359,6 +393,10 @@ class ReactiveAdversarialScheduler final : public PhaseAdversarialScheduler {
   std::vector<std::uint64_t> last_wake_;
   std::uint64_t wake_counter_ = 0;
   std::vector<Ranked> ranked_;  ///< Scratch: pool re-keyed per step.
+  /// Labels whose victim_ bit the last plan set — clearing exactly these
+  /// replaces the former O(n) std::fill per step, keeping the per-step cost
+  /// O(pool + starved), which under `wasted=skip` is O(live).
+  std::vector<AgentId> marked_;
 };
 
 /// Continuous-time asynchronous gossip: each active agent wakes at the
@@ -394,7 +432,10 @@ class PoissonClockScheduler final : public Scheduler {
  private:
   double rate_;
   rfc::support::Xoshiro256 rng_{0};
-  ActiveSet active_;  ///< Wakeable labels; done agents swap-removed lazily.
+  /// Wakeable labels; done agents swap-removed lazily.  attach() resets it
+  /// (capacity kept), so a rebind to another core rebuilds allocation-free
+  /// instead of sampling the previous core's stale label set.
+  ActiveSet active_;
 };
 
 /// The Poisson-clock model simulated event-driven (`poisson:queue=heap`):
@@ -440,12 +481,13 @@ class EventDrivenPoissonScheduler final : public Scheduler {
   double rate_;
   rfc::support::Xoshiro256 rng_{0};
   EventQueue queue_;
+  std::vector<AgentId> labels_scratch_;  ///< Build-order scratch, reused.
   double now_ = 0.0;  ///< Time of the last popped event.
-  bool built_ = false;
+  bool built_ = false;  ///< Cleared by attach(): a rebind rebuilds the heap.
 };
 
 SchedulerPtr make_synchronous_scheduler(ShardingConfig sharding = {});
-SchedulerPtr make_sequential_scheduler();
+SchedulerPtr make_sequential_scheduler(bool skip_wasted = false);
 SchedulerPtr make_partial_async_scheduler(double wake_probability,
                                           ShardingConfig sharding = {});
 SchedulerPtr make_batched_delivery_scheduler(BatchedDeliveryConfig cfg = {});

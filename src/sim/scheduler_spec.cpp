@@ -22,6 +22,18 @@ std::uint64_t activation_steps(std::uint32_t n, const SchedulerSpec&) {
 
 std::uint64_t round_steps(std::uint32_t, const SchedulerSpec&) { return 1; }
 
+/// Shared wasted= knob of the activation-based policies: keep (default)
+/// preserves the pinned draw-over-the-initial-pool traces, skip prunes
+/// finished agents from the wakeable pool so no step is wasted on them.
+bool wasted_skip_from(const SchedulerSpec& spec) {
+  if (!spec.has_param("wasted")) return false;
+  const std::string& value = spec.params().at("wasted");
+  if (value == "keep") return false;
+  if (value == "skip") return true;
+  throw std::invalid_argument("SchedulerSpec: " + spec.policy() +
+                              ":wasted=\"" + value + "\" is not keep or skip");
+}
+
 /// Shared shards=/threads= parameters of the round-based policies.
 ShardingConfig sharding_from(const SchedulerSpec& spec) {
   ShardingConfig cfg;
@@ -51,10 +63,14 @@ Registry make_builtin_registry() {
       "the paper's lock-step rounds (default; shards=S,threads=T to "
       "parallelize the round, bit-identical for any S/T)"};
   reg["sequential"] = {
-      [](const SchedulerSpec&) { return make_sequential_scheduler(); },
+      [](const SchedulerSpec& spec) {
+        return make_sequential_scheduler(wasted_skip_from(spec));
+      },
       activation_steps,
-      {},
-      "one u.a.r. active agent wakes per step",
+      {"wasted"},
+      "one u.a.r. active agent wakes per step (wasted=keep draws over the "
+      "initial pool forever — the pinned coupon-collector contract; "
+      "wasted=skip prunes finished agents so every step wakes a live one)",
       /*activation_based=*/true};
   reg["partial-async"] = {
       [](const SchedulerSpec& spec) {
@@ -99,6 +115,7 @@ Registry make_builtin_registry() {
         cfg.stream = spec.param_uint("stream", cfg.stream);
         cfg.victim_ids = spec.param_agent_list("victims");
         cfg.budget = spec.param_uint("budget", 0);
+        cfg.skip_wasted = wasted_skip_from(spec);
         if (spec.has_param("phase")) {
           cfg.target_phase =
               parse_agent_phase(spec.params().at("phase"));
@@ -114,11 +131,13 @@ Registry make_builtin_registry() {
         return make_adversarial_scheduler(std::move(cfg));
       },
       activation_steps,
-      {"victim_fraction", "stream", "victims", "phase", "budget", "target"},
+      {"victim_fraction", "stream", "victims", "phase", "budget", "target",
+       "wasted"},
       "seeded starvation orderings (victim_fraction=0.25 or victims=a+b+c); "
       "phase=vote starves victims only in that pipeline phase, budget=N "
       "caps the spent wake-up denials, target=min-cert|laggard|quorum-edge "
-      "re-plans the victim set every step from EngineView observations",
+      "re-plans the victim set every step from EngineView observations, "
+      "wasted=skip prunes finished agents from the walk pool eagerly",
       /*activation_based=*/true};
   reg["poisson"] = {
       [](const SchedulerSpec& spec) {
@@ -378,6 +397,9 @@ SchedulerSpec SchedulerSpec::adversarial(const AdversarialConfig& cfg) {
   }
   if (cfg.stream != AdversarialConfig{}.stream) {
     params["stream"] = std::to_string(cfg.stream);
+  }
+  if (cfg.skip_wasted) {
+    params["wasted"] = "skip";
   }
   return SchedulerSpec("adversarial", std::move(params));
 }

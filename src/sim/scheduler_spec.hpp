@@ -14,6 +14,12 @@
 //
 //   synchronous                                 the paper's lock-step rounds
 //   sequential                                  one u.a.r. wake per step
+//   sequential:wasted=skip                      ... with finished agents
+//                                               pruned from the pool (the
+//                                               default wasted=keep draws
+//                                               over the initial pool
+//                                               forever — the pinned
+//                                               coupon-collector contract)
 //   partial-async:p=0.25                        Bernoulli(p) wake subsets
 //   batched:block=8                             contiguous blocks in rotation
 //   batched:block=8,shards=4,threads=4          ... with sharded sub-rounds
@@ -26,6 +32,11 @@
 //                                               set every step — starve the
 //                                               weakest progress holder
 //                                               (also: laggard, quorum-edge)
+//   adversarial:wasted=skip                     eager pool pruning off the
+//                                               engine's done log (default
+//                                               wasted=keep removes done
+//                                               agents lazily at the walk
+//                                               cursor — the pinned traces)
 //   poisson                                     rate-1 Poisson clocks
 //   poisson:rate=2                              rate-λ Poisson clocks
 //   poisson:queue=heap                          the same model event-driven:

@@ -1,5 +1,6 @@
 #include "sim/sharding.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <exception>
 #include <mutex>
@@ -40,8 +41,10 @@ void ShardedRoundExecutor::bind(EngineCore& core) {
   // the queues' grown capacity (assign would discard it).
   pull_queues_.resize(static_cast<std::size_t>(shards_) * shards_);
   push_queues_.resize(static_cast<std::size_t>(shards_) * shards_);
+  shard_pullers_.resize(shards_);
   for (auto& q : pull_queues_) q.clear();
   for (auto& q : push_queues_) q.clear();
+  for (auto& q : shard_pullers_) q.clear();
   core.ensure_arenas(shards_);  // One round arena per shard.
   if (shards_ <= 1) return;
   // Agents sharing mutable state across labels (Agent::shard_safe() ==
@@ -117,34 +120,60 @@ void ShardedRoundExecutor::run_round(EngineCore& core,
   for (Metrics& m : shard_metrics_) m = Metrics{};
   for (auto& q : pull_queues_) q.clear();
   for (auto& q : push_queues_) q.clear();
+  for (auto& q : shard_pullers_) q.clear();
 
   // Phase A: collect each awake agent's single active operation (by
-  // self-shard) and route it to its destination shard.
+  // self-shard) and route it to its destination shard.  With the SoA caches
+  // live each shard walks its segment of the core's label-ordered live list
+  // (found by binary search — the list is sorted) instead of its full label
+  // range; the list is compacted at the barrier (recount_done), never here,
+  // so the shards only read it.  Pullers are listed per shard for phase C.
   parallel_phase([&](std::uint32_t s) {
     Metrics& m = shard_metrics_[s];
     support::Arena* arena = core.round_arena(s);
-    for (std::uint32_t i = shard_begin_[s]; i < shard_begin_[s + 1]; ++i) {
-      if (core.faulty_[i] || core.agent_done(i) ||
-          (awake_mask != nullptr && !(*awake_mask)[i])) {
-        core.actions_[i] = Action::idle();
-        continue;
-      }
+    std::vector<AgentId>& pullers = shard_pullers_[s];
+    const auto collect = [&](AgentId i) {
       core.actions_[i] =
           core.agents_[i]->on_round(core.make_context(i, arena));
       core.note_activation_sharded(i);
       const Action& a = core.actions_[i];
-      if (a.kind == ActionKind::kIdle) continue;
+      if (a.kind == ActionKind::kIdle) return;
       assert(a.target < core.n_);
       ++m.active_links;
       if (a.kind == ActionKind::kPull) {
         // The request header is charged at the requester, as in phase B of
         // the serial round (sums are merge-order independent).
         core.charge_pull_request(m);
+        pullers.push_back(i);
         pull_queues_[static_cast<std::size_t>(s) * S + shard_of_[a.target]]
             .push_back(PullItem{i, a.target});
       } else {
         push_queues_[static_cast<std::size_t>(s) * S + shard_of_[a.target]]
             .push_back(i);
+      }
+    };
+    if (core.obs_cache_enabled_) {
+      const auto begin = std::lower_bound(core.live_list_.begin(),
+                                          core.live_list_.end(),
+                                          shard_begin_[s]);
+      const auto end = std::lower_bound(begin, core.live_list_.end(),
+                                        shard_begin_[s + 1]);
+      for (auto it = begin; it != end; ++it) {
+        const AgentId i = *it;
+        if (core.done_[i] != 0 ||
+            (awake_mask != nullptr && !(*awake_mask)[i])) {
+          continue;
+        }
+        collect(i);
+      }
+    } else {
+      // Shard-safe but non-cacheable agents: no live list, scan the range.
+      for (std::uint32_t i = shard_begin_[s]; i < shard_begin_[s + 1]; ++i) {
+        if (core.faulty_[i] || core.agents_[i]->done() ||
+            (awake_mask != nullptr && !(*awake_mask)[i])) {
+          continue;
+        }
+        collect(i);
       }
     }
   });
@@ -152,7 +181,7 @@ void ShardedRoundExecutor::run_round(EngineCore& core,
   // Empty phases are skipped, as in the serial round.
   bool any_pull = false;
   bool any_push = false;
-  for (const auto& q : pull_queues_) any_pull = any_pull || !q.empty();
+  for (const auto& q : shard_pullers_) any_pull = any_pull || !q.empty();
   for (const auto& q : push_queues_) any_push = any_push || !q.empty();
 
   // Phase B: serve pulls from round-start state, by server-shard.  Queues
@@ -173,12 +202,12 @@ void ShardedRoundExecutor::run_round(EngineCore& core,
     }
   });
 
-  // Phase C: deliver pull replies in puller-label order, by puller-shard.
+  // Phase C: deliver pull replies in puller-label order, by puller-shard
+  // (each shard's puller list is label-ordered by construction).
   if (any_pull) parallel_phase([&](std::uint32_t s) {
     support::Arena* arena = core.round_arena(s);
-    for (std::uint32_t i = shard_begin_[s]; i < shard_begin_[s + 1]; ++i) {
+    for (const AgentId i : shard_pullers_[s]) {
       const Action& a = core.actions_[i];
-      if (a.kind != ActionKind::kPull) continue;
       core.agents_[i]->on_pull_reply(core.make_context(i, arena), a.target,
                                      core.pull_replies_[i]);
       core.pull_replies_[i] = {};

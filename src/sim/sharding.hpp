@@ -115,6 +115,10 @@ class ShardedRoundExecutor {
   /// cleared (capacity kept) every round.
   std::vector<std::vector<PullItem>> pull_queues_;
   std::vector<std::vector<AgentId>> push_queues_;
+  /// Per-shard pullers of the current round, in label order — phase C walks
+  /// these instead of rescanning its whole shard range.  Cleared (capacity
+  /// kept) every round, like the routing queues.
+  std::vector<std::vector<AgentId>> shard_pullers_;
 };
 
 }  // namespace rfc::sim

@@ -59,7 +59,10 @@ std::vector<SchedulerSpec> specs_for(const std::string& policy) {
     return {SchedulerSpec::parse("synchronous")};
   }
   if (policy == "sequential") {
-    return {SchedulerSpec::parse("sequential")};
+    // Both sides of the wasted= knob: keep (the pinned coupon-collector
+    // draw) and skip (eager pruning of finished agents).
+    return {SchedulerSpec::parse("sequential"),
+            SchedulerSpec::parse("sequential:wasted=skip")};
   }
   if (policy == "partial-async") {
     return {SchedulerSpec::parse("partial-async:p=0.4")};
@@ -82,6 +85,8 @@ std::vector<SchedulerSpec> specs_for(const std::string& policy) {
         SchedulerSpec::parse(
             "adversarial:target=laggard,victim_fraction=0.1,budget=64"),
         SchedulerSpec::parse("adversarial:target=quorum-edge,budget=64"),
+        SchedulerSpec::parse(
+            "adversarial:victim_fraction=0.25,budget=64,wasted=skip"),
     };
   }
   // Out-of-tree policy: exercise its default configuration.

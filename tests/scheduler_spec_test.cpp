@@ -42,6 +42,8 @@ TEST(SchedulerSpec, ParseToStringRoundTripsForEveryRegisteredPolicy) {
         "adversarial:stream=48879,victim_fraction=0.5",
         "adversarial:budget=1500,phase=vote,victims=0+1",
         "adversarial:phase=commit,victim_fraction=0.25",
+        "sequential:wasted=keep", "sequential:wasted=skip",
+        "adversarial:victim_fraction=0.25,wasted=skip",
         "batched:block=8", "batched:block=8,shards=4,threads=2",
         "poisson:rate=2.5"}) {
     const auto spec = SchedulerSpec::parse(text);
@@ -63,6 +65,8 @@ TEST(SchedulerSpec, NamedConstructorsRoundTripThroughParse) {
       SchedulerSpec::adversarial({.victim_ids = {1, 4},
                                   .target_phase = AgentPhase::kVote,
                                   .budget = 250}),
+      SchedulerSpec::adversarial({.victim_fraction = 0.25,
+                                  .skip_wasted = true}),
       SchedulerSpec::poisson(),
       SchedulerSpec::poisson(0.5),
   };
@@ -106,6 +110,26 @@ TEST(SchedulerSpec, ParsedParametersReachTheScheduler) {
       dynamic_cast<const PoissonClockScheduler*>(poisson.get());
   ASSERT_NE(clock, nullptr);
   EXPECT_DOUBLE_EQ(clock->rate(), 2.5);
+
+  // The wasted= knob: keep and the bare spec are the default, skip flips it.
+  for (const char* text : {"sequential", "sequential:wasted=keep"}) {
+    const auto seq = SchedulerSpec::parse(text).make();
+    const auto* sequential =
+        dynamic_cast<const SequentialScheduler*>(seq.get());
+    ASSERT_NE(sequential, nullptr) << text;
+    EXPECT_FALSE(sequential->skip_wasted()) << text;
+  }
+  const auto seq_skip = SchedulerSpec::parse("sequential:wasted=skip").make();
+  const auto* seq_skip_sched =
+      dynamic_cast<const SequentialScheduler*>(seq_skip.get());
+  ASSERT_NE(seq_skip_sched, nullptr);
+  EXPECT_TRUE(seq_skip_sched->skip_wasted());
+  const auto adv_skip =
+      SchedulerSpec::parse("adversarial:victims=3,wasted=skip").make();
+  const auto* adv_skip_sched =
+      dynamic_cast<const PhaseAdversarialScheduler*>(adv_skip.get());
+  ASSERT_NE(adv_skip_sched, nullptr);
+  EXPECT_TRUE(adv_skip_sched->config().skip_wasted);
 }
 
 TEST(SchedulerSpec, ParseRejectsMalformedText) {
@@ -154,6 +178,18 @@ TEST(SchedulerSpec, MakeRejectsBadParameters) {
                std::invalid_argument);
   // Activation-based policies still have no sharded round.
   EXPECT_THROW(SchedulerSpec::parse("adversarial:shards=4").make(),
+               std::invalid_argument);
+  // The wasted= knob accepts exactly keep|skip, on exactly the sampling
+  // policies that own a wakeable pool.
+  EXPECT_THROW(SchedulerSpec::parse("sequential:wasted=banana").make(),
+               std::invalid_argument);
+  EXPECT_THROW(SchedulerSpec::parse("sequential:wasted=").make(),
+               std::invalid_argument);
+  EXPECT_THROW(SchedulerSpec::parse("adversarial:wasted=true").make(),
+               std::invalid_argument);
+  EXPECT_THROW(SchedulerSpec::parse("synchronous:wasted=skip").make(),
+               std::invalid_argument);
+  EXPECT_THROW(SchedulerSpec::parse("poisson:wasted=skip").make(),
                std::invalid_argument);
 }
 
