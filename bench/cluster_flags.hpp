@@ -42,6 +42,9 @@ inline rfc::net::ClusterSpec cluster_spec_from_cli(
   spec.num_nodes = static_cast<std::uint32_t>(args.get_uint("nodes", 4));
   spec.sync_timeout_ms =
       static_cast<int>(args.get_uint("timeout-ms", 30000));
+  spec.resend_interval_ms =
+      static_cast<int>(args.get_uint("resend-ms", 150));
+  spec.linger_ms = static_cast<int>(args.get_uint("linger-ms", 0));
 
   const auto n = static_cast<std::uint32_t>(args.get_uint("n", 48));
   const std::uint64_t seed = args.get_uint("seed", 1234);
@@ -73,20 +76,27 @@ inline rfc::net::ClusterSpec cluster_spec_from_cli(
   return spec;
 }
 
-/// One line per node process, parsed back by the launcher.
+/// One line per node process, parsed back by the launcher.  The network /
+/// churn counters are always zero on transport runs today (the NodeDriver
+/// is adversary-free) but travel anyway, so the launcher-side cross-check
+/// against the engine covers the full Metrics struct.
 inline std::string format_node_report(const rfc::net::NodeReport& r) {
-  char buffer[512];
+  char buffer[640];
   std::snprintf(
       buffer, sizeof buffer,
       "NODE-REPORT node=%" PRIu32 " first=%" PRIu32 " end=%" PRIu32
       " complete=%d rounds=%" PRIu64 " digest=0x%016" PRIx64
       " pushes=%" PRIu64 " pull_requests=%" PRIu64 " pull_replies=%" PRIu64
       " total_bits=%" PRIu64 " max_message_bits=%" PRIu64
-      " active_links=%" PRIu64 " denials=%" PRIu64,
+      " active_links=%" PRIu64 " denials=%" PRIu64
+      " net_drops=%" PRIu64 " net_dups=%" PRIu64 " net_corruptions=%" PRIu64
+      " net_delays=%" PRIu64 " churn_crashes=%" PRIu64,
       r.node_id, r.first_label, r.end_label, r.complete ? 1 : 0, r.rounds,
       r.state_digest, r.metrics.pushes, r.metrics.pull_requests,
       r.metrics.pull_replies, r.metrics.total_bits,
-      r.metrics.max_message_bits, r.metrics.active_links, r.metrics.denials);
+      r.metrics.max_message_bits, r.metrics.active_links, r.metrics.denials,
+      r.metrics.net_drops, r.metrics.net_dups, r.metrics.net_corruptions,
+      r.metrics.net_delays, r.metrics.churn_crashes);
   return buffer;
 }
 
@@ -104,13 +114,17 @@ inline std::optional<rfc::net::NodeReport> parse_node_report(
       " complete=%d rounds=%" SCNu64 " digest=0x%" SCNx64
       " pushes=%" SCNu64 " pull_requests=%" SCNu64 " pull_replies=%" SCNu64
       " total_bits=%" SCNu64 " max_message_bits=%" SCNu64
-      " active_links=%" SCNu64 " denials=%" SCNu64,
+      " active_links=%" SCNu64 " denials=%" SCNu64
+      " net_drops=%" SCNu64 " net_dups=%" SCNu64 " net_corruptions=%" SCNu64
+      " net_delays=%" SCNu64 " churn_crashes=%" SCNu64,
       &r.node_id, &r.first_label, &r.end_label, &complete, &r.rounds,
       &r.state_digest, &r.metrics.pushes, &r.metrics.pull_requests,
       &r.metrics.pull_replies, &r.metrics.total_bits,
       &r.metrics.max_message_bits, &r.metrics.active_links,
-      &r.metrics.denials);
-  if (fields != 13) return std::nullopt;
+      &r.metrics.denials, &r.metrics.net_drops, &r.metrics.net_dups,
+      &r.metrics.net_corruptions, &r.metrics.net_delays,
+      &r.metrics.churn_crashes);
+  if (fields != 18) return std::nullopt;
   r.complete = complete != 0;
   return r;
 }

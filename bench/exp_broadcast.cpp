@@ -18,6 +18,7 @@
 int main(int argc, char** argv) {
   const rfc::support::CliArgs args(argc, argv);
   const auto scheduler = rfc::exputil::scheduler_spec(args);
+  const auto network = rfc::exputil::network_spec(args);
   rfc::exputil::print_header(
       "E9 ([19], Lemma 3.3): gossip broadcast completes in Θ(log n) rounds",
       "Expected shape: rounds/log2(n) flat in n for all mechanisms; 30% "
@@ -33,6 +34,7 @@ int main(int argc, char** argv) {
       for (const double alpha : {0.0, 0.3}) {
         rfc::gossip::SpreadConfig cfg;
         cfg.scheduler = scheduler;
+        cfg.network = network;
         cfg.n = n;
         cfg.mechanism = mech;
         cfg.seed = args.get_uint("seed", 909);

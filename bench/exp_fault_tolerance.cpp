@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   const rfc::support::CliArgs args(argc, argv);
   const auto scheduler = rfc::exputil::scheduler_spec(args);
+  const auto network = rfc::exputil::network_spec(args);
   rfc::exputil::print_header(
       "E5 (Lemma 3): tolerance of worst-case permanent faults",
       "Expected shape: success 1.0 once gamma >= gamma(alpha); placement "
@@ -36,6 +37,7 @@ int main(int argc, char** argv) {
       for (const double gamma : gammas) {
         rfc::core::RunConfig cfg;
         cfg.scheduler = scheduler;
+        cfg.network = network;
         cfg.n = n;
         cfg.gamma = gamma;
         cfg.seed = args.get_uint("seed", 505);

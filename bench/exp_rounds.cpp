@@ -16,6 +16,7 @@
 int main(int argc, char** argv) {
   const rfc::support::CliArgs args(argc, argv);
   const auto scheduler = rfc::exputil::scheduler_spec(args);
+  const auto network = rfc::exputil::network_spec(args);
   rfc::exputil::print_header(
       "E1 (Theorem 4): consensus in O(log n) rounds",
       "Expected shape: rounds/ln(n) flat in n; success rate 1.0 for gamma >= "
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
     for (const double gamma : gammas) {
       rfc::core::RunConfig cfg;
       cfg.scheduler = scheduler;
+      cfg.network = network;
       cfg.n = n;
       cfg.gamma = gamma;
       cfg.seed = args.get_uint("seed", 101);

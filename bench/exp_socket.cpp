@@ -21,6 +21,9 @@
 #include <vector>
 
 #include "cluster_flags.hpp"
+#include "net/loopback.hpp"
+#include "net/lossy_client.hpp"
+#include "support/rng.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -56,9 +59,12 @@ std::vector<std::string> child_args(const rfc::support::CliArgs& args,
   argv.push_back("--label-range=" + std::to_string(lo) + "-" +
                  std::to_string(hi));
   argv.push_back("--timeout-ms=" + std::to_string(spec.sync_timeout_ms));
-  // Workload flags travel verbatim so both sides derive the same Workload.
+  // Workload flags travel verbatim so both sides derive the same Workload;
+  // drop/resend/linger tune the transport only (node seeds its loss stream
+  // per node id, so one shared --drop-seed does not drop in lockstep).
   for (const char* flag : {"n", "seed", "scheduler", "faulty", "placement",
-                           "mechanism", "rumor-bits", "gamma"}) {
+                           "mechanism", "rumor-bits", "gamma", "drop",
+                           "drop-seed", "resend-ms", "linger-ms"}) {
     if (args.has(flag)) {
       argv.push_back("--" + std::string(flag) + "=" + args.get(flag, ""));
     }
@@ -159,10 +165,30 @@ RunOutcome run_one(const rfc::support::CliArgs& args, ClusterSpec spec,
                    const char* workload, const std::string& transport,
                    const std::string& node_bin, std::uint16_t port_base) {
   const rfc::net::Workload wl = rfc::net::make_cluster_workload(spec);
+  const double drop = args.get_double("drop", 0.0);
   RunOutcome outcome;
   if (transport == "loopback") {
-    outcome.cluster = rfc::net::merge_reports(
-        wl, rfc::net::run_local_cluster(spec, rfc::net::TransportKind::kLoopback));
+    if (drop > 0.0) {
+      // Injected loss on the in-process transport: every outgoing message
+      // is dropped with probability `drop`, and the cross-check below must
+      // STILL match the engine bit for bit — the driver's resend protocol
+      // has to recover every lost frame, not merely terminate.
+      if (spec.linger_ms == 0) spec.linger_ms = 1000;
+      const std::uint64_t drop_seed = args.get_uint("drop-seed", 99);
+      rfc::net::LoopbackHub hub(spec.num_nodes);
+      outcome.cluster = rfc::net::merge_reports(
+          wl, rfc::net::run_local_cluster(
+                  spec, [&](rfc::net::NodeId id) {
+                    return rfc::net::make_lossy_client(
+                        rfc::net::make_comm_client(
+                            rfc::net::TransportKind::kLoopback, &hub),
+                        drop, rfc::support::derive_seed(drop_seed, id));
+                  }));
+    } else {
+      outcome.cluster = rfc::net::merge_reports(
+          wl, rfc::net::run_local_cluster(
+                  spec, rfc::net::TransportKind::kLoopback));
+    }
   } else {
     if (node_bin.empty()) {
       throw std::runtime_error(

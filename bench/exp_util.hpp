@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sim/budget.hpp"
+#include "sim/network_spec.hpp"
 #include "sim/scheduler_spec.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
@@ -80,6 +81,28 @@ inline rfc::sim::SchedulerSpec scheduler_spec(
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "%s\nregistered schedulers:\n%s", e.what(),
                  rfc::sim::SchedulerSpec::describe_registry().c_str());
+    std::exit(2);
+  }
+}
+
+/// Shared `--network=SPEC` parsing (see sim/network_spec.hpp for the
+/// grammar).  Every experiment accepts the flag next to --scheduler, so any
+/// registered message adversary (drop/dup/reorder/delay/corrupt, plus
+/// churn) composes with any activation policy; the default is the reliable
+/// network, bit-identical to running with no adversary at all.  On a
+/// malformed spec the process exits with the parse error and the registry
+/// listing.
+inline rfc::sim::NetworkSpec network_spec(
+    const rfc::support::CliArgs& args,
+    const std::string& def = "network") {
+  const std::string text = args.get("network", def);
+  try {
+    const auto spec = rfc::sim::NetworkSpec::parse(text);
+    spec.make();  // Validate parameter values up front, not mid-sweep.
+    return spec;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\nregistered network policies:\n%s", e.what(),
+                 rfc::sim::NetworkSpec::describe_registry().c_str());
     std::exit(2);
   }
 }

@@ -20,7 +20,9 @@
 
 #include "cluster_flags.hpp"
 #include "net/loopback.hpp"
+#include "net/lossy_client.hpp"
 #include "sim/sharding.hpp"
+#include "support/rng.hpp"
 
 namespace {
 
@@ -56,6 +58,19 @@ int main(int argc, char** argv) {
         static_cast<rfc::net::NodeId>(args.get_uint("node-id", 0));
     options.num_nodes = spec.num_nodes;
     options.sync_timeout_ms = spec.sync_timeout_ms;
+    options.resend_interval_ms = spec.resend_interval_ms;
+    options.linger_ms = spec.linger_ms;
+
+    // --drop=P injects Bernoulli loss on every outgoing message (seeded per
+    // node from --drop-seed, so nodes do not drop in lockstep) — the way
+    // the lossy-UDP smoke exercises the driver's resend path on purpose.
+    // A lossy run must linger: the final status broadcast may be dropped
+    // and only the retransmit linger can answer for it.
+    const double drop = args.get_double("drop", 0.0);
+    if (!(drop >= 0.0 && drop < 1.0)) {
+      throw std::invalid_argument("--drop must be in [0, 1)");
+    }
+    if (drop > 0.0 && !args.has("linger-ms")) options.linger_ms = 1000;
 
     // --label-range=LO-HI is declarative: the block is determined by
     // (n, nodes, node-id), and a mismatching range means the launcher and
@@ -94,8 +109,14 @@ int main(int argc, char** argv) {
     // Loopback lives inside one process; a standalone node can only use it
     // as a single-node cluster (still useful to smoke the driver alone).
     rfc::net::LoopbackHub hub(options.num_nodes);
-    const rfc::net::CommClientPtr client =
+    rfc::net::CommClientPtr client =
         rfc::net::make_comm_client(transport, &hub);
+    if (drop > 0.0) {
+      client = rfc::net::make_lossy_client(
+          std::move(client), drop,
+          rfc::support::derive_seed(args.get_uint("drop-seed", 99),
+                                    options.node_id));
+    }
 
     rfc::net::NodeDriver driver(workload, options, *client);
     const rfc::net::NodeReport report = driver.run(peers);

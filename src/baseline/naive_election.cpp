@@ -71,7 +71,8 @@ void NaiveElectionAgent::on_pull_reply(const sim::Context&, sim::AgentId,
 }
 
 NaiveElectionResult run_naive_election(const NaiveElectionConfig& cfg) {
-  sim::Engine engine({cfg.n, cfg.seed, nullptr, cfg.scheduler.make()});
+  sim::Engine engine(
+      {cfg.n, cfg.seed, nullptr, cfg.scheduler.make(), cfg.network.make()});
   rfc::support::Xoshiro256 fault_rng(
       rfc::support::derive_seed(cfg.seed, 0x0fau));
   engine.apply_fault_plan(

@@ -18,6 +18,7 @@
 #include "sim/budget.hpp"
 #include "sim/fault_model.hpp"
 #include "sim/metrics.hpp"
+#include "sim/network_spec.hpp"
 #include "sim/scheduler_spec.hpp"
 
 namespace rfc::baseline {
@@ -94,6 +95,9 @@ struct NaiveElectionConfig {
   /// finishers can freeze on a stale minimum — agreement is no longer
   /// w.h.p. at the synchronous budget (experiment E12b).
   sim::SchedulerSpec scheduler;
+  /// Message-layer adversary & churn (sim/network_spec.hpp); the default is
+  /// the reliable network.
+  sim::NetworkSpec network;
   /// Scales the per-agent pull budget q, to explore how much extra work
   /// buys agreement back under asynchronous schedules.
   double budget_multiplier = 1.0;

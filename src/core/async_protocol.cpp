@@ -246,7 +246,8 @@ AsyncRunResult run_async_protocol(const AsyncRunConfig& cfg) {
   schedule.q = params.q;
   schedule.slack = cfg.slack;
 
-  sim::Engine engine({cfg.n, cfg.seed, nullptr, cfg.scheduler.make()});
+  sim::Engine engine(
+      {cfg.n, cfg.seed, nullptr, cfg.scheduler.make(), cfg.network.make()});
   rfc::support::Xoshiro256 fault_rng(
       rfc::support::derive_seed(cfg.seed, 0x0fau));
   engine.apply_fault_plan(

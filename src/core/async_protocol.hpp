@@ -39,6 +39,7 @@
 #include "sim/budget.hpp"
 #include "sim/fault_model.hpp"
 #include "sim/metrics.hpp"
+#include "sim/network_spec.hpp"
 #include "sim/scheduler_spec.hpp"
 
 namespace rfc::core {
@@ -171,6 +172,10 @@ struct AsyncRunConfig {
   /// `adversarial:phase=vote,budget=B` starves agents exactly in their
   /// voting window (E12f).
   sim::SchedulerSpec scheduler = sim::SchedulerSpec::sequential();
+  /// Message-layer adversary & churn (sim/network_spec.hpp); the default is
+  /// the reliable network.  E12h maps success probability against its
+  /// drop/corrupt rates.
+  sim::NetworkSpec network;
   /// Optional run budget override (events and/or a virtual-time horizon).
   /// Unset fields fall back to the activation-scaled default event cap.
   sim::Budget budget;

@@ -15,6 +15,7 @@
 #include "sim/budget.hpp"
 #include "sim/engine.hpp"
 #include "sim/fault_model.hpp"
+#include "sim/network_spec.hpp"
 #include "sim/scheduler_spec.hpp"
 
 namespace rfc::core {
@@ -52,6 +53,11 @@ struct RunConfig {
   /// serial engine; deviation factories that share a Coalition blackboard
   /// across labels are not shard-safe, so keep shards=1 with a coalition.
   sim::SchedulerSpec scheduler;
+  /// Message-layer adversary & churn (`network:drop=p,corrupt=p,...`, see
+  /// sim/network_spec.hpp); the default is the reliable network.  Composes
+  /// with every scheduler — the fault stage sits in the engine's delivery
+  /// phases, below the activation policy.
+  sim::NetworkSpec network;
   /// Labels that deviate (the coalition C).  Their agents come from
   /// `factory`; outcome and fairness are judged over honest agents.
   std::vector<sim::AgentId> coalition;

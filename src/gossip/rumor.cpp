@@ -53,7 +53,8 @@ void RumorAgent::on_push(const sim::Context&, sim::AgentId,
 
 std::unique_ptr<sim::Engine> build_spread_engine(const SpreadConfig& cfg) {
   auto engine = std::make_unique<sim::Engine>(
-      sim::EngineConfig{cfg.n, cfg.seed, cfg.topology, cfg.scheduler.make()});
+      sim::EngineConfig{cfg.n, cfg.seed, cfg.topology, cfg.scheduler.make(),
+                        cfg.network.make()});
   rfc::support::Xoshiro256 fault_rng(
       rfc::support::derive_seed(cfg.seed, 0x0fau));
   engine->apply_fault_plan(

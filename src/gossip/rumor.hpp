@@ -17,6 +17,7 @@
 #include "sim/budget.hpp"
 #include "sim/engine.hpp"
 #include "sim/fault_model.hpp"
+#include "sim/network_spec.hpp"
 #include "sim/scheduler_spec.hpp"
 
 namespace rfc::gossip {
@@ -95,6 +96,10 @@ struct SpreadConfig {
   /// round sharded on a thread pool (sim/sharding.hpp), bit-identical to
   /// the serial engine — how large-n sweeps use multicore hardware.
   sim::SchedulerSpec scheduler;
+  /// Message-layer adversary & churn (sim/network_spec.hpp); the default is
+  /// the reliable network.  Composes with every scheduler — e.g. a lossy
+  /// push-pull spread is `network:drop=0.1` under any activation policy.
+  sim::NetworkSpec network;
   /// Cap on scheduling events (rounds under round-based policies, per-agent
   /// activations under sequential/adversarial/poisson).
   std::uint64_t max_rounds = 10'000;

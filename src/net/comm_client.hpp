@@ -68,9 +68,11 @@ class CommClientCallback {
 };
 
 /// A virtual communication client: reliable-or-not, ordered-or-not is the
-/// backend's business; the driver's sync-point protocol only assumes that
-/// messages it *waits for* eventually arrive (true for loopback and tcp;
-/// udp is best-effort and documented as such).
+/// backend's business.  The driver's sync-point protocol tolerates loss,
+/// duplication and reordering of individual messages (it retransmits on
+/// request and deduplicates), but assumes the link itself stays up —
+/// loopback and tcp are reliable anyway; udp is best-effort and recovered
+/// by the driver.
 class CommClient {
  public:
   virtual ~CommClient() = default;

@@ -113,9 +113,44 @@ ClusterResult reference_result(const ClusterSpec& spec) {
 }
 
 std::vector<NodeReport> run_local_cluster(const ClusterSpec& spec,
+                                          const ClientFactory& factory) {
+  const Workload workload = make_cluster_workload(spec);
+  const std::uint32_t num_nodes = spec.num_nodes;
+  // Endpoints stay defaulted: the factory path is used with loopback-style
+  // backends that ignore the peer table (the factory owns any hub/ports).
+  std::vector<PeerEndpoint> peers(num_nodes);
+
+  std::vector<NodeReport> reports(num_nodes);
+  std::vector<std::exception_ptr> errors(num_nodes);
+  std::vector<std::thread> threads;
+  threads.reserve(num_nodes);
+  for (std::uint32_t id = 0; id < num_nodes; ++id) {
+    threads.emplace_back([&, id] {
+      try {
+        const CommClientPtr client = factory(id);
+        NodeOptions options;
+        options.node_id = id;
+        options.num_nodes = num_nodes;
+        options.sync_timeout_ms = spec.sync_timeout_ms;
+        options.resend_interval_ms = spec.resend_interval_ms;
+        options.linger_ms = spec.linger_ms;
+        NodeDriver driver(workload, options, *client);
+        reports[id] = driver.run(peers);
+      } catch (...) {
+        errors[id] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return reports;
+}
+
+std::vector<NodeReport> run_local_cluster(const ClusterSpec& spec,
                                           TransportKind kind,
                                           std::uint16_t port_base) {
-  const Workload workload = make_cluster_workload(spec);
   const std::uint32_t num_nodes = spec.num_nodes;
   if (kind != TransportKind::kLoopback && port_base == 0) {
     throw std::invalid_argument(
@@ -123,6 +158,7 @@ std::vector<NodeReport> run_local_cluster(const ClusterSpec& spec,
   }
 
   LoopbackHub hub(num_nodes);
+  const Workload workload = make_cluster_workload(spec);
   std::vector<PeerEndpoint> peers(num_nodes);
   for (std::uint32_t i = 0; i < num_nodes; ++i) {
     peers[i].host = "127.0.0.1";
@@ -141,6 +177,8 @@ std::vector<NodeReport> run_local_cluster(const ClusterSpec& spec,
         options.node_id = id;
         options.num_nodes = num_nodes;
         options.sync_timeout_ms = spec.sync_timeout_ms;
+        options.resend_interval_ms = spec.resend_interval_ms;
+        options.linger_ms = spec.linger_ms;
         NodeDriver driver(workload, options, *client);
         reports[id] = driver.run(peers);
       } catch (...) {
@@ -198,6 +236,26 @@ std::string cross_check(const ClusterResult& cluster,
   }
   if (cm.denials != rm.denials) {
     append_mismatch(out, "metrics.denials", cm.denials, rm.denials);
+  }
+  // The network-adversary counters are all zero on cluster runs today (the
+  // NodeDriver is adversary-free; sim-level faults stay in the engine), so
+  // a nonzero reference here means the workloads diverged.
+  if (cm.net_drops != rm.net_drops) {
+    append_mismatch(out, "metrics.net_drops", cm.net_drops, rm.net_drops);
+  }
+  if (cm.net_dups != rm.net_dups) {
+    append_mismatch(out, "metrics.net_dups", cm.net_dups, rm.net_dups);
+  }
+  if (cm.net_corruptions != rm.net_corruptions) {
+    append_mismatch(out, "metrics.net_corruptions", cm.net_corruptions,
+                    rm.net_corruptions);
+  }
+  if (cm.net_delays != rm.net_delays) {
+    append_mismatch(out, "metrics.net_delays", cm.net_delays, rm.net_delays);
+  }
+  if (cm.churn_crashes != rm.churn_crashes) {
+    append_mismatch(out, "metrics.churn_crashes", cm.churn_crashes,
+                    rm.churn_crashes);
   }
   if (cluster.block_digests.size() != reference.block_digests.size()) {
     append_mismatch(out, "block count", cluster.block_digests.size(),

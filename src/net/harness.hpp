@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,13 @@ struct ClusterSpec {
   core::RunConfig protocol;       ///< Used when kind == kProtocol.
   std::uint32_t num_nodes = 2;
   int sync_timeout_ms = 30000;
+  /// Forwarded to NodeOptions (see net/node_driver.hpp): the resend-request
+  /// cadence of stalled sync points, and how long a finished node keeps
+  /// answering resend requests.  The defaults match reliable transports;
+  /// lossy runs (UDP, or an injected-loss client) should set a linger of a
+  /// few resend intervals.
+  int resend_interval_ms = 150;
+  int linger_ms = 0;
 };
 
 /// The adapted workload for spec.kind (validation per the workload
@@ -63,6 +71,15 @@ ClusterResult reference_result(const ClusterSpec& spec);
 std::vector<NodeReport> run_local_cluster(const ClusterSpec& spec,
                                           TransportKind kind,
                                           std::uint16_t port_base = 0);
+
+/// Builds node `id`'s transport — the hook through which tests wrap a
+/// backend (e.g. net/lossy_client.hpp dropping one chosen sync frame).
+using ClientFactory = std::function<CommClientPtr(NodeId id)>;
+
+/// As above, but each node's CommClient comes from `factory` (ports are the
+/// factory's business; `spec.num_nodes` threads are still spawned here).
+std::vector<NodeReport> run_local_cluster(const ClusterSpec& spec,
+                                          const ClientFactory& factory);
 
 /// "" when `cluster` and `reference` describe the same execution, else a
 /// human-readable description of the first few mismatches.

@@ -1,0 +1,75 @@
+// A loss-injecting CommClient decorator, for exercising the driver's
+// resend path without real packet loss.
+//
+// LossyCommClient wraps any backend and drops *outgoing* send()s — either
+// by a deterministic Bernoulli draw (seeded, so a failing run replays) or
+// by an arbitrary predicate (tests drop exactly the frame whose loss used
+// to hang the barrier).  Receives, start/stop and polling pass through
+// untouched; in particular the UDP backend's bind/resolve handshake is
+// unaffected because it happens inside start(), below send().
+//
+// This models the transport's loss, not the GOSSIP adversary: the
+// message-layer adversary of the *simulation* lives in sim/network.hpp and
+// never touches the wire.  Here loss is an environment hazard the driver
+// must survive (net/node_driver.hpp's bounded retransmission), with the
+// run's outcome still bit-identical to the reliable execution.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "net/comm_client.hpp"
+#include "support/rng.hpp"
+
+namespace rfc::net {
+
+class LossyCommClient final : public CommClient {
+ public:
+  /// Returns true when this outgoing message should be dropped.  `data`
+  /// holds the encoded frame (magic at data[0], FrameKind at data[1]).
+  using DropFn =
+      std::function<bool(NodeId to, const std::uint8_t* data,
+                         std::size_t size)>;
+
+  LossyCommClient(CommClientPtr inner, DropFn drop)
+      : inner_(std::move(inner)), drop_(std::move(drop)) {}
+
+  const char* name() const noexcept override { return inner_->name(); }
+
+  void start(NodeId self, const std::vector<PeerEndpoint>& peers,
+             CommClientCallback& callback) override {
+    inner_->start(self, peers, callback);
+  }
+
+  void stop() override { inner_->stop(); }
+
+  void send(NodeId to, const std::uint8_t* data, std::size_t size) override {
+    if (drop_ && drop_(to, data, size)) return;  // Lost in transit.
+    inner_->send(to, data, size);
+  }
+
+  std::size_t poll(int timeout_ms) override {
+    return inner_->poll(timeout_ms);
+  }
+
+ private:
+  CommClientPtr inner_;
+  DropFn drop_;
+};
+
+/// Wraps `inner` so each outgoing message is dropped independently with
+/// probability `p`, from a private deterministic stream seeded by `seed`
+/// (give each node its own seed or every node drops in lockstep).
+inline CommClientPtr make_lossy_client(CommClientPtr inner, double p,
+                                       std::uint64_t seed) {
+  auto rng = std::make_shared<rfc::support::Xoshiro256>(seed);
+  return std::make_unique<LossyCommClient>(
+      std::move(inner),
+      [rng, p](NodeId, const std::uint8_t*, std::size_t) {
+        return rng->bernoulli(p);
+      });
+}
+
+}  // namespace rfc::net

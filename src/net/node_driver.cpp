@@ -132,8 +132,28 @@ std::uint64_t NodeDriver::local_digest() const {
 }
 
 void NodeDriver::send_frame(NodeId to, const Frame& frame) {
-  const std::vector<std::uint8_t> bytes = codec_.encode(frame);
+  std::vector<std::uint8_t> bytes = codec_.encode(frame);
   client_->send(to, bytes.data(), bytes.size());
+  // Everything except the resend requests themselves is kept for replay;
+  // the buffer holds at most two rounds of traffic (see prune_sent).
+  if (frame.kind != FrameKind::kResendRequest) {
+    sent_frames_[frame.round][to].push_back(std::move(bytes));
+  }
+}
+
+void NodeDriver::answer_resend(NodeId to, std::uint64_t round) {
+  const auto rit = sent_frames_.find(round);
+  if (rit == sent_frames_.end()) return;
+  const auto pit = rit->second.find(to);
+  if (pit == rit->second.end()) return;
+  for (const std::vector<std::uint8_t>& bytes : pit->second) {
+    client_->send(to, bytes.data(), bytes.size());
+  }
+}
+
+void NodeDriver::prune_sent(std::uint64_t keep_from) {
+  sent_frames_.erase(sent_frames_.begin(),
+                     sent_frames_.lower_bound(keep_from));
 }
 
 void NodeDriver::broadcast(Frame frame) {
@@ -159,9 +179,18 @@ void NodeDriver::on_message(NodeId from, const std::uint8_t* data,
                              core::to_string(decoded.error));
   }
   Frame frame = std::move(*decoded.value);
-  // Everything a barrier waits for arrives before the barrier releases, so
-  // a frame for an already-finished round means a framing or peer bug.
-  if (frame.round < round_) protocol_violation("stale frame", from, frame);
+  // Resend requests are answered regardless of round skew: the requester
+  // may lag (waiting for frames we already sent) or lead (waiting at the
+  // next status barrier for a broadcast we lost).
+  if (frame.kind == FrameKind::kResendRequest) {
+    answer_resend(from, frame.round);
+    return;
+  }
+  // A frame for an already-finished round is a legitimate duplicate: a
+  // retransmission can land after the barrier it was needed for released.
+  // Drop it silently (before the inbox lookup — finished rounds are erased
+  // and must not be resurrected).
+  if (frame.round < round_) return;
 
   RoundInbox& inbox = inbox_[frame.round];
   switch (frame.kind) {
@@ -189,6 +218,7 @@ void NodeDriver::on_message(NodeId from, const std::uint8_t* data,
           workload_->fault_plan[frame.target]) {
         protocol_violation("misrouted pull request", from, frame);
       }
+      if (!inbox.seen_data.insert(frame.agent).second) break;  // Duplicate.
       ++inbox.data_received[from];
       inbox.pull_requests.push_back(std::move(frame));
       break;
@@ -198,6 +228,7 @@ void NodeDriver::on_message(NodeId from, const std::uint8_t* data,
           workload_->fault_plan[frame.target]) {
         protocol_violation("misrouted push", from, frame);
       }
+      if (!inbox.seen_data.insert(frame.agent).second) break;  // Duplicate.
       ++inbox.data_received[from];
       inbox.pushes.push_back(std::move(frame));
       break;
@@ -206,20 +237,30 @@ void NodeDriver::on_message(NodeId from, const std::uint8_t* data,
           owner_[frame.target] != from) {
         protocol_violation("misrouted pull reply", from, frame);
       }
+      if (!inbox.seen_replies.insert(frame.agent).second) break;  // Dup.
       ++inbox.replies_received[from];
       inbox.pull_replies.push_back(std::move(frame));
       break;
+    case FrameKind::kResendRequest:
+      break;  // Handled above; unreachable.
   }
 }
 
 template <typename Satisfied>
 void NodeDriver::wait_for(const char* what, Satisfied satisfied) {
   using Clock = std::chrono::steady_clock;
+  const auto interval = std::chrono::milliseconds(
+      options_.resend_interval_ms > 0 ? options_.resend_interval_ms : 150);
   const auto deadline =
       Clock::now() + std::chrono::milliseconds(options_.sync_timeout_ms);
+  // The first resend request waits one full interval: on reliable
+  // transports every barrier clears well before that, so the recovery path
+  // stays cold unless something was actually lost.
+  auto next_resend = Clock::now() + interval;
   const NodeId self = options_.node_id;
   for (;;) {
     bool ready = true;
+    bool resend_due = Clock::now() >= next_resend;
     for (NodeId p = 0; p < options_.num_nodes; ++p) {
       if (p == self || satisfied(p)) continue;
       ready = false;
@@ -232,8 +273,18 @@ void NodeDriver::wait_for(const char* what, Satisfied satisfied) {
                                  " disconnected while waiting for " + what +
                                  " (round " + std::to_string(round_) + ")");
       }
+      if (resend_due) {
+        // Bounded retransmission: ask p to replay this round's frames.  The
+        // request itself may be lost too — it repeats every interval until
+        // the barrier clears or the sync timeout trips.
+        Frame f;
+        f.kind = FrameKind::kResendRequest;
+        f.round = round_;
+        send_frame(p, f);
+      }
     }
     if (ready) return;
+    if (resend_due) next_resend = Clock::now() + interval;
     if (Clock::now() >= deadline) {
       throw std::runtime_error(std::string("NodeDriver: timed out waiting "
                                            "for ") +
@@ -491,6 +542,19 @@ NodeReport NodeDriver::run(const std::vector<PeerEndpoint>& peers) {
       }
       execute_round();
       ++round_;
+      // Peers lag at most one stage cycle, so nothing older than the
+      // previous round can still be resend-requested.
+      prune_sent(round_ == 0 ? 0 : round_ - 1);
+    }
+    // Lossy transports: the final status broadcast may have been dropped,
+    // and once this node stops it can no longer answer the slower peers'
+    // resend requests — so linger briefly, still polling (on_message keeps
+    // replaying from the send buffer).
+    if (options_.linger_ms > 0) {
+      using Clock = std::chrono::steady_clock;
+      const auto linger_deadline =
+          Clock::now() + std::chrono::milliseconds(options_.linger_ms);
+      while (Clock::now() < linger_deadline) client_->poll(20);
     }
   } catch (...) {
     client_->stop();

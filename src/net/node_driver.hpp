@@ -23,6 +23,17 @@
 // Phases C (deliver pull replies, requester order) and D (deliver pushes,
 // sender order) then run locally — all their inputs arrived by barrier 3.
 //
+// Loss recovery: on a lossy transport (UDP) any of those frames can simply
+// vanish, and before the resend protocol a single lost barrier frame hung
+// the whole cluster until the sync timeout.  Now every sent frame is kept
+// (encoded) in a two-round send buffer; a driver whose sync point stays
+// unsatisfied past resend_interval_ms sends kResendRequest marks to the
+// outstanding peers, which replay their buffered frames.  Re-deliveries
+// are made idempotent by per-round dedup (an agent acts at most once per
+// round, so its label keys its data frame) and frames for finished rounds
+// are dropped silently — so retransmission changes nothing about the
+// execution, which stays bit-identical to the engine's.
+//
 // Determinism: agent RNG streams are derive_seed(seed, label), the fault
 // plan and the partial-async mask stream (one Bernoulli per label per
 // round, faulty included) are derived identically on every node, and all
@@ -36,6 +47,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "net/comm_client.hpp"
@@ -52,6 +64,18 @@ struct NodeOptions {
   /// How long a sync-point wait may stall before the driver gives up and
   /// throws (a peer crash would otherwise hang the cluster forever).
   int sync_timeout_ms = 30000;
+  /// While a sync point stays unsatisfied, a resend request is sent to each
+  /// outstanding peer every `resend_interval_ms` — the recovery path for
+  /// lossy transports (UDP), where a dropped barrier frame used to hang the
+  /// run until sync_timeout_ms.  Reliable transports never get that far, so
+  /// the requests only ever travel when something was actually lost.
+  int resend_interval_ms = 150;
+  /// After finishing, keep polling this long to answer slower peers' resend
+  /// requests: the *final* status broadcast may be dropped, and a node that
+  /// exits immediately can no longer retransmit it.  0 (the default) keeps
+  /// the exit prompt — right for reliable transports; UDP runs should set a
+  /// few resend intervals' worth.
+  int linger_ms = 0;
 };
 
 struct NodeReport {
@@ -96,6 +120,12 @@ class NodeDriver final : public CommClientCallback {
     std::vector<Frame> pull_requests;
     std::vector<Frame> pull_replies;
     std::vector<Frame> pushes;
+    /// Duplicate suppression for retransmitted data frames.  Every agent
+    /// performs at most one active operation per round, so its label keys
+    /// its request-or-push (and the single reply it is owed) uniquely; mark
+    /// frames are idempotent map writes and need no set.
+    std::set<sim::AgentId> seen_data;     ///< requests + pushes, by sender.
+    std::set<sim::AgentId> seen_replies;  ///< replies, by requester.
   };
 
   sim::Context make_context(sim::AgentId label) noexcept;
@@ -107,6 +137,13 @@ class NodeDriver final : public CommClientCallback {
 
   void broadcast(Frame frame);
   void send_frame(NodeId to, const Frame& frame);
+  /// Replays everything already sent to `to` for `round` from the send
+  /// buffer (a no-op for pruned or not-yet-reached rounds).
+  void answer_resend(NodeId to, std::uint64_t round);
+  /// Drops send-buffer rounds below `keep_from` (peers lag at most one
+  /// stage cycle, so current-1 is the oldest round anyone can still ask
+  /// for — the buffer stays bounded at two rounds of traffic).
+  void prune_sent(std::uint64_t keep_from);
   /// Polls until `satisfied(p)` holds for every peer p; throws after
   /// options_.sync_timeout_ms.  A disconnected peer is fatal only while
   /// this barrier still needs something from it: a node that finishes the
@@ -140,6 +177,10 @@ class NodeDriver final : public CommClientCallback {
   sim::Metrics metrics_;
   std::map<std::uint64_t, RoundInbox> inbox_;
   std::vector<bool> peer_down_;           ///< tcp disconnects, fail-fast.
+  /// Encoded frames already sent, by round then destination — the resend
+  /// buffer answering kResendRequest.  Pruned to the last two rounds.
+  std::map<std::uint64_t, std::map<NodeId, std::vector<std::vector<std::uint8_t>>>>
+      sent_frames_;
 
   // Per-round scratch, reused.
   std::vector<sim::Action> actions_;      ///< Local agents' actions.

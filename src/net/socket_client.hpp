@@ -10,9 +10,12 @@
 //     (u32, network byte order).  The socket itself carries no identity, so
 //     the id travels in-band; endpoints are not authenticated (the model's
 //     secure-channel assumption holds only for loopback/tcp runs).
-//     Best-effort: datagrams may drop or reorder; the NodeDriver's counted
-//     sync points tolerate reordering but a lost datagram times the run
-//     out (localhost loss is negligible in practice).
+//     Best-effort: datagrams may drop or reorder.  The NodeDriver's counted
+//     sync points tolerate reordering, and a lost datagram is recovered by
+//     its bounded retransmission protocol (resend requests answered from a
+//     two-round send buffer, duplicates suppressed by per-round dedup) —
+//     so a lossy link delays the barrier instead of hanging the run until
+//     the sync timeout.
 //   * tcp — full mesh in the comm_client_tcp_mesh shape: node i dials
 //     every peer j < i and accepts from every j > i, each accepted
 //     connection is identified by a 4-byte hello carrying the dialer's

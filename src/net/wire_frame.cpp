@@ -13,7 +13,7 @@ constexpr std::uint64_t kFrameMagic = 0xC5;
 
 bool known_kind(std::uint64_t raw) noexcept {
   return raw >= static_cast<std::uint64_t>(FrameKind::kRoundStatus) &&
-         raw <= static_cast<std::uint64_t>(FrameKind::kPush);
+         raw <= static_cast<std::uint64_t>(FrameKind::kResendRequest);
 }
 
 bool carries_payload(FrameKind kind) noexcept {
@@ -34,6 +34,7 @@ const char* to_string(FrameKind kind) noexcept {
     case FrameKind::kPullRequest: return "pull-request";
     case FrameKind::kPullReply: return "pull-reply";
     case FrameKind::kPush: return "push";
+    case FrameKind::kResendRequest: return "resend-request";
   }
   return "unknown";
 }

@@ -45,6 +45,13 @@ enum class FrameKind : std::uint8_t {
   kPullRequest = 4,  ///< agent pulls target (a local label of the receiver).
   kPullReply = 5,    ///< Reply to agent's pull on target; payload may be empty.
   kPush = 6,         ///< agent pushes payload to target.
+  kResendRequest = 7,  ///< "resend me everything you sent me for `round`":
+                       ///< lossy transports (UDP) drop frames, and a lost
+                       ///< barrier frame would otherwise hang the cluster
+                       ///< until the sync timeout.  The receiver answers
+                       ///< from its bounded per-round send buffer; dedup on
+                       ///< the requester side makes the re-delivery
+                       ///< idempotent (see net/node_driver.hpp).
 };
 
 const char* to_string(FrameKind kind) noexcept;

@@ -58,6 +58,12 @@ Workload make_rumor_workload(const gossip::SpreadConfig& cfg) {
         "net: transport runs model the complete graph (topology must be "
         "null)");
   }
+  if (!cfg.network.inert()) {
+    throw std::invalid_argument(
+        "net: transport runs are adversary-free (the simulated message "
+        "adversary lives in the engine; transport loss is the backend's "
+        "hazard, recovered by retransmission) — network spec must be inert");
+  }
 
   Workload w;
   w.n = cfg.n;
@@ -109,6 +115,12 @@ Workload make_protocol_workload(const core::RunConfig& cfg) {
     throw std::invalid_argument(
         "net: coalition deviations share in-process blackboards and cannot "
         "run across node processes");
+  }
+  if (!cfg.network.inert()) {
+    throw std::invalid_argument(
+        "net: transport runs are adversary-free (the simulated message "
+        "adversary lives in the engine; transport loss is the backend's "
+        "hazard, recovered by retransmission) — network spec must be inert");
   }
 
   Workload w;

@@ -7,6 +7,7 @@ Engine::Engine(EngineConfig cfg)
       view_(core_),
       scheduler_(cfg.scheduler != nullptr ? std::move(cfg.scheduler)
                                           : make_synchronous_scheduler()) {
+  if (cfg.network != nullptr) core_.set_network(std::move(cfg.network));
   scheduler_->attach(core_);
 }
 

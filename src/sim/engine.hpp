@@ -36,11 +36,13 @@ struct EngineConfig {
   EngineConfig() = default;
   EngineConfig(std::uint32_t n_, std::uint64_t seed_ = 1,
                TopologyPtr topology_ = nullptr,
-               SchedulerPtr scheduler_ = nullptr)
+               SchedulerPtr scheduler_ = nullptr,
+               NetworkModelPtr network_ = nullptr)
       : n(n_),
         seed(seed_),
         topology(std::move(topology_)),
-        scheduler(std::move(scheduler_)) {}
+        scheduler(std::move(scheduler_)),
+        network(std::move(network_)) {}
 
   std::uint32_t n = 0;      ///< Number of nodes.
   std::uint64_t seed = 1;   ///< Master seed; derives every agent stream.
@@ -48,6 +50,9 @@ struct EngineConfig {
   TopologyPtr topology;
   /// Activation policy; null means SynchronousScheduler (the paper's model).
   SchedulerPtr scheduler;
+  /// Message-layer adversary & churn (sim/network.hpp); null means the
+  /// reliable network (bit-identical to an all-zero-rate model).
+  NetworkModelPtr network;
 };
 
 class Engine {

@@ -1,8 +1,11 @@
 #include "sim/engine_core.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <limits>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "support/math_util.hpp"
 
@@ -48,6 +51,134 @@ void EngineCore::apply_fault_plan(const std::vector<bool>& plan) {
     throw std::invalid_argument("Engine: fault plan size mismatch");
   }
   for (std::uint32_t i = 0; i < n_; ++i) set_faulty(i, plan[i]);
+}
+
+void EngineCore::set_network(NetworkModelPtr network) {
+  if (started_) {
+    throw std::logic_error(
+        "Engine: the network model is part of the run setup; set before run");
+  }
+  network_ = std::move(network);
+  net_msgs_ = network_ != nullptr && network_->message_faults();
+  net_churn_ = network_ != nullptr && network_->has_churn();
+  if (net_churn_) down_until_.assign(n_, 0);
+}
+
+void EngineCore::advance_churn(std::uint64_t epoch) {
+  if (!net_churn_) return;
+  net_epoch_ = epoch;
+  // Sweep every epoch exactly once even if the caller's clock jumps (the
+  // sequential path advances the epoch every n steps), so crash verdicts
+  // are a function of the epoch alone, not of how it was reached.
+  while (churn_unswept_ <= epoch) {
+    const std::uint64_t e = churn_unswept_++;
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      if (faulty_[i] != 0 || down_until_[i] > e) continue;
+      if (network_->crashes(e, i)) {
+        const std::uint64_t rejoin = network_->rates().rejoin;
+        down_until_[i] = rejoin == 0
+                             ? std::numeric_limits<std::uint64_t>::max()
+                             : e + rejoin;
+        ++metrics_.churn_crashes;
+      }
+    }
+  }
+}
+
+void EngineCore::deliver_push(AgentId sender, AgentId target,
+                              const Payload& payload, support::Arena* arena) {
+  if (faulty_[target] != 0 || is_down(target)) return;
+  agents_[target]->on_push(make_context(target, arena), sender, payload);
+}
+
+void EngineCore::net_push(AgentId sender, AgentId target,
+                          const Payload& payload, Metrics& metrics,
+                          support::Arena* arena, NetSinks* sinks) {
+  const NetworkModel& net = *network_;
+  const std::uint64_t now = time_;
+  if (net.drop(NetMessage::kPush, now, sender, target)) {
+    ++metrics.net_drops;  // Charged at send, lost in transit.
+    return;
+  }
+  const Payload* body = &payload;
+  Payload tampered;
+  if (net.corrupt(NetMessage::kPush, now, sender, target)) {
+    tampered = corrupt_payload(payload, net.corrupt_salt(now, sender, target));
+    if (!tampered.empty()) {
+      ++metrics.net_corruptions;  // Only metered when bits actually flipped.
+      body = &tampered;
+    }
+  }
+  if (sinks != nullptr) {
+    if (sinks->delayed != nullptr) {
+      const std::uint64_t d = net.delay_of(now, sender, target);
+      if (d > 0) {
+        Payload kept = clone_payload(*body);
+        if (!kept.empty() || body->empty()) {
+          ++metrics.net_delays;
+          sinks->delayed->push_back(
+              DelayedPush{now + d, now, sender, target, std::move(kept)});
+          return;
+        }
+        // Unclonable across rounds (an arena-boxed tag with no registered
+        // clone hook): fall through and deliver this round instead.
+      }
+    }
+    if (sinks->deferred != nullptr && net.reorder(now, sender, target)) {
+      // Same-round payloads survive until the next barrier reset, so no
+      // clone is needed here.
+      ++metrics.net_delays;
+      sinks->deferred->push_back(DelayedPush{now, now, sender, target, *body});
+      return;
+    }
+  }
+  const bool dup = net.duplicate(now, sender, target);
+  if (dup) ++metrics.net_dups;
+  deliver_push(sender, target, *body, arena);
+  if (dup) deliver_push(sender, target, *body, arena);
+}
+
+void EngineCore::deliver_due_delayed(support::Arena* arena) {
+  if (net_delayed_.empty()) return;
+  std::vector<DelayedPush> due;
+  std::size_t w = 0;
+  for (DelayedPush& e : net_delayed_) {
+    if (e.due <= time_) {
+      due.push_back(std::move(e));
+    } else {
+      net_delayed_[w++] = std::move(e);
+    }
+  }
+  net_delayed_.resize(w);
+  if (due.empty()) return;
+  // (origin round, sender) is unique per delayed push — a total order, so
+  // delivery cannot depend on how the pending list was accumulated.
+  std::sort(due.begin(), due.end(),
+            [](const DelayedPush& a, const DelayedPush& b) {
+              return a.origin != b.origin ? a.origin < b.origin
+                                          : a.sender < b.sender;
+            });
+  for (const DelayedPush& e : due) {
+    deliver_push(e.sender, e.target, e.payload, arena);
+    note_activation(e.target);
+  }
+}
+
+void EngineCore::flush_deferred(std::vector<DelayedPush>& batch,
+                                support::Arena* arena) {
+  if (batch.empty()) return;
+  // Senders are unique within a round (one action per agent), so sender
+  // label is a total order shared by the serial, blocked, and sharded
+  // paths regardless of queue accumulation order.
+  std::sort(batch.begin(), batch.end(),
+            [](const DelayedPush& a, const DelayedPush& b) {
+              return a.sender < b.sender;
+            });
+  for (const DelayedPush& e : batch) {
+    deliver_push(e.sender, e.target, e.payload, arena);
+    note_activation(e.target);
+  }
+  batch.clear();
 }
 
 bool EngineCore::all_done() const {
@@ -213,27 +344,50 @@ void EngineCore::charge_pull_request(Metrics& metrics) {
 Payload EngineCore::serve_and_charge_pull(AgentId v, AgentId requester,
                                           Metrics& metrics,
                                           support::Arena* arena) {
-  if (faulty_[v] != 0) return {};  // Silence: the puller observes no reply.
+  if (net_msgs_ &&
+      network_->drop(NetMessage::kPullRequest, time_, requester, v)) {
+    ++metrics.net_drops;  // Lost request: charged by the caller, never
+    return {};            // served — the requester observes silence.
+  }
+  if (faulty_[v] != 0 || is_down(v)) return {};  // Silence: no reply.
   Payload reply = agents_[v]->serve_pull(make_context(v, arena), requester);
-  if (!reply.empty()) {
-    ++metrics.pull_replies;
-    metrics.note_message(reply.bit_size());
+  if (reply.empty()) return reply;
+  ++metrics.pull_replies;
+  metrics.note_message(reply.bit_size());
+  if (net_msgs_) {
+    // The reply was served and charged either way — the server's RNG
+    // consumption never depends on what the network does afterwards.
+    if (network_->drop(NetMessage::kPullReply, time_, v, requester)) {
+      ++metrics.net_drops;
+      return {};
+    }
+    if (network_->corrupt(NetMessage::kPullReply, time_, v, requester)) {
+      Payload tampered =
+          corrupt_payload(reply, network_->corrupt_salt(time_, v, requester));
+      if (!tampered.empty()) {
+        ++metrics.net_corruptions;
+        return tampered;
+      }
+    }
   }
   return reply;
 }
 
 void EngineCore::execute_push(AgentId sender, AgentId target,
                               const Payload& payload, Metrics& metrics,
-                              support::Arena* arena) {
+                              support::Arena* arena, NetSinks* sinks) {
   ++metrics.pushes;
   metrics.note_message(payload.bit_size());
-  if (faulty_[target] == 0) {
-    agents_[target]->on_push(make_context(target, arena), sender, payload);
+  if (net_msgs_) {
+    net_push(sender, target, payload, metrics, arena, sinks);
+    return;
   }
+  deliver_push(sender, target, payload, arena);
 }
 
 void EngineCore::run_synchronous_round(const std::vector<bool>* awake_mask) {
   ensure_started();
+  advance_churn(time_);  // Round paths: one churn epoch per round.
   // The shard-barrier arena reset: payloads allocated last round die here,
   // so an arena-boxed payload is valid for exactly one full round.
   reset_round_arenas();
@@ -279,14 +433,15 @@ void EngineCore::run_serial_round(const std::vector<bool>* awake_mask) {
     for (std::size_t r = 0; r < live; ++r) {
       const AgentId i = live_list_[r];
       if (done_[i] != 0) continue;
-      live_list_[w++] = i;
+      live_list_[w++] = i;  // Down agents stay listed: churn is transient.
+      if (is_down(i)) continue;
       if (awake_mask != nullptr && !(*awake_mask)[i]) continue;
       collect(i);
     }
     live_list_.resize(w);
   } else {
     for (std::uint32_t i = 0; i < n_; ++i) {
-      if (faulty_[i] != 0 || agents_[i]->done() ||
+      if (faulty_[i] != 0 || is_down(i) || agents_[i]->done() ||
           (awake_mask != nullptr && !(*awake_mask)[i])) {
         continue;
       }
@@ -320,9 +475,20 @@ void EngineCore::run_serial_round(const std::vector<bool>* awake_mask) {
 
   // Phase D: deliver pushes in sender-label order (execute_push inlined
   // onto the hoisted Context; metrics charged identically for faulty
-  // targets, and note_activation keeps the cache-off path sound).
+  // targets, and note_activation keeps the cache-off path sound).  With a
+  // fault-enabled network the inlined fast path yields to the shared
+  // execute_push so all delivery paths share one fault stage; pushes
+  // delayed in earlier rounds land first, reordered ones last.
+  const bool net_active = net_msgs_ || net_churn_;
+  if (net_msgs_) deliver_due_delayed(arena);
+  NetSinks sinks{&net_delayed_, &net_deferred_};
   for (const AgentId i : round_pushers_) {
     const Action& a = actions_[i];
+    if (net_active) {
+      execute_push(i, a.target, a.payload, metrics_, arena, &sinks);
+      note_activation(a.target);
+      continue;
+    }
     ++metrics_.pushes;
     metrics_.note_message(a.payload.bit_size());
     if (faulty_[a.target] == 0) {
@@ -332,6 +498,7 @@ void EngineCore::run_serial_round(const std::vector<bool>* awake_mask) {
     }
     note_activation(a.target);
   }
+  if (net_msgs_) flush_deferred(net_deferred_, arena);
 
   ++time_;
   metrics_.rounds = time_;
@@ -362,13 +529,15 @@ void EngineCore::run_blocked_round(const std::vector<bool>* awake_mask) {
   // full Action (payload included) moves into the block queue, so delivery
   // streams the queue instead of random-reading an n-sized action buffer;
   // pullers are additionally listed for phase C.
+  const bool net_active = net_msgs_ || net_churn_;
   std::uint32_t num_pushes = 0;
   std::size_t w = 0;
   const std::size_t live = live_list_.size();
   for (std::size_t r = 0; r < live; ++r) {
     const AgentId i = live_list_[r];
     if (done_[i] != 0) continue;
-    live_list_[w++] = i;
+    live_list_[w++] = i;  // Down agents stay listed: churn is transient.
+    if (is_down(i)) continue;
     if (awake_mask != nullptr && !(*awake_mask)[i]) continue;
     ctx.self = i;
     ctx.rng = &rngs_[i];
@@ -422,6 +591,14 @@ void EngineCore::run_blocked_round(const std::vector<bool>* awake_mask) {
           __builtin_prefetch(&pull_replies_[q[j + 4].requester], 1);
         }
         const PullEntry& e = q[j];
+        if (net_active) {
+          // Fault-enabled rounds take the shared serve path so the
+          // request/reply fault stage has one definition.
+          pull_replies_[e.requester] =
+              serve_and_charge_pull(e.server, e.requester, metrics_, arena);
+          note_activation(e.server);
+          continue;
+        }
         // serve_and_charge_pull on the hoisted Context (identical fields;
         // only self and the RNG pointer differ per serve).
         if (faulty_[e.server] != 0) {
@@ -466,7 +643,12 @@ void EngineCore::run_blocked_round(const std::vector<bool>* awake_mask) {
   // Phase D: deliver pushes block by block — per receiver the sender order
   // is the serial round's (entries are in sender-label order within the
   // receiver's block), and one block's receivers stay cache-resident while
-  // its queue streams through.
+  // its queue streams through.  Fault verdicts are pure per-message hashes,
+  // so taking them block by block instead of in sender order changes
+  // nothing; held-back pushes re-enter through the same sorted flushes as
+  // the serial round's.
+  if (net_msgs_) deliver_due_delayed(arena);
+  NetSinks sinks{&net_delayed_, &net_deferred_};
   if (num_pushes != 0) {
     for (std::uint32_t b = 0; b < blocks; ++b) {
       const PushEntry* q = push_blocks_[b].data();
@@ -483,6 +665,12 @@ void EngineCore::run_blocked_round(const std::vector<bool>* awake_mask) {
           __builtin_prefetch(agents_[q[j + 4].target].get());
         }
         const PushEntry& e = q[j];
+        if (net_active) {
+          execute_push(e.sender, e.target, e.payload, metrics_, arena,
+                       &sinks);
+          note_activation(e.target);
+          continue;
+        }
         // execute_push + note_activation, sharing one faulty_ load and the
         // hoisted Context (metrics charged identically for faulty targets).
         ++metrics_.pushes;
@@ -507,6 +695,7 @@ void EngineCore::run_blocked_round(const std::vector<bool>* awake_mask) {
       }
     }
   }
+  if (net_msgs_) flush_deferred(net_deferred_, arena);
 
   ++time_;
   metrics_.rounds = time_;
@@ -517,7 +706,13 @@ void EngineCore::sequential_activation(AgentId u) {
   reset_round_arenas();  // One activation = one message lifetime.
   ++time_;
   metrics_.rounds = time_;
+  // Sequential churn epochs tick once per n activations — the step-count
+  // analogue of one synchronous round — and delayed pushes land at the
+  // start of the first activation at or past their due step.
+  if (net_churn_) advance_churn(time_ / n_);
+  if (net_msgs_) deliver_due_delayed(serial_arena());
   if (agent_done(u)) return;  // A wasted activation.
+  if (is_down(u)) return;     // A crashed agent's activation is wasted too.
 
   support::Arena* arena = serial_arena();
   const Action action = agents_[u]->on_round(make_context(u, arena));
@@ -541,7 +736,11 @@ void EngineCore::sequential_activation(AgentId u) {
     }
     case ActionKind::kPush: {
       ++metrics_.active_links;
-      execute_push(u, action.target, action.payload, metrics_, arena);
+      // No delivery phase to reorder within: reordering is a no-op here,
+      // but cross-activation delay still applies.
+      NetSinks sinks{&net_delayed_, nullptr};
+      execute_push(u, action.target, action.payload, metrics_, arena,
+                   &sinks);
       note_activation(action.target);
       return;
     }

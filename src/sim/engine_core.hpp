@@ -61,6 +61,7 @@
 
 #include "sim/agent.hpp"
 #include "sim/metrics.hpp"
+#include "sim/network.hpp"
 #include "support/arena.hpp"
 #include "support/rng.hpp"
 
@@ -105,6 +106,23 @@ class EngineCore {
   }
   bool started() const noexcept { return started_; }
   const Metrics& metrics() const noexcept { return metrics_; }
+
+  // --- Network adversary & churn (sim/network.hpp). -----------------------
+
+  /// Installs the message-layer fault model (must precede the first step).
+  /// Null (the default) — and any model with every rate zero — leaves all
+  /// delivery paths bit-identical to the adversary-free engine: the fault
+  /// stage is gated out entirely, not merely drawing zero-probability
+  /// verdicts.
+  void set_network(NetworkModelPtr network);
+  const NetworkModel* network_model() const noexcept { return network_.get(); }
+
+  /// True while churn holds agent `id` crashed: it idles, serves silence,
+  /// and absorbs (charged) messages until its rejoin epoch.  Always false
+  /// without a churn-enabled network model.
+  bool is_down(AgentId id) const noexcept {
+    return net_churn_ && down_until_[id] > net_epoch_;
+  }
 
   Agent& agent(AgentId id) { return *agents_.at(id); }
   const Agent& agent(AgentId id) const { return *agents_.at(id); }
@@ -223,6 +241,17 @@ class EngineCore {
     AgentId server;
   };
 
+  /// Where the fault stage parks held-back pushes: the core-owned vectors
+  /// on the serial paths, per-shard vectors on the sharded one (merged at
+  /// the barrier so delivery order stays shard-count independent).  A null
+  /// member means the context cannot defer that way (the sequential path
+  /// has no delivery phase to reorder within) and the push is delivered
+  /// immediately instead.
+  struct NetSinks {
+    std::vector<DelayedPush>* delayed;
+    std::vector<DelayedPush>* deferred;
+  };
+
   /// Expands the per-agent RNG streams for labels [lo, hi) from the master
   /// seed.  Stream values are a pure function of (seed, label), so *where*
   /// this runs is free: ensure_started derives the whole range on first
@@ -299,17 +328,44 @@ class EngineCore {
   // sharded one (merged after the round); `arena` is the round arena the
   // served/delivered agent's callbacks allocate from.
   void charge_pull_request(Metrics& metrics);
-  /// Serves `requester`'s pull on `v` (silence if `v` is faulty), charging
-  /// the reply if any.  Delivery to the requester is the caller's job:
+  /// Serves `requester`'s pull on `v` (silence if `v` is faulty or down,
+  /// or the network dropped the request or the reply; a corrupted reply
+  /// comes back tampered), charging the reply if any.  Delivery to the
+  /// requester is the caller's job:
   /// the synchronous round defers it to phase C, the sequential path
   /// delivers immediately.  The caller refreshes v's observation cache.
   Payload serve_and_charge_pull(AgentId v, AgentId requester,
                                 Metrics& metrics, support::Arena* arena);
-  /// Charges `sender`'s push and delivers it unless the target is faulty
-  /// (the message still travels, and is charged, either way).  The caller
+  /// Charges `sender`'s push, runs the network fault stage when one is
+  /// active, and delivers it unless the target is faulty or down (the
+  /// message still travels, and is charged, either way).  The caller
   /// refreshes the target's observation cache.
   void execute_push(AgentId sender, AgentId target, const Payload& payload,
-                    Metrics& metrics, support::Arena* arena);
+                    Metrics& metrics, support::Arena* arena,
+                    NetSinks* sinks = nullptr);
+
+  // --- Network fault stage (no-ops unless a fault-enabled model is set). --
+
+  /// Sweeps churn epochs up to `epoch`: every up agent draws a crash
+  /// verdict per unswept epoch; a down agent returns when its window
+  /// expires.  Serial contexts only (called at round/activation start).
+  void advance_churn(std::uint64_t epoch);
+  /// The post-charge fault stage of one push: drop / corrupt / delay /
+  /// reorder / duplicate, then delivery of whatever survives.
+  void net_push(AgentId sender, AgentId target, const Payload& payload,
+                Metrics& metrics, support::Arena* arena, NetSinks* sinks);
+  /// Delivery past the fault stage: faulty and down targets absorb the
+  /// (already charged) message silently.
+  void deliver_push(AgentId sender, AgentId target, const Payload& payload,
+                    support::Arena* arena);
+  /// Delivers the delayed pushes whose round has come, ordered by (origin
+  /// round, sender).  Serial contexts only (the sharded executor calls it
+  /// at the barrier before its push phase).
+  void deliver_due_delayed(support::Arena* arena);
+  /// Delivers and clears a batch of same-round reordered pushes, ordered by
+  /// sender label (senders are unique within a round, so the order is
+  /// total and shard-count independent).
+  void flush_deferred(std::vector<DelayedPush>& batch, support::Arena* arena);
 
   std::uint32_t n_;
   std::uint64_t seed_;
@@ -346,6 +402,16 @@ class EngineCore {
   bool started_ = false;
   bool rngs_seeded_ = false;
   Metrics metrics_;
+
+  // --- Network adversary & churn state (inert unless set_network). --------
+  NetworkModelPtr network_;
+  bool net_msgs_ = false;   ///< Some per-message fault rate is positive.
+  bool net_churn_ = false;  ///< Crash churn enabled.
+  std::uint64_t net_epoch_ = 0;      ///< Epoch advance_churn has reached.
+  std::uint64_t churn_unswept_ = 0;  ///< First epoch not yet swept.
+  std::vector<std::uint64_t> down_until_;  ///< Crash windows, epoch units.
+  std::vector<DelayedPush> net_delayed_;   ///< Cross-round delayed pushes.
+  std::vector<DelayedPush> net_deferred_;  ///< Same-round reordered pushes.
 
   // --- Round arenas (one per shard; serial paths use index 0). ------------
   std::vector<std::unique_ptr<support::Arena>> arenas_;

@@ -24,6 +24,18 @@ struct Metrics {
                                      ///< eligible agent — its spent
                                      ///< starvation budget.  0 under
                                      ///< non-adversarial schedulers.
+  // Spent network-adversary faults (sim/network.hpp).  Like denials these
+  // meter what the adversary *did*, not what it was allowed to do; all stay
+  // 0 when no network model is installed or every rate is zero.
+  std::uint64_t net_drops = 0;       ///< Messages lost in transit (charged
+                                     ///< to the sender, never delivered).
+  std::uint64_t net_dups = 0;        ///< Pushes delivered twice.
+  std::uint64_t net_corruptions = 0; ///< Payloads tampered in transit (only
+                                     ///< metered when bits actually flipped).
+  std::uint64_t net_delays = 0;      ///< Pushes deferred: reordered within
+                                     ///< their round or delayed across
+                                     ///< rounds.
+  std::uint64_t churn_crashes = 0;   ///< Agents taken down by churn epochs.
 
   std::uint64_t messages() const noexcept {
     return pushes + pull_requests + pull_replies;
@@ -52,6 +64,11 @@ struct Metrics {
     }
     active_links += other.active_links;
     denials += other.denials;
+    net_drops += other.net_drops;
+    net_dups += other.net_dups;
+    net_corruptions += other.net_corruptions;
+    net_delays += other.net_delays;
+    churn_crashes += other.churn_crashes;
   }
 };
 
@@ -59,7 +76,7 @@ struct Metrics {
 // (and the field-by-field comparisons in the equivalence tests) in the
 // same commit: a field missing from the merge silently vanishes from
 // sharded runs' totals.
-static_assert(sizeof(Metrics) == 9 * sizeof(std::uint64_t),
+static_assert(sizeof(Metrics) == 14 * sizeof(std::uint64_t),
               "Metrics changed: update Metrics::merge_from to cover every "
               "field, then adjust this guard");
 

@@ -1,0 +1,69 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+namespace rfc::sim {
+
+namespace {
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<PayloadTag, PayloadOps>& registry() {
+  static std::map<PayloadTag, PayloadOps> r;
+  return r;
+}
+
+bool find_ops(PayloadTag tag, PayloadOps* out) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = registry().find(tag);
+  if (it == registry().end()) return false;
+  *out = it->second;
+  return true;
+}
+
+}  // namespace
+
+void register_payload_ops(PayloadTag tag, PayloadOps ops) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry()[tag] = ops;
+}
+
+Payload corrupt_payload(const Payload& payload, std::uint64_t salt) {
+  if (payload.empty()) return {};
+  if (payload.is_inline()) {
+    // Generic in-transit bit flip: same tag, same advertised wire size, one
+    // bit of the inline words inverted.  The flipped bit is confined to the
+    // advertised bit_size so a 1-bit vote payload cannot grow a phantom
+    // high word.
+    const std::uint64_t bits =
+        std::min<std::uint64_t>(payload.bit_size(),
+                                Payload::kInlineWords * 64);
+    if (bits == 0) return {};
+    const std::uint64_t bit = salt % bits;
+    std::uint64_t words[Payload::kInlineWords] = {
+        payload.word(0), payload.word(1), payload.word(2)};
+    words[bit / 64] ^= 1ull << (bit % 64);
+    return Payload::inline_words(payload.tag(), payload.bit_size(), words[0],
+                                 words[1], words[2]);
+  }
+  PayloadOps ops;
+  if (!find_ops(payload.tag(), &ops) || ops.corrupt == nullptr) return {};
+  return ops.corrupt(payload, salt);
+}
+
+Payload clone_payload(const Payload& payload) {
+  // Inline and heap-shared boxed payloads are already safe to retain across
+  // rounds; only arena-boxed objects need a deep copy before the barrier
+  // resets their arena.
+  if (!payload.is_arena_boxed()) return payload;
+  PayloadOps ops;
+  if (!find_ops(payload.tag(), &ops) || ops.clone == nullptr) return {};
+  return ops.clone(payload);
+}
+
+}  // namespace rfc::sim

@@ -111,6 +111,14 @@ class Payload {
   /// The message-kind tag; kUntaggedPayload when empty.
   PayloadTag tag() const noexcept { return tag_; }
 
+  /// True when the payload stores inline words (word(i) is meaningful).
+  bool is_inline() const noexcept { return kind_ == Kind::kInline; }
+
+  /// True for a boxed payload whose object is bump-allocated in a round
+  /// arena — it dies at the barrier reset and must not be retained across
+  /// rounds (the network layer's delayed-push path deep-copies these).
+  bool is_arena_boxed() const noexcept { return kind_ == Kind::kArenaBoxed; }
+
   // --- Inline payloads ----------------------------------------------------
 
   /// An allocation-free payload of up to kInlineWords 64-bit words.  Signed

@@ -37,6 +37,8 @@ void ShardedRoundExecutor::bind(EngineCore& core) {
     }
   }
   shard_metrics_.assign(shards_, Metrics{});
+  shard_delayed_.resize(shards_);
+  shard_deferred_.resize(shards_);
   // resize + clear instead of assign: a rebind to the same geometry keeps
   // the queues' grown capacity (assign would discard it).
   pull_queues_.resize(static_cast<std::size_t>(shards_) * shards_);
@@ -114,6 +116,7 @@ void ShardedRoundExecutor::run_round(EngineCore& core,
     core.run_synchronous_round(awake_mask);
     return;
   }
+  core.advance_churn(core.time_);  // Serial, pre-phase: one epoch per round.
   const std::uint32_t S = shards_;
   // The shard-barrier arena reset: last round's arena payloads die here.
   core.reset_round_arenas();
@@ -160,7 +163,7 @@ void ShardedRoundExecutor::run_round(EngineCore& core,
                                         shard_begin_[s + 1]);
       for (auto it = begin; it != end; ++it) {
         const AgentId i = *it;
-        if (core.done_[i] != 0 ||
+        if (core.done_[i] != 0 || core.is_down(i) ||
             (awake_mask != nullptr && !(*awake_mask)[i])) {
           continue;
         }
@@ -169,7 +172,7 @@ void ShardedRoundExecutor::run_round(EngineCore& core,
     } else {
       // Shard-safe but non-cacheable agents: no live list, scan the range.
       for (std::uint32_t i = shard_begin_[s]; i < shard_begin_[s + 1]; ++i) {
-        if (core.faulty_[i] || core.agents_[i]->done() ||
+        if (core.faulty_[i] || core.is_down(i) || core.agents_[i]->done() ||
             (awake_mask != nullptr && !(*awake_mask)[i])) {
           continue;
         }
@@ -215,20 +218,46 @@ void ShardedRoundExecutor::run_round(EngineCore& core,
     }
   });
 
+  // Pushes the network delayed in earlier rounds land at the start of the
+  // push phase, exactly as on the serial paths.  Runs between barriers, so
+  // single-threaded delivery against the core is safe.
+  const bool net_msgs = core.net_msgs_;
+  if (net_msgs) core.deliver_due_delayed(core.round_arena(0));
+
   // Phase D: deliver pushes by target-shard; the source-shard merge yields
-  // global sender-label order at every receiver.
+  // global sender-label order at every receiver.  Fault verdicts are pure
+  // per-message hashes, so shard interleaving cannot change them; held-back
+  // pushes go to per-shard sinks merged (and sorted) at the barrier.
   if (any_push) parallel_phase([&](std::uint32_t d) {
     Metrics& m = shard_metrics_[d];
     support::Arena* arena = core.round_arena(d);
+    EngineCore::NetSinks sinks{&shard_delayed_[d], &shard_deferred_[d]};
     for (std::uint32_t s = 0; s < S; ++s) {
       for (const AgentId sender :
            push_queues_[static_cast<std::size_t>(s) * S + d]) {
         const Action& a = core.actions_[sender];
-        core.execute_push(sender, a.target, a.payload, m, arena);
+        core.execute_push(sender, a.target, a.payload, m, arena, &sinks);
         core.note_activation_sharded(a.target);
       }
     }
   });
+
+  if (net_msgs) {
+    // Barrier merge of the per-shard sinks.  Delayed pushes join the core's
+    // pending list (delivery sorts by (origin, sender), so merge order is
+    // free); reordered ones are flushed now, at the end of this round's
+    // push phase, through the same sorted flush as the serial round.
+    for (auto& q : shard_delayed_) {
+      for (DelayedPush& e : q) core.net_delayed_.push_back(std::move(e));
+      q.clear();
+    }
+    deferred_merge_.clear();
+    for (auto& q : shard_deferred_) {
+      for (DelayedPush& e : q) deferred_merge_.push_back(std::move(e));
+      q.clear();
+    }
+    core.flush_deferred(deferred_merge_, core.round_arena(0));
+  }
 
   // Shard deltas carry no rounds/virtual_time (the scheduler owns those),
   // so the general merge is exact here.

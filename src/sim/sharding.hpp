@@ -47,6 +47,7 @@
 
 #include "sim/agent.hpp"
 #include "sim/metrics.hpp"
+#include "sim/network.hpp"
 
 namespace rfc::support {
 class ThreadPool;
@@ -119,6 +120,13 @@ class ShardedRoundExecutor {
   /// these instead of rescanning its whole shard range.  Cleared (capacity
   /// kept) every round, like the routing queues.
   std::vector<std::vector<AgentId>> shard_pullers_;
+  /// Per-shard network-fault sinks of phase D (delayed / reordered pushes),
+  /// merged into the core's pending lists at the barrier; the merged order
+  /// is irrelevant because delivery sorts (see sim::DelayedPush).  Empty
+  /// unless a fault-enabled network model is installed.
+  std::vector<std::vector<DelayedPush>> shard_delayed_;
+  std::vector<std::vector<DelayedPush>> shard_deferred_;
+  std::vector<DelayedPush> deferred_merge_;
 };
 
 }  // namespace rfc::sim

@@ -6,12 +6,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/engine.hpp"
 #include "sim/fault_model.hpp"
+#include "sim/network_spec.hpp"
 #include "sim/scheduler_spec.hpp"
 #include "sim/topology.hpp"
 
@@ -231,6 +234,136 @@ TEST(SchedulerSpecFuzz, StructurallyMalformedTextThrowsAtParse) {
   for (const auto& text : bad_values) {
     EXPECT_THROW(rfc::sim::SchedulerSpec::parse(text).make(),
                  std::invalid_argument)
+        << '"' << text << '"';
+  }
+}
+
+// --------------------------------------------------------------------------
+// NetworkSpec::parse fuzz: the network grammar must hold the same line the
+// scheduler grammar does — valid specs round-trip and build, structural
+// damage throws at parse(), and bad *values* throw at make() naming the
+// offending key (never crash, never silently coerce or clamp).
+// --------------------------------------------------------------------------
+
+/// Draws a random *valid* network spec: a random subset of the probability
+/// and count keys with in-range values.
+rfc::sim::NetworkSpec random_valid_network_spec(
+    rfc::support::Xoshiro256& rng) {
+  std::string text = "network";
+  char sep = ':';
+  const auto add = [&](const std::string& key, const std::string& value) {
+    text += sep;
+    text += key + "=" + value;
+    sep = ',';
+  };
+  const auto prob = [&rng] {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.6f", rng.uniform01());
+    return std::string(buffer);
+  };
+  for (const char* key : {"drop", "dup", "reorder", "corrupt", "churn"}) {
+    if (rng.bernoulli(0.4)) add(key, prob());
+  }
+  if (rng.bernoulli(0.4)) add("delay", std::to_string(rng.below(6)));
+  if (rng.bernoulli(0.4)) add("rejoin", std::to_string(rng.below(10)));
+  if (rng.bernoulli(0.5)) add("seed", std::to_string(rng.below(1 << 20)));
+  return rfc::sim::NetworkSpec::parse(text);
+}
+
+TEST(NetworkSpecFuzz, RandomValidSpecsRoundTripAndBuild) {
+  rfc::support::Xoshiro256 rng(0x0DDFACEu);
+  for (int i = 0; i < 500; ++i) {
+    const auto spec = random_valid_network_spec(rng);
+    const std::string text = spec.to_string();
+    const auto reparsed = rfc::sim::NetworkSpec::parse(text);
+    EXPECT_EQ(reparsed, spec) << text;
+    EXPECT_EQ(reparsed.to_string(), text);
+    EXPECT_NE(spec.make(), nullptr) << text;
+  }
+}
+
+TEST(NetworkSpecFuzz, MutatedSpecsThrowOrBuildButNeverCrash) {
+  // Character-level mutations of valid specs: whatever the damage, the
+  // outcome is a successful build or std::invalid_argument — nothing else.
+  rfc::support::Xoshiro256 rng(0xFACADEu);
+  const char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz=,.:0123456789-";
+  for (int i = 0; i < 500; ++i) {
+    std::string text = random_valid_network_spec(rng).to_string();
+    const auto mutations = 1 + rng.below(3);
+    for (std::uint64_t m = 0; m < mutations; ++m) {
+      switch (rng.below(3)) {
+        case 0:
+          text[rng.below(text.size())] =
+              kAlphabet[rng.below(sizeof(kAlphabet) - 1)];
+          break;
+        case 1:
+          text.insert(text.begin() + static_cast<std::ptrdiff_t>(
+                                         rng.below(text.size() + 1)),
+                      kAlphabet[rng.below(sizeof(kAlphabet) - 1)]);
+          break;
+        default: text.resize(rng.below(text.size()) + 1); break;
+      }
+    }
+    try {
+      (void)rfc::sim::NetworkSpec::parse(text).make();
+    } catch (const std::invalid_argument&) {
+      // The only acceptable failure mode.
+    }
+  }
+}
+
+TEST(NetworkSpecFuzz, OutOfRangeValuesThrowAtMakeNamingTheKey) {
+  // Satellite contract: value errors throw at make(), not parse(), and the
+  // message carries the offending key — matching SchedulerSpec.
+  const std::vector<std::pair<std::string, std::string>> bad = {
+      {"network:drop=1.5", "drop"},
+      {"network:drop=-0.1", "drop"},
+      {"network:dup=2", "dup"},
+      {"network:reorder=nan", "reorder"},
+      {"network:corrupt=yes", "corrupt"},
+      {"network:churn=1.01", "churn"},
+      {"network:delay=-1", "delay"},
+      {"network:delay=2.5", "delay"},
+      {"network:rejoin=-3", "rejoin"},
+      {"network:seed=0x", "seed"},
+      {"network:drop=0.5,corrupt=1e9", "corrupt"},
+  };
+  for (const auto& [text, key] : bad) {
+    const auto spec = rfc::sim::NetworkSpec::parse(text);  // Grammar is fine.
+    try {
+      spec.make();
+      FAIL() << text << " built a model";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(key), std::string::npos)
+          << text << " threw without naming \"" << key << "\": " << e.what();
+    }
+  }
+  // Unknown keys are make()-time errors too, with the key in the message.
+  try {
+    rfc::sim::NetworkSpec::parse("network:jitter=0.5").make();
+    FAIL() << "unknown key built a model";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("jitter"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(NetworkSpecFuzz, StructurallyMalformedTextThrowsAtParse) {
+  const std::vector<std::string> malformed = {
+      "",
+      ":",
+      ":drop=0.1",
+      "subspace",                        // Unknown policy.
+      "network:",
+      "network:,",
+      "network:drop",
+      "network:=0.1",
+      "network:drop=0.1,drop=0.2",       // Duplicate key.
+      "network:drop=0.1,,dup=0.2",
+      "network:drop=0.1,",
+  };
+  for (const auto& text : malformed) {
+    EXPECT_THROW(rfc::sim::NetworkSpec::parse(text), std::invalid_argument)
         << '"' << text << '"';
   }
 }

@@ -3,7 +3,9 @@
 // nondeterminism, so any divergence here is a protocol bug in the
 // NodeDriver, not a flaky socket — which is what makes these the tier-1
 // guards of the transport layer.
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -12,8 +14,11 @@
 
 #include "net/harness.hpp"
 #include "net/loopback.hpp"
+#include "net/lossy_client.hpp"
+#include "net/wire_frame.hpp"
 #include "net/workload.hpp"
 #include "sim/scheduler.hpp"
+#include "support/rng.hpp"
 
 namespace rfc::net {
 namespace {
@@ -129,6 +134,104 @@ TEST(LoopbackCluster, RunsAreBitReproducible) {
   EXPECT_EQ(a.rounds, b.rounds);
   EXPECT_EQ(a.block_digests, b.block_digests);
   EXPECT_EQ(cross_check(a, b), "");
+}
+
+// --------------------------------------------------------------------------
+// Loss regression: before the resend protocol, ONE lost sync frame hung the
+// cluster until the sync timeout (the bug src/net/socket_client.hpp used to
+// document).  These tests inject loss deterministically through the lossy
+// decorator and require the run to terminate promptly AND stay
+// bit-identical to the engine — retransmission must recover the execution,
+// not merely unblock it.
+// --------------------------------------------------------------------------
+
+namespace {
+
+/// Runs `spec` on a loopback hub where node 0's outgoing frames go through
+/// `drop`; all nodes resend aggressively so a recovered run still finishes
+/// fast.  Returns the cross_check mismatch ("" = clean).
+std::string run_lossy_cluster(ClusterSpec spec,
+                              const LossyCommClient::DropFn& drop,
+                              int linger_ms = 0) {
+  spec.sync_timeout_ms = 20000;  // The hang guard, not the recovery path.
+  spec.resend_interval_ms = 25;
+  spec.linger_ms = linger_ms;
+  const Workload wl = make_cluster_workload(spec);
+  LoopbackHub hub(spec.num_nodes);
+  const auto reports = run_local_cluster(spec, [&](NodeId id) {
+    CommClientPtr inner = make_comm_client(TransportKind::kLoopback, &hub);
+    if (id != 0) return inner;
+    return CommClientPtr(std::make_unique<LossyCommClient>(
+        std::move(inner), drop));
+  });
+  return cross_check(merge_reports(wl, reports), reference_result(spec));
+}
+
+/// Drops the first outgoing frame of the given kind, once.
+LossyCommClient::DropFn drop_first(FrameKind kind) {
+  auto dropped = std::make_shared<std::atomic<bool>>(false);
+  return [kind, dropped](NodeId, const std::uint8_t* data, std::size_t size) {
+    if (size < 2 || data[0] != 0xC5) return false;
+    if (data[1] != static_cast<std::uint8_t>(kind)) return false;
+    return !dropped->exchange(true);
+  };
+}
+
+}  // namespace
+
+TEST(LossyCluster, DroppedSyncFrameNoLongerHangsTheBarrier) {
+  // Each sync kind in turn: the round-start status, the actions-done mark,
+  // and the replies-done mark.  Any of these lost used to deadlock the
+  // wait_for loop; the resend request must now recover it within a couple
+  // of 25 ms resend intervals, far inside the test timeout.
+  for (const FrameKind kind :
+       {FrameKind::kRoundStatus, FrameKind::kActionsDone,
+        FrameKind::kRepliesDone}) {
+    EXPECT_EQ(run_lossy_cluster(rumor_spec(3, 0), drop_first(kind)), "")
+        << to_string(kind);
+  }
+}
+
+TEST(LossyCluster, DroppedDataFrameRecoveredExactly) {
+  // Data frames (pull request / reply / push) carry the execution itself;
+  // a lost one must be replayed from the send buffer and the run stay
+  // bit-identical — the count-carrying sync marks make the wait exact.
+  for (const FrameKind kind : {FrameKind::kPullRequest, FrameKind::kPullReply,
+                               FrameKind::kPush}) {
+    EXPECT_EQ(run_lossy_cluster(protocol_spec(3, 0), drop_first(kind)), "")
+        << to_string(kind);
+  }
+}
+
+TEST(LossyCluster, SeededRandomLossStaysBitIdentical) {
+  // 10% independent loss on every node's outgoing frames (each node seeded
+  // separately).  Lingering covers the final status broadcast — the one
+  // frame whose loss only the sender-side linger can answer for.
+  ClusterSpec spec = rumor_spec(3, 6);
+  spec.sync_timeout_ms = 20000;
+  spec.resend_interval_ms = 25;
+  spec.linger_ms = 500;
+  const Workload wl = make_cluster_workload(spec);
+  LoopbackHub hub(spec.num_nodes);
+  const auto reports = run_local_cluster(spec, [&](NodeId id) {
+    return make_lossy_client(
+        make_comm_client(TransportKind::kLoopback, &hub), 0.10,
+        rfc::support::derive_seed(4242, id));
+  });
+  EXPECT_EQ(cross_check(merge_reports(wl, reports), reference_result(spec)),
+            "");
+}
+
+TEST(ClusterWorkload, RejectsNonInertNetworkSpecs) {
+  // The simulated message adversary lives in the engine; transport runs
+  // must refuse it rather than silently running two different experiments
+  // on the two sides of the cross-check.
+  ClusterSpec spec = rumor_spec(2, 0);
+  spec.rumor.network = sim::NetworkSpec::parse("network:drop=0.25");
+  EXPECT_THROW(make_cluster_workload(spec), std::invalid_argument);
+  // The inert spec (the default) stays accepted.
+  spec.rumor.network = sim::NetworkSpec::none();
+  EXPECT_EQ(cross_check_local(spec, TransportKind::kLoopback), "");
 }
 
 TEST(MergeReports, RejectsInconsistentReportSets) {

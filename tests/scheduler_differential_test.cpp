@@ -44,6 +44,7 @@
 #include "sim/engine.hpp"
 #include "sim/fault_model.hpp"
 #include "sim/metrics.hpp"
+#include "sim/network_spec.hpp"
 #include "sim/scheduler_spec.hpp"
 #include "support/chi_square.hpp"
 
@@ -127,20 +128,22 @@ struct RunOutcome {
 
 struct Workload {
   std::string name;
-  std::function<RunOutcome(const SchedulerSpec&, bool faults,
-                           std::uint64_t seed)>
+  std::function<RunOutcome(const SchedulerSpec&, const NetworkSpec&,
+                           bool faults, std::uint64_t seed)>
       run;
 };
 
 const std::vector<Workload>& workloads() {
   static const std::vector<Workload> kWorkloads = {
       {"rumor",
-       [](const SchedulerSpec& spec, bool faults, std::uint64_t seed) {
+       [](const SchedulerSpec& spec, const NetworkSpec& net, bool faults,
+          std::uint64_t seed) {
          gossip::SpreadConfig cfg;
          cfg.n = 48;
          cfg.mechanism = gossip::Mechanism::kPushPull;
          cfg.seed = seed;
          cfg.scheduler = spec;
+         cfg.network = net;
          cfg.num_faulty = faults ? 8 : 0;
          cfg.placement =
              faults ? FaultPlacement::kRandom : FaultPlacement::kNone;
@@ -149,12 +152,14 @@ const std::vector<Workload>& workloads() {
          return RunOutcome{r.metrics, r.rounds};
        }},
       {"protocol-p",
-       [](const SchedulerSpec& spec, bool faults, std::uint64_t seed) {
+       [](const SchedulerSpec& spec, const NetworkSpec& net, bool faults,
+          std::uint64_t seed) {
          core::RunConfig cfg;
          cfg.n = 32;
          cfg.gamma = 3.0;
          cfg.seed = seed;
          cfg.scheduler = spec;
+         cfg.network = net;
          cfg.num_faulty = faults ? 5 : 0;
          cfg.placement =
              faults ? FaultPlacement::kRandom : FaultPlacement::kNone;
@@ -162,13 +167,15 @@ const std::vector<Workload>& workloads() {
          return RunOutcome{r.metrics, r.rounds};
        }},
       {"async-p",
-       [](const SchedulerSpec& spec, bool faults, std::uint64_t seed) {
+       [](const SchedulerSpec& spec, const NetworkSpec& net, bool faults,
+          std::uint64_t seed) {
          core::AsyncRunConfig cfg;
          cfg.n = 32;
          cfg.gamma = 3.0;
          cfg.slack = 8;
          cfg.seed = seed;
          cfg.scheduler = spec;
+         cfg.network = net;
          cfg.num_faulty = faults ? 5 : 0;
          cfg.placement =
              faults ? FaultPlacement::kRandom : FaultPlacement::kNone;
@@ -176,11 +183,13 @@ const std::vector<Workload>& workloads() {
          return RunOutcome{r.metrics, r.steps};
        }},
       {"naive-election",
-       [](const SchedulerSpec& spec, bool faults, std::uint64_t seed) {
+       [](const SchedulerSpec& spec, const NetworkSpec& net, bool faults,
+          std::uint64_t seed) {
          baseline::NaiveElectionConfig cfg;
          cfg.n = 32;
          cfg.seed = seed;
          cfg.scheduler = spec;
+         cfg.network = net;
          cfg.num_faulty = faults ? 5 : 0;
          cfg.placement =
              faults ? FaultPlacement::kRandom : FaultPlacement::kNone;
@@ -189,6 +198,27 @@ const std::vector<Workload>& workloads() {
        }},
   };
   return kWorkloads;
+}
+
+// --------------------------------------------------------------------------
+// The network universe: the inert spec plus one representative of every
+// fault axis and their composition — crossed with the scheduler universe
+// below.  Permanent churn (rejoin=0) stays out of the grid: a crashed
+// originator would leave completion-bounded workloads spinning to their
+// round caps.
+// --------------------------------------------------------------------------
+
+std::vector<NetworkSpec> network_universe() {
+  return {
+      NetworkSpec::none(),
+      NetworkSpec::parse("network:drop=0.15,seed=5"),
+      NetworkSpec::parse("network:corrupt=0.1,seed=5"),
+      NetworkSpec::parse("network:dup=0.2,reorder=0.2,seed=5"),
+      NetworkSpec::parse("network:delay=2,seed=5"),
+      NetworkSpec::parse("network:churn=0.01,rejoin=4,seed=5"),
+      NetworkSpec::parse(
+          "network:drop=0.1,dup=0.1,reorder=0.1,delay=2,corrupt=0.05,seed=5"),
+  };
 }
 
 void expect_metrics_eq(const Metrics& a, const Metrics& b,
@@ -202,6 +232,11 @@ void expect_metrics_eq(const Metrics& a, const Metrics& b,
   EXPECT_EQ(a.max_message_bits, b.max_message_bits) << what;
   EXPECT_EQ(a.active_links, b.active_links) << what;
   EXPECT_EQ(a.denials, b.denials) << what;
+  EXPECT_EQ(a.net_drops, b.net_drops) << what;
+  EXPECT_EQ(a.net_dups, b.net_dups) << what;
+  EXPECT_EQ(a.net_corruptions, b.net_corruptions) << what;
+  EXPECT_EQ(a.net_delays, b.net_delays) << what;
+  EXPECT_EQ(a.churn_crashes, b.churn_crashes) << what;
 }
 
 std::string label(const SchedulerSpec& spec, const Workload& w, bool faults) {
@@ -252,18 +287,22 @@ TEST(SchedulerDifferential, DenialAccountingAndDeterminismAcrossGrid) {
     for (const Workload& w : workloads()) {
       for (const bool faults : {false, true}) {
         const std::string what = label(spec, w, faults);
-        const auto a = w.run(spec, faults, 1234);
+        const auto a = w.run(spec, NetworkSpec::none(), faults, 1234);
         if (adversarial) {
           ASSERT_NE(budget, 0u) << what << " (grid specs cap their budget)";
           EXPECT_LE(a.metrics.denials, budget) << what;
         } else {
           EXPECT_EQ(a.metrics.denials, 0u) << what;
         }
+        // The inert network really is inert: no faults ever metered.
+        EXPECT_EQ(a.metrics.net_drops, 0u) << what;
+        EXPECT_EQ(a.metrics.net_corruptions, 0u) << what;
+        EXPECT_EQ(a.metrics.churn_crashes, 0u) << what;
         EXPECT_GT(a.events, 0u) << what;
         EXPECT_EQ(a.metrics.rounds, a.events) << what;
         // Deterministic per seed: observation-driven policies must stay a
         // pure function of (config, seed) like everyone else.
-        const auto b = w.run(spec, faults, 1234);
+        const auto b = w.run(spec, NetworkSpec::none(), faults, 1234);
         expect_metrics_eq(a.metrics, b.metrics, what);
         EXPECT_EQ(a.events, b.events) << what;
       }
@@ -324,8 +363,8 @@ TEST(SchedulerDifferential, ShardedRunsBitIdenticalToSerial) {
     for (const Workload& w : workloads()) {
       for (const bool faults : {false, true}) {
         const std::string what = label(sharded, w, faults);
-        const auto serial = w.run(spec, faults, 77);
-        const auto split = w.run(sharded, faults, 77);
+        const auto serial = w.run(spec, NetworkSpec::none(), faults, 77);
+        const auto split = w.run(sharded, NetworkSpec::none(), faults, 77);
         expect_metrics_eq(serial.metrics, split.metrics, what);
         EXPECT_EQ(serial.events, split.events) << what;
       }
@@ -457,14 +496,26 @@ TEST(SchedulerDifferential, PoissonHeapEndStateMatchesScanUnderMatchedSeeds) {
 
 TEST(SchedulerDifferential, MetricsMergeAssociativeAndCommutative) {
   const auto& w = workloads().front();  // Rumor: cheap, message-heavy.
+  // Deltas from an adversarial, a lossy/corrupting, and a plain run, so the
+  // merge identities are checked with *every* counter populated — denials
+  // from the scheduler adversary, net_*/churn_* from the network one.
   const Metrics a =
       w.run(SchedulerSpec::parse("adversarial:target=min-cert,budget=64"),
-            false, 1)
+            NetworkSpec::none(), false, 1)
           .metrics;
-  const Metrics b = w.run(SchedulerSpec::parse("poisson:rate=2"), true, 2)
-                        .metrics;
-  const Metrics c = w.run(SchedulerSpec::parse("batched:block=3"), false, 3)
-                        .metrics;
+  const Metrics b =
+      w.run(SchedulerSpec::parse("poisson:rate=2"),
+            NetworkSpec::parse(
+                "network:drop=0.1,dup=0.1,corrupt=0.1,delay=2,seed=9"),
+            true, 2)
+          .metrics;
+  const Metrics c =
+      w.run(SchedulerSpec::parse("batched:block=3"),
+            NetworkSpec::parse("network:churn=0.02,rejoin=3,seed=9"), false,
+            3)
+          .metrics;
+  EXPECT_GT(b.net_drops + b.net_dups + b.net_corruptions + b.net_delays, 0u);
+  EXPECT_GT(c.churn_crashes, 0u);
 
   Metrics ab = a;
   ab.merge_from(b);
@@ -491,6 +542,10 @@ TEST(SchedulerDifferential, MetricsMergeAssociativeAndCommutative) {
 TEST(SchedulerDifferential, DenialsSumExactlyUnderMonteCarloPooling) {
   const auto spec =
       SchedulerSpec::parse("adversarial:victim_fraction=0.25,budget=40");
+  // A live network adversary rides along so the pooling identity is pinned
+  // for the net_*/churn_* counters in the same pass as denials.
+  const auto net =
+      NetworkSpec::parse("network:drop=0.1,corrupt=0.05,seed=31");
   const std::uint64_t kTrials = 12;
   const std::uint64_t kBaseSeed = 909;
   const auto trial = [&](std::uint64_t seed, std::size_t) {
@@ -500,6 +555,7 @@ TEST(SchedulerDifferential, DenialsSumExactlyUnderMonteCarloPooling) {
     cfg.slack = 6;
     cfg.seed = seed;
     cfg.scheduler = spec;
+    cfg.network = net;
     return core::run_async_protocol(cfg);
   };
 
@@ -509,6 +565,7 @@ TEST(SchedulerDifferential, DenialsSumExactlyUnderMonteCarloPooling) {
   ASSERT_EQ(pooled.size(), kTrials);
 
   std::uint64_t serial_sum = 0;
+  std::uint64_t serial_drops = 0, serial_corruptions = 0;
   Metrics pooled_total;
   std::uint64_t pooled_sum = 0;
   for (std::size_t i = 0; i < kTrials; ++i) {
@@ -519,12 +576,139 @@ TEST(SchedulerDifferential, DenialsSumExactlyUnderMonteCarloPooling) {
                       "trial " + std::to_string(i));
     EXPECT_LE(pooled[i].metrics.denials, 40u) << i;
     serial_sum += reference.metrics.denials;
+    serial_drops += reference.metrics.net_drops;
+    serial_corruptions += reference.metrics.net_corruptions;
     pooled_sum += pooled[i].metrics.denials;
     pooled_total.merge_from(pooled[i].metrics);
   }
   EXPECT_GT(serial_sum, 0u);
   EXPECT_EQ(pooled_sum, serial_sum);
   EXPECT_EQ(pooled_total.denials, serial_sum);
+  EXPECT_GT(serial_drops, 0u);
+  EXPECT_EQ(pooled_total.net_drops, serial_drops);
+  EXPECT_EQ(pooled_total.net_corruptions, serial_corruptions);
+}
+
+// --------------------------------------------------------------------------
+// The (scheduler × network) product: the message adversary must compose
+// with every activation policy without breaking the harness invariants —
+// per-seed determinism, zero-rate inertness, and shard-count independence.
+// --------------------------------------------------------------------------
+
+std::vector<SchedulerSpec> representative_schedulers() {
+  return {
+      SchedulerSpec::parse("synchronous"),
+      SchedulerSpec::parse("sequential"),
+      SchedulerSpec::parse("partial-async:p=0.4"),
+      SchedulerSpec::parse("batched:block=3"),
+      SchedulerSpec::parse("poisson:rate=2"),
+      SchedulerSpec::parse("adversarial:victim_fraction=0.25,budget=64"),
+  };
+}
+
+TEST(NetworkDifferential, SpecUniverseRoundTripsAndClassifiesInertness) {
+  for (const auto& net : network_universe()) {
+    EXPECT_EQ(NetworkSpec::parse(net.to_string()), net) << net.to_string();
+    EXPECT_NE(net.make(), nullptr) << net.to_string();
+  }
+  EXPECT_TRUE(NetworkSpec::none().inert());
+  EXPECT_TRUE(NetworkSpec::parse("network:drop=0,corrupt=0.0").inert());
+  EXPECT_TRUE(NetworkSpec::parse("network:seed=42").inert());
+  for (std::size_t i = 1; i < network_universe().size(); ++i) {
+    EXPECT_FALSE(network_universe()[i].inert())
+        << network_universe()[i].to_string();
+  }
+}
+
+TEST(NetworkDifferential, SchedulerNetworkProductDeterministicPerSeed) {
+  // Every (policy, network) cell is a pure function of (config, seed): the
+  // fault verdicts are hashes of (seed, kind, time, endpoints), no RNG
+  // stream is consumed, so two identical runs must agree byte for byte.
+  const std::vector<Workload> grid = {workloads()[0], workloads()[2]};
+  for (const auto& sched : representative_schedulers()) {
+    for (const auto& net : network_universe()) {
+      for (const Workload& w : grid) {
+        const std::string what =
+            sched.to_string() + " / " + net.to_string() + " / " + w.name;
+        const auto a = w.run(sched, net, false, 4242);
+        const auto b = w.run(sched, net, false, 4242);
+        expect_metrics_eq(a.metrics, b.metrics, what);
+        EXPECT_EQ(a.events, b.events) << what;
+      }
+    }
+  }
+  // The high-rate axes really bite on a message-heavy workload: drops and
+  // corruptions are metered, and corruption never goes unmetered when the
+  // rate is saturated onto every reply.
+  const auto& rumor = workloads().front();
+  EXPECT_GT(rumor
+                .run(SchedulerSpec::parse("synchronous"),
+                     NetworkSpec::parse("network:drop=0.15,seed=5"), false,
+                     4242)
+                .metrics.net_drops,
+            0u);
+  EXPECT_GT(rumor
+                .run(SchedulerSpec::parse("synchronous"),
+                     NetworkSpec::parse("network:dup=0.2,reorder=0.2,seed=5"),
+                     false, 4242)
+                .metrics.net_dups,
+            0u);
+  EXPECT_GT(rumor
+                .run(SchedulerSpec::parse("synchronous"),
+                     NetworkSpec::parse("network:delay=2,seed=5"), false,
+                     4242)
+                .metrics.net_delays,
+            0u);
+  EXPECT_GT(rumor
+                .run(SchedulerSpec::parse("synchronous"),
+                     NetworkSpec::parse("network:churn=0.01,rejoin=4,seed=5"),
+                     false, 4242)
+                .metrics.churn_crashes,
+            0u);
+}
+
+TEST(NetworkDifferential, ZeroRateModelBitIdenticalToNoModelAtAll) {
+  // The acceptance pin: installing the default NetworkSpec's model must be
+  // indistinguishable from never calling set_network — same metrics, same
+  // virtual time, across both the round path and the sequential path.
+  for (const char* sched : {"synchronous", "sequential", "poisson:rate=2"}) {
+    const auto spec = SchedulerSpec::parse(sched);
+    Engine bare({24, 99, nullptr, spec.make()});
+    Engine inert({24, 99, nullptr, spec.make(), NetworkSpec::none().make()});
+    for (AgentId i = 0; i < 24; ++i) {
+      bare.set_agent(i, std::make_unique<gossip::RumorAgent>(
+                            gossip::Mechanism::kPushPull, i == 0, 16));
+      inert.set_agent(i, std::make_unique<gossip::RumorAgent>(
+                             gossip::Mechanism::kPushPull, i == 0, 16));
+    }
+    bare.run(200);
+    inert.run(200);
+    expect_metrics_eq(bare.metrics(), inert.metrics(), sched);
+    EXPECT_EQ(bare.virtual_time(), inert.virtual_time()) << sched;
+  }
+}
+
+TEST(NetworkDifferential, ShardedRunsBitIdenticalToSerialUnderActiveNetwork) {
+  // The fault verdicts are pure hashes and the delayed/deferred flushes are
+  // sorted into total orders, so S shards must reproduce the serial round
+  // exactly even while the adversary drops, corrupts, delays, and crashes.
+  const std::vector<Workload> grid = {workloads()[0], workloads()[1]};
+  for (const auto& sched :
+       {SchedulerSpec::parse("synchronous"),
+        SchedulerSpec::parse("partial-async:p=0.4"),
+        SchedulerSpec::parse("batched:block=3")}) {
+    const auto sharded = with_shards(sched, 4, 2);
+    for (const auto& net : network_universe()) {
+      for (const Workload& w : grid) {
+        const std::string what =
+            sharded.to_string() + " / " + net.to_string() + " / " + w.name;
+        const auto serial = w.run(sched, net, false, 77);
+        const auto split = w.run(sharded, net, false, 77);
+        expect_metrics_eq(serial.metrics, split.metrics, what);
+        EXPECT_EQ(serial.events, split.events) << what;
+      }
+    }
+  }
 }
 
 // --------------------------------------------------------------------------

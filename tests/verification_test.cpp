@@ -4,6 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include "core/payloads.hpp"
+#include "core/runner.hpp"
+#include "sim/network.hpp"
+#include "sim/network_spec.hpp"
+
 namespace rfc::core {
 namespace {
 
@@ -173,6 +178,53 @@ TEST_F(VerificationTest, EmptyCertificateCaughtByCompleteness) {
   cert_.k = 0;
   const auto r = verify_certificate(params_, cert_, collected_);
   EXPECT_EQ(r.failure, VerificationFailure::kMissingVote);
+}
+
+TEST_F(VerificationTest, TamperedCertificatePayloadRejectedForAnySalt) {
+  // The network adversary's tamper hook (core/payloads.cpp) flips one bit
+  // of k in a *copy* of the boxed certificate; whatever bit the salt picks,
+  // k no longer matches the vote sum and verification must report
+  // kBadKeySum — a tampered certificate can never be adopted.
+  build_consistent_world(0, 3);
+  const sim::Payload clean = make_certificate_payload(cert_, params_);
+  for (const std::uint64_t salt :
+       {0ull, 1ull, 17ull, 63ull, 64ull, 0x9e3779b97f4a7c15ull}) {
+    const sim::Payload tampered = sim::corrupt_payload(clean, salt);
+    const Certificate* cert = certificate_in(tampered);
+    ASSERT_NE(cert, nullptr) << salt;
+    EXPECT_NE(cert->k, cert_.k) << salt;
+    const auto r = verify_certificate(params_, *cert, collected_);
+    EXPECT_EQ(r.failure, VerificationFailure::kBadKeySum) << salt;
+  }
+  // Corruption copies; the original payload still verifies clean.
+  const auto r = verify_certificate(params_, *certificate_in(clean),
+                                    collected_);
+  EXPECT_TRUE(r.accepted()) << to_string(r.failure);
+}
+
+TEST(VerificationNetworkTest, CorruptingAdversaryCaughtAndMeteredEndToEnd) {
+  // The same property through the *real delivery path*: a network:corrupt=1
+  // adversary flips bits in every payload the engine delivers (certificates
+  // in Find-Min replies included), so every certificate any verifier
+  // receives is tampered.  The run must terminate on its fixed schedule
+  // with every spent corruption metered, and — since no tampered
+  // certificate may be adopted — the agents are left disagreeing on their
+  // own certificates instead of converging on a forged minimum.
+  RunConfig cfg;
+  cfg.n = 48;
+  cfg.gamma = 3.0;
+  cfg.seed = 77;
+  cfg.network = sim::NetworkSpec::parse("network:corrupt=1,seed=3");
+  const auto tampered = run_protocol(cfg);
+  EXPECT_GT(tampered.metrics.net_corruptions, 0u);
+  EXPECT_TRUE(tampered.failed());
+
+  // Control: the identical run over the reliable network succeeds and
+  // meters nothing — the corruption counter is the only degree of freedom.
+  cfg.network = sim::NetworkSpec::none();
+  const auto clean = run_protocol(cfg);
+  EXPECT_EQ(clean.metrics.net_corruptions, 0u);
+  EXPECT_FALSE(clean.failed());
 }
 
 TEST_F(VerificationTest, FailureNamesAreDistinct) {
